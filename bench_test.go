@@ -1,0 +1,342 @@
+// One benchmark family per evaluation artifact of the paper (Tables 1
+// and 2, Figures 9–12). Each family's sub-benchmarks are the series
+// the corresponding figure plots (algorithm × parameter), so
+//
+//	go test -bench . -benchmem
+//
+// reproduces the relative shapes: who wins, by what factor, and how
+// runtimes move with ε and data size. cmd/sgbbench prints the same
+// experiments as full sweeps in tabular form.
+package sgb_test
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	sgb "github.com/sgb-db/sgb"
+	"github.com/sgb-db/sgb/internal/benchkit"
+	"github.com/sgb-db/sgb/internal/checkin"
+	"github.com/sgb-db/sgb/internal/cluster"
+	"github.com/sgb-db/sgb/internal/geom"
+	"github.com/sgb-db/sgb/internal/tpch"
+)
+
+// benchPoints generates the uniform workload of the ε sweeps.
+func benchPoints(n int, seed int64) []sgb.Point {
+	r := rand.New(rand.NewSource(seed))
+	pts := make([]sgb.Point, n)
+	for i := range pts {
+		pts[i] = sgb.Point{r.Float64() * 10, r.Float64() * 10}
+	}
+	return pts
+}
+
+var benchAlgs = []struct {
+	name string
+	alg  sgb.Algorithm
+}{
+	{"AllPairs", sgb.AllPairs},
+	{"BoundsChecking", sgb.BoundsCheck},
+	{"Index", sgb.OnTheFlyIndex},
+}
+
+// benchSGBAll is the common body for the Figure 9a–c families.
+func benchSGBAll(b *testing.B, overlap sgb.Overlap) {
+	pts := benchPoints(4000, 1)
+	for _, a := range benchAlgs {
+		for _, eps := range []float64{0.2, 0.5, 0.8} {
+			b.Run(fmt.Sprintf("%s/eps=%.1f", a.name, eps), func(b *testing.B) {
+				opt := sgb.Options{Metric: sgb.L2, Eps: eps, Overlap: overlap, Algorithm: a.alg, Seed: 1}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := sgb.GroupByAll(pts, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig9a — ε sweep, SGB-All JOIN-ANY across the three strategies.
+func BenchmarkFig9a(b *testing.B) { benchSGBAll(b, sgb.JoinAny) }
+
+// BenchmarkFig9b — ε sweep, SGB-All ELIMINATE.
+func BenchmarkFig9b(b *testing.B) { benchSGBAll(b, sgb.Eliminate) }
+
+// BenchmarkFig9c — ε sweep, SGB-All FORM-NEW-GROUP.
+func BenchmarkFig9c(b *testing.B) { benchSGBAll(b, sgb.FormNewGroup) }
+
+// BenchmarkFig9d — ε sweep, SGB-Any (All-Pairs vs Index).
+func BenchmarkFig9d(b *testing.B) {
+	pts := benchPoints(4000, 2)
+	for _, a := range benchAlgs {
+		if a.alg == sgb.BoundsCheck {
+			continue // SGB-Any has no bounds-checking variant
+		}
+		for _, eps := range []float64{0.2, 0.5, 0.8} {
+			b.Run(fmt.Sprintf("%s/eps=%.1f", a.name, eps), func(b *testing.B) {
+				opt := sgb.Options{Metric: sgb.L2, Eps: eps, Algorithm: a.alg}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := sgb.GroupByAny(pts, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// benchFig10 is the size-sweep body (ε fixed at 0.2).
+func benchFig10(b *testing.B, overlap sgb.Overlap, algs []struct {
+	name string
+	alg  sgb.Algorithm
+}, anySemantics bool) {
+	for _, a := range algs {
+		for _, n := range []int{2000, 4000, 8000} {
+			pts := benchPoints(n, 3)
+			b.Run(fmt.Sprintf("%s/n=%d", a.name, n), func(b *testing.B) {
+				opt := sgb.Options{Metric: sgb.L2, Eps: 0.2, Overlap: overlap, Algorithm: a.alg, Seed: 1}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					var err error
+					if anySemantics {
+						_, err = sgb.GroupByAny(pts, opt)
+					} else {
+						_, err = sgb.GroupByAll(pts, opt)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+var boundsVsIndex = benchAlgs[1:]
+
+// BenchmarkFig10a — size sweep, SGB-All JOIN-ANY (Bounds vs Index).
+func BenchmarkFig10a(b *testing.B) { benchFig10(b, sgb.JoinAny, boundsVsIndex, false) }
+
+// BenchmarkFig10b — size sweep, SGB-All ELIMINATE.
+func BenchmarkFig10b(b *testing.B) { benchFig10(b, sgb.Eliminate, boundsVsIndex, false) }
+
+// BenchmarkFig10c — size sweep, SGB-All FORM-NEW-GROUP.
+func BenchmarkFig10c(b *testing.B) { benchFig10(b, sgb.FormNewGroup, boundsVsIndex, false) }
+
+// BenchmarkFig10d — size sweep, SGB-Any (All-Pairs vs Index).
+func BenchmarkFig10d(b *testing.B) {
+	algs := []struct {
+		name string
+		alg  sgb.Algorithm
+	}{benchAlgs[0], benchAlgs[2]}
+	benchFig10(b, sgb.JoinAny, algs, true)
+}
+
+// BenchmarkFig11 — SGB vs the clustering comparators on check-in data
+// (one sub-benchmark per method; a/b select the skew profile).
+func BenchmarkFig11(b *testing.B) {
+	for _, profile := range []struct {
+		name string
+		cfg  checkin.Config
+	}{
+		{"a_Brightkite", checkin.Brightkite(8000)},
+		{"b_Gowalla", checkin.Gowalla(8000)},
+	} {
+		pts := checkin.Points(profile.cfg)
+		gpts := make([]geom.Point, len(pts))
+		copy(gpts, pts)
+		const eps = 0.2
+
+		b.Run(profile.name+"/DBSCAN", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.DBSCAN(gpts, cluster.DBSCANConfig{Eps: eps, MinPts: 4, Metric: geom.L2}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(profile.name+"/BIRCH", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.BIRCH(gpts, cluster.BIRCHConfig{Threshold: eps, Refine: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		for _, k := range []int{20, 40} {
+			b.Run(fmt.Sprintf("%s/KMeans%d", profile.name, k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := cluster.KMeans(gpts, cluster.KMeansConfig{K: k, Seed: 1}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		for _, v := range []struct {
+			name    string
+			overlap sgb.Overlap
+		}{
+			{"SGB-All-JoinAny", sgb.JoinAny},
+			{"SGB-All-Eliminate", sgb.Eliminate},
+			{"SGB-All-FormNew", sgb.FormNewGroup},
+		} {
+			b.Run(profile.name+"/"+v.name, func(b *testing.B) {
+				opt := sgb.Options{Metric: sgb.L2, Eps: eps, Overlap: v.overlap, Algorithm: sgb.OnTheFlyIndex}
+				for i := 0; i < b.N; i++ {
+					if _, err := sgb.GroupByAll(pts, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		b.Run(profile.name+"/SGB-Any", func(b *testing.B) {
+			opt := sgb.Options{Metric: sgb.L2, Eps: eps, Algorithm: sgb.OnTheFlyIndex}
+			for i := 0; i < b.N; i++ {
+				if _, err := sgb.GroupByAny(pts, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// tpchDB loads the TPC-H-like dataset once per bench family.
+func tpchDB(b *testing.B, sf float64) *sgb.DB {
+	b.Helper()
+	db := sgb.Open()
+	ds := tpch.Generate(tpch.ScaleRows(sf))
+	if err := ds.Install(db.Catalog()); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func benchQuery(b *testing.B, db *sgb.DB, sql string) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12a — GB2 (Q9) vs SGB3/SGB4 through the SQL engine.
+func BenchmarkFig12a(b *testing.B) {
+	db := tpchDB(b, 0.3)
+	b.Run("GROUP-BY_Q9", func(b *testing.B) { benchQuery(b, db, tpch.GB2) })
+	b.Run("SGB3_JoinAny", func(b *testing.B) { benchQuery(b, db, tpch.SGB34(false, 50000, "join-any")) })
+	b.Run("SGB3_Eliminate", func(b *testing.B) { benchQuery(b, db, tpch.SGB34(false, 50000, "eliminate")) })
+	b.Run("SGB3_FormNew", func(b *testing.B) { benchQuery(b, db, tpch.SGB34(false, 50000, "form-new")) })
+	b.Run("SGB4_Any", func(b *testing.B) { benchQuery(b, db, tpch.SGB34(true, 50000, "")) })
+}
+
+// BenchmarkFig12b — GB3 (Q15) vs SGB5/SGB6 through the SQL engine.
+func BenchmarkFig12b(b *testing.B) {
+	db := tpchDB(b, 0.3)
+	b.Run("GROUP-BY_Q15", func(b *testing.B) { benchQuery(b, db, tpch.GB3) })
+	b.Run("SGB5_JoinAny", func(b *testing.B) { benchQuery(b, db, tpch.SGB56(false, 100000, "join-any")) })
+	b.Run("SGB5_Eliminate", func(b *testing.B) { benchQuery(b, db, tpch.SGB56(false, 100000, "eliminate")) })
+	b.Run("SGB5_FormNew", func(b *testing.B) { benchQuery(b, db, tpch.SGB56(false, 100000, "form-new")) })
+	b.Run("SGB6_Any", func(b *testing.B) { benchQuery(b, db, tpch.SGB56(true, 100000, "")) })
+}
+
+// BenchmarkTable1 — the complexity table: time per strategy at two
+// sizes; growth between them exposes the O(n²) vs O(n log |G|) split.
+func BenchmarkTable1(b *testing.B) {
+	for _, a := range benchAlgs {
+		for _, n := range []int{1000, 4000} {
+			pts := benchPoints(n, 5)
+			b.Run(fmt.Sprintf("%s/n=%d", a.name, n), func(b *testing.B) {
+				opt := sgb.Options{Metric: sgb.LInf, Eps: 0.3, Overlap: sgb.JoinAny, Algorithm: a.alg, Seed: 1}
+				for i := 0; i < b.N; i++ {
+					if _, err := sgb.GroupByAll(pts, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable2 — the full query suite (GB1–GB3, SGB1–SGB6).
+func BenchmarkTable2(b *testing.B) {
+	db := tpchDB(b, 0.3)
+	queries := []struct {
+		name, sql string
+	}{
+		{"GB1_Q18", tpch.GB1(200)},
+		{"GB2_Q9", tpch.GB2},
+		{"GB3_Q15", tpch.GB3},
+		{"SGB1_All", tpch.SGB12(false, 2000, "join-any", 200, 30000)},
+		{"SGB2_Any", tpch.SGB12(true, 2000, "", 200, 30000)},
+		{"SGB3_All", tpch.SGB34(false, 50000, "join-any")},
+		{"SGB4_Any", tpch.SGB34(true, 50000, "")},
+		{"SGB5_All", tpch.SGB56(false, 100000, "join-any")},
+		{"SGB6_Any", tpch.SGB56(true, 100000, "")},
+	}
+	for _, q := range queries {
+		b.Run(q.name, func(b *testing.B) { benchQuery(b, db, q.sql) })
+	}
+}
+
+// BenchmarkAblation quantifies the two design choices DESIGN.md calls
+// out beyond the paper's algorithms: the lazy (hysteresis) refresh of
+// indexed group rectangles, and the convex-hull refinement for L2.
+func BenchmarkAblation(b *testing.B) {
+	pts := benchPoints(6000, 7)
+	b.Run("IndexRefresh/eager", func(b *testing.B) {
+		opt := sgb.Options{Metric: sgb.LInf, Eps: 0.3, Algorithm: sgb.OnTheFlyIndex, IndexHysteresis: 1}
+		for i := 0; i < b.N; i++ {
+			if _, err := sgb.GroupByAll(pts, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("IndexRefresh/hysteresis", func(b *testing.B) {
+		opt := sgb.Options{Metric: sgb.LInf, Eps: 0.3, Algorithm: sgb.OnTheFlyIndex}
+		for i := 0; i < b.N; i++ {
+			if _, err := sgb.GroupByAll(pts, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	dense := checkin.Points(checkin.Config{Checkins: 6000, Hotspots: 6, Spread: 0.3, Seed: 2})
+	b.Run("L2Refine/memberScan", func(b *testing.B) {
+		opt := sgb.Options{Metric: sgb.L2, Eps: 1.0, Algorithm: sgb.OnTheFlyIndex, NoHullTest: true}
+		for i := 0; i < b.N; i++ {
+			if _, err := sgb.GroupByAll(dense, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("L2Refine/convexHull", func(b *testing.B) {
+		opt := sgb.Options{Metric: sgb.L2, Eps: 1.0, Algorithm: sgb.OnTheFlyIndex}
+		for i := 0; i < b.N; i++ {
+			if _, err := sgb.GroupByAll(dense, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkHarness runs each benchkit experiment end-to-end at reduced
+// scale — the same code path as cmd/sgbbench, kept exercised by CI.
+func BenchmarkHarness(b *testing.B) {
+	for _, id := range []string{"fig9a", "fig10d", "fig11a", "fig12a", "table1"} {
+		e, ok := benchkit.Find(id)
+		if !ok {
+			b.Fatalf("missing experiment %s", id)
+		}
+		b.Run(id, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := e.Run(benchkit.Config{Out: io.Discard, Scale: 0.05, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

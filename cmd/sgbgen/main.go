@@ -1,0 +1,80 @@
+// Command sgbgen materializes the benchmark datasets as CSV files so
+// experiments can be repeated against identical data (and inspected).
+//
+//	sgbgen -kind tpch -sf 1 -out ./data
+//	sgbgen -kind checkin -n 100000 -profile gowalla -out ./data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/sgb-db/sgb/internal/checkin"
+	"github.com/sgb-db/sgb/internal/storage"
+	"github.com/sgb-db/sgb/internal/tpch"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "tpch", "dataset kind: tpch or checkin")
+		sf      = flag.Float64("sf", 1, "TPC-H scale factor")
+		n       = flag.Int("n", 100000, "check-in count")
+		profile = flag.String("profile", "brightkite", "check-in profile: brightkite or gowalla")
+		out     = flag.String("out", ".", "output directory")
+		seed    = flag.Int64("seed", 42, "generator seed")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	switch *kind {
+	case "tpch":
+		cfg := tpch.ScaleRows(*sf)
+		cfg.Seed = *seed
+		ds := tpch.Generate(cfg)
+		for _, t := range ds.Tables() {
+			if err := writeTable(*out, t); err != nil {
+				fatal(err)
+			}
+		}
+	case "checkin":
+		var cfg checkin.Config
+		switch *profile {
+		case "brightkite":
+			cfg = checkin.Brightkite(*n)
+		case "gowalla":
+			cfg = checkin.Gowalla(*n)
+		default:
+			fatal(fmt.Errorf("unknown profile %q", *profile))
+		}
+		cfg.Seed = *seed
+		if err := writeTable(*out, checkin.Table("checkins", cfg)); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+}
+
+func writeTable(dir string, t *storage.Table) error {
+	path := filepath.Join(dir, t.Name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d rows)\n", path, t.Len())
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sgbgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,134 @@
+// Command sgbsql is an interactive SQL shell for the SGB engine. It
+// speaks the paper's extended dialect, so similarity grouping works at
+// the prompt:
+//
+//	sgbsql -demo
+//	sgb> SELECT count(*) FROM gps
+//	     GROUP BY lat, lon DISTANCE-TO-ALL LINF WITHIN 3
+//	     ON-OVERLAP ELIMINATE;
+//
+// Statements are terminated by ';'. Preload data with -demo (the
+// paper's Figure 2 points), -tpch SF (TPC-H-like tables), or
+// -checkin N (synthetic geo-social check-ins).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	sgb "github.com/sgb-db/sgb"
+	"github.com/sgb-db/sgb/internal/checkin"
+	"github.com/sgb-db/sgb/internal/tpch"
+)
+
+func main() {
+	var (
+		demo     = flag.Bool("demo", false, "load the Figure 2 demo table 'gps'")
+		tpchSF   = flag.Float64("tpch", 0, "load TPC-H-like tables at this scale factor")
+		checkins = flag.Int("checkin", 0, "load this many synthetic check-ins as 'checkins'")
+	)
+	flag.Parse()
+
+	db := sgb.Open()
+	if *demo {
+		must(db.Exec("CREATE TABLE gps (id INT, lat FLOAT, lon FLOAT)"))
+		must(db.Exec(`INSERT INTO gps VALUES
+			(1, 2, 5), (2, 3, 6), (3, 7, 5), (4, 8, 6), (5, 5, 4)`))
+		fmt.Println("loaded demo table gps (5 points of the paper's Figure 2)")
+	}
+	if *tpchSF > 0 {
+		ds := tpch.Generate(tpch.ScaleRows(*tpchSF))
+		if err := ds.Install(db.Catalog()); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded TPC-H-like tables at SF %g (%d lineitems)\n", *tpchSF, ds.Lineitem.Len())
+	}
+	if *checkins > 0 {
+		t := checkin.Table("checkins", checkin.Brightkite(*checkins))
+		if err := db.Catalog().Create(t); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded %d synthetic check-ins as table checkins\n", t.Len())
+	}
+	if tables := db.Tables(); len(tables) > 0 {
+		fmt.Printf("tables: %s\n", strings.Join(tables, ", "))
+	}
+	fmt.Println(`type SQL ending with ';' — \q quits, \d lists tables`)
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var stmt strings.Builder
+	prompt := "sgb> "
+	for {
+		fmt.Print(prompt)
+		if !scanner.Scan() {
+			fmt.Println()
+			return
+		}
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		switch trimmed {
+		case `\q`, "quit", "exit":
+			return
+		case `\d`:
+			for _, t := range db.Tables() {
+				n, _ := db.TableLen(t)
+				fmt.Printf("  %s (%d rows)\n", t, n)
+			}
+			continue
+		}
+		stmt.WriteString(line)
+		stmt.WriteByte('\n')
+		if !strings.HasSuffix(trimmed, ";") {
+			prompt = "  -> "
+			continue
+		}
+		prompt = "sgb> "
+		sql := stmt.String()
+		stmt.Reset()
+		execute(db, sql)
+	}
+}
+
+func execute(db *sgb.DB, sql string) {
+	upper := strings.ToUpper(strings.TrimSpace(sql))
+	start := time.Now()
+	if strings.HasPrefix(upper, "SELECT") {
+		rows, err := db.Query(sql)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println(strings.Join(rows.Columns, " | "))
+		for _, row := range rows.Data {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = v.String()
+			}
+			fmt.Println(strings.Join(cells, " | "))
+		}
+		fmt.Printf("(%d rows, %v)\n", rows.Len(), time.Since(start).Round(time.Microsecond))
+		return
+	}
+	n, err := db.Exec(sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("ok (%d rows affected, %v)\n", n, time.Since(start).Round(time.Microsecond))
+}
+
+func must(n int, err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sgbsql:", err)
+	os.Exit(1)
+}

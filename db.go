@@ -1,0 +1,203 @@
+package sgb
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/sgb-db/sgb/internal/plan"
+	"github.com/sgb-db/sgb/internal/sqlparser"
+	"github.com/sgb-db/sgb/internal/storage"
+	"github.com/sgb-db/sgb/internal/types"
+)
+
+// Value is a SQL value produced by queries.
+type Value = types.Value
+
+// DB is an embedded in-memory SQL engine with the SGB-extended GROUP BY
+// syntax. It plays the role of the paper's modified PostgreSQL: parser,
+// planner, and executor all understand DISTANCE-TO-ALL / DISTANCE-TO-ANY
+// grouping. A DB is safe for sequential use; guard concurrent access
+// externally.
+type DB struct {
+	cat *storage.Catalog
+}
+
+// Open creates an empty database.
+func Open() *DB {
+	return &DB{cat: storage.NewCatalog()}
+}
+
+// Rows is a fully materialized query result.
+type Rows struct {
+	Columns []string
+	Data    []types.Row
+}
+
+// Len returns the number of result rows.
+func (r *Rows) Len() int { return len(r.Data) }
+
+// QueryOptions tunes similarity group-by execution for a single query.
+type QueryOptions struct {
+	// Algorithm selects the SGB strategy (default OnTheFlyIndex).
+	Algorithm Algorithm
+	// Seed seeds ON-OVERLAP JOIN-ANY arbitration.
+	Seed int64
+	// Stats, when non-nil, accumulates SGB operator counters.
+	Stats *Stats
+}
+
+// Exec runs a DDL/DML statement (CREATE TABLE, INSERT, DROP TABLE) or a
+// query whose results are discarded. It returns the number of affected
+// (or returned) rows.
+func (db *DB) Exec(sql string) (int, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return 0, err
+	}
+	switch s := stmt.(type) {
+	case *sqlparser.CreateTableStmt:
+		schema := make(storage.Schema, len(s.Columns))
+		for i, c := range s.Columns {
+			schema[i] = storage.Column{Name: c.Name, Type: c.Type}
+		}
+		if err := db.cat.Create(storage.NewTable(s.Name, schema)); err != nil {
+			return 0, err
+		}
+		return 0, nil
+
+	case *sqlparser.DropTableStmt:
+		return 0, db.cat.Drop(s.Name)
+
+	case *sqlparser.InsertStmt:
+		return db.execInsert(s)
+
+	case *sqlparser.SelectStmt:
+		rows, err := db.runSelect(s, QueryOptions{Algorithm: OnTheFlyIndex})
+		if err != nil {
+			return 0, err
+		}
+		return rows.Len(), nil
+
+	default:
+		return 0, fmt.Errorf("sgb: unsupported statement %T", stmt)
+	}
+}
+
+func (db *DB) execInsert(s *sqlparser.InsertStmt) (int, error) {
+	t, err := db.cat.Lookup(s.Table)
+	if err != nil {
+		return 0, err
+	}
+	// Map the column list (defaults to table order).
+	colIdx := make([]int, 0, len(t.Schema))
+	if len(s.Columns) == 0 {
+		for i := range t.Schema {
+			colIdx = append(colIdx, i)
+		}
+	} else {
+		for _, name := range s.Columns {
+			idx := t.Schema.ColumnIndex(name)
+			if idx < 0 {
+				return 0, fmt.Errorf("sgb: table %s has no column %q", t.Name, name)
+			}
+			colIdx = append(colIdx, idx)
+		}
+	}
+	n := 0
+	for _, exprRow := range s.Rows {
+		if len(exprRow) != len(colIdx) {
+			return n, fmt.Errorf("sgb: INSERT expects %d values, got %d", len(colIdx), len(exprRow))
+		}
+		row := make(types.Row, len(t.Schema))
+		for i := range row {
+			row[i] = types.Null()
+		}
+		for i, e := range exprRow {
+			v, err := evalConstExpr(e)
+			if err != nil {
+				return n, err
+			}
+			row[colIdx[i]] = v
+		}
+		if err := t.Insert(row); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// evalConstExpr evaluates a row-independent expression (literals,
+// arithmetic, date/interval math) for INSERT ... VALUES.
+func evalConstExpr(e sqlparser.Expr) (types.Value, error) {
+	cq, err := plan.CompileConstant(e)
+	if err != nil {
+		return types.Value{}, err
+	}
+	return cq, nil
+}
+
+// Query runs a SELECT with default options.
+func (db *DB) Query(sql string) (*Rows, error) {
+	return db.QueryOpt(sql, QueryOptions{Algorithm: OnTheFlyIndex})
+}
+
+// QueryOpt runs a SELECT with explicit similarity-grouping options.
+func (db *DB) QueryOpt(sql string, opt QueryOptions) (*Rows, error) {
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.runSelect(sel, opt)
+}
+
+func (db *DB) runSelect(sel *sqlparser.SelectStmt, opt QueryOptions) (*Rows, error) {
+	b := plan.NewBuilder(db.cat)
+	b.SGBAlgorithm = opt.Algorithm
+	b.SGBSeed = opt.Seed
+	b.SGBStats = opt.Stats
+	cq, err := b.BuildSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	data, err := plan.Execute(cq)
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{Columns: cq.Columns, Data: data}, nil
+}
+
+// LoadCSV creates a table from CSV previously written by DumpCSV (the
+// header carries "name:type" cells).
+func (db *DB) LoadCSV(name string, r io.Reader) error {
+	t, err := storage.ReadCSV(name, r)
+	if err != nil {
+		return err
+	}
+	return db.cat.Create(t)
+}
+
+// DumpCSV serializes a table to CSV.
+func (db *DB) DumpCSV(name string, w io.Writer) error {
+	t, err := db.cat.Lookup(name)
+	if err != nil {
+		return err
+	}
+	return t.WriteCSV(w)
+}
+
+// Tables lists the registered table names.
+func (db *DB) Tables() []string { return db.cat.Names() }
+
+// TableLen returns the row count of a table.
+func (db *DB) TableLen(name string) (int, error) {
+	t, err := db.cat.Lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	return t.Len(), nil
+}
+
+// Catalog exposes the underlying catalog for in-module tooling (data
+// generators, benchmarks). Not part of the stable public surface.
+func (db *DB) Catalog() *storage.Catalog { return db.cat }

@@ -1,0 +1,133 @@
+package sgb
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestExecSelectReturnsRowCount(t *testing.T) {
+	db := newGPSDB(t)
+	n, err := db.Exec("SELECT id FROM gps WHERE lat > 4")
+	if err != nil || n != 3 {
+		t.Fatalf("Exec select = %d, %v", n, err)
+	}
+}
+
+func TestTablesAndTableLen(t *testing.T) {
+	db := newGPSDB(t)
+	tables := db.Tables()
+	if len(tables) != 1 || tables[0] != "gps" {
+		t.Fatalf("tables = %v", tables)
+	}
+	if _, err := db.TableLen("missing"); err == nil {
+		t.Error("TableLen of missing table succeeded")
+	}
+}
+
+func TestInsertPartialColumnsLeavesNulls(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE t (a INT, b INT, c TEXT)")
+	mustExec(t, db, "INSERT INTO t (c, a) VALUES ('x', 1)")
+	rows := mustQuery(t, db, "SELECT a, b, c FROM t")
+	r := rows.Data[0]
+	if r[0].I != 1 || !r[1].IsNull() || r[2].S != "x" {
+		t.Fatalf("partial insert = %v", r)
+	}
+}
+
+func TestInsertConstExpressions(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE t (a INT, d DATE)")
+	mustExec(t, db, "INSERT INTO t VALUES (2 + 3 * 4, date '1995-01-01' + interval '2' month)")
+	rows := mustQuery(t, db, "SELECT a, d FROM t")
+	if rows.Data[0][0].I != 14 || rows.Data[0][1].String() != "1995-03-01" {
+		t.Fatalf("const insert = %v", rows.Data[0])
+	}
+	// Column refs are not constants.
+	if _, err := db.Exec("INSERT INTO t VALUES (a, date '1995-01-01')"); err == nil {
+		t.Error("non-constant insert accepted")
+	}
+}
+
+func TestQueryParseErrorSurfaceIsClean(t *testing.T) {
+	db := newGPSDB(t)
+	_, err := db.Query("SELEC id FROM gps")
+	if err == nil || !strings.Contains(err.Error(), "sql:") {
+		t.Fatalf("parse error = %v", err)
+	}
+	_, err = db.QueryOpt("INSERT INTO gps VALUES (9, 0, 0)", QueryOptions{})
+	if err == nil {
+		t.Error("QueryOpt accepted a non-SELECT")
+	}
+}
+
+func TestDumpCSVUnknownTable(t *testing.T) {
+	db := Open()
+	if err := db.DumpCSV("ghost", nil); err == nil {
+		t.Error("DumpCSV of missing table succeeded")
+	}
+}
+
+// TestSQLMatchesOperatorAPI: running the SGB grouping through SQL and
+// through the operator API on identical data yields identical group
+// size multisets — the end-to-end pipeline adds or drops nothing.
+func TestSQLMatchesOperatorAPI(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE p (x FLOAT, y FLOAT)")
+	pts := make([]Point, 0, 60)
+	for i := 0; i < 60; i++ {
+		x := float64(i%10) * 0.7
+		y := float64(i/10) * 0.9
+		pts = append(pts, Point{x, y})
+		if _, err := db.Exec(fmt.Sprintf("INSERT INTO p VALUES (%g, %g)", x, y)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, variant := range []struct {
+		clause  string
+		overlap Overlap
+	}{
+		{"ON-OVERLAP JOIN-ANY", JoinAny},
+		{"ON-OVERLAP ELIMINATE", Eliminate},
+		{"ON-OVERLAP FORM-NEW-GROUP", FormNewGroup},
+	} {
+		rows, err := db.QueryOpt(`SELECT count(*) FROM p
+			GROUP BY x, y DISTANCE-TO-ALL L2 WITHIN 1.1 `+variant.clause,
+			QueryOptions{Algorithm: OnTheFlyIndex, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := GroupByAll(pts, Options{
+			Metric: L2, Eps: 1.1, Overlap: variant.overlap,
+			Algorithm: OnTheFlyIndex, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sqlSizes := sortedCounts(rows)
+		opSizes := res.Sizes()
+		sortInt64sAndInts(sqlSizes, opSizes)
+		if len(sqlSizes) != len(opSizes) {
+			t.Fatalf("%s: SQL %d groups, operator %d", variant.clause, len(sqlSizes), len(opSizes))
+		}
+		for i := range sqlSizes {
+			if sqlSizes[i] != int64(opSizes[i]) {
+				t.Fatalf("%s: size mismatch %v vs %v", variant.clause, sqlSizes, opSizes)
+			}
+		}
+	}
+}
+
+func sortInt64sAndInts(a []int64, b []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+	for i := 1; i < len(b); i++ {
+		for j := i; j > 0 && b[j-1] > b[j]; j-- {
+			b[j-1], b[j] = b[j], b[j-1]
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// TPC-H analytics: the paper's Table 2 query suite end to end. The
+// example generates the TPC-H-like dataset, then runs the three
+// standard-GROUP-BY business questions (GB1 = Q18, GB2 = Q9, GB3 = Q15)
+// and their similarity counterparts (SGB1–SGB6), printing result
+// samples and runtimes — the workload behind Figures 12a/12b.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	sgb "github.com/sgb-db/sgb"
+	"github.com/sgb-db/sgb/internal/tpch"
+)
+
+func main() {
+	db := sgb.Open()
+	ds := tpch.Generate(tpch.ScaleRows(0.5))
+	if err := ds.Install(db.Catalog()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TPC-H-like data: %d customers, %d orders, %d lineitems\n\n",
+		ds.Customer.Len(), ds.Orders.Len(), ds.Lineitem.Len())
+
+	run := func(name, sql string) {
+		start := time.Now()
+		rows, err := db.Query(sql)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("%-22s %4d rows in %8v", name, rows.Len(), time.Since(start).Round(time.Microsecond))
+		if rows.Len() > 0 {
+			fmt.Printf("   first: %s", rowString(rows, 0))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("— standard GROUP BY —")
+	run("GB1 (Q18)", tpch.GB1(200))
+	run("GB2 (Q9)", tpch.GB2)
+	run("GB3 (Q15)", tpch.GB3)
+
+	fmt.Println("\n— similarity GROUP BY —")
+	run("SGB1 all/join-any", tpch.SGB12(false, 2000, "join-any", 200, 30000))
+	run("SGB1 all/eliminate", tpch.SGB12(false, 2000, "eliminate", 200, 30000))
+	run("SGB1 all/form-new", tpch.SGB12(false, 2000, "form-new", 200, 30000))
+	run("SGB2 any", tpch.SGB12(true, 2000, "", 200, 30000))
+	run("SGB3 all/join-any", tpch.SGB34(false, 50000, "join-any"))
+	run("SGB4 any", tpch.SGB34(true, 50000, ""))
+	run("SGB5 all/join-any", tpch.SGB56(false, 100000, "join-any"))
+	run("SGB6 any", tpch.SGB56(true, 100000, ""))
+}
+
+func rowString(rows *sgb.Rows, i int) string {
+	out := "["
+	for j, v := range rows.Data[i] {
+		if j > 0 {
+			out += ", "
+		}
+		s := v.String()
+		if len(s) > 24 {
+			s = s[:21] + "..."
+		}
+		out += s
+	}
+	return out + "]"
+}

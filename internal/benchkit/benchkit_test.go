@@ -1,0 +1,43 @@
+package benchkit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestEveryExperimentRuns executes every registered experiment at a
+// tiny scale: the harness must complete and produce a non-trivial
+// report for each figure and table of the paper.
+func TestEveryExperimentRuns(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 14 { // fig9a–d, fig10a–d, fig11a/b, fig12a/b, table1, table2
+		t.Fatalf("registered experiments = %d, want 14", len(exps))
+	}
+	for _, e := range exps {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			cfg := Config{Out: &buf, Scale: 0.02, Seed: 1}
+			if err := e.Run(cfg); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, e.ID) {
+				t.Errorf("%s: report missing banner:\n%s", e.ID, out)
+			}
+			if len(strings.Split(out, "\n")) < 5 {
+				t.Errorf("%s: suspiciously short report:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestFindUnknown(t *testing.T) {
+	if _, ok := Find("nope"); ok {
+		t.Fatal("Find accepted an unknown id")
+	}
+	if e, ok := Find("fig9a"); !ok || e.ID != "fig9a" {
+		t.Fatalf("Find(fig9a) = %v %v", e, ok)
+	}
+}

@@ -1,0 +1,109 @@
+package benchkit
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/sgb-db/sgb/internal/checkin"
+	"github.com/sgb-db/sgb/internal/cluster"
+	"github.com/sgb-db/sgb/internal/core"
+	"github.com/sgb-db/sgb/internal/geom"
+)
+
+// Figure 11: SGB vs standalone clustering (DBSCAN, BIRCH, K-means with
+// K = 20 and 40) on the two social check-in datasets. The similarity
+// threshold for both DBSCAN and SGB is 0.2 (as in the paper); SGB runs
+// the on-the-fly index strategy. Data sizes sweep like the paper's
+// 0.5–3 M (scaled).
+
+func init() {
+	register(Experiment{
+		ID:    "fig11a",
+		Title: "SGB vs clustering on Brightkite-like check-ins",
+		Expect: "all four SGB variants 1–3 orders of magnitude faster than DBSCAN, " +
+			"BIRCH, and both K-means settings at every size",
+		Run: func(cfg Config) error { return runFig11(cfg, "fig11a") },
+	})
+	register(Experiment{
+		ID:     "fig11b",
+		Title:  "SGB vs clustering on Gowalla-like check-ins",
+		Expect: "same ordering as fig11a with the Gowalla skew profile",
+		Run:    func(cfg Config) error { return runFig11(cfg, "fig11b") },
+	})
+}
+
+func runFig11(cfg Config, id string) error {
+	e, _ := Find(id)
+	header(cfg, e)
+	const eps = 0.2
+	sizes := []int{cfg.scaled(5000), cfg.scaled(10000), cfg.scaled(20000)}
+
+	gen := checkin.Brightkite
+	if id == "fig11b" {
+		gen = checkin.Gowalla
+	}
+
+	t := newTable(cfg.Out, "n", "DBSCAN(ms)", "BIRCH(ms)", "KMeans20(ms)", "KMeans40(ms)",
+		"SGB-All-JoinAny(ms)", "SGB-All-Elim(ms)", "SGB-All-FormNew(ms)", "SGB-Any(ms)")
+	for _, n := range sizes {
+		pts := checkin.Points(gen(n))
+
+		dbscanT, err := timed(func() error {
+			_, err := cluster.DBSCAN(pts, cluster.DBSCANConfig{Eps: eps, MinPts: 4, Metric: geom.L2})
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		birchT, err := timed(func() error {
+			_, err := cluster.BIRCH(pts, cluster.BIRCHConfig{Threshold: eps, Branching: 8, Refine: true})
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		km20T, err := timed(func() error {
+			_, err := cluster.KMeans(pts, cluster.KMeansConfig{K: 20, Seed: cfg.Seed})
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		km40T, err := timed(func() error {
+			_, err := cluster.KMeans(pts, cluster.KMeansConfig{K: 40, Seed: cfg.Seed})
+			return err
+		})
+		if err != nil {
+			return err
+		}
+
+		joinAny, _, err := timeSGBAll(pts, core.OnTheFlyIndex, core.JoinAny, eps)
+		if err != nil {
+			return err
+		}
+		elim, _, err := timeSGBAll(pts, core.OnTheFlyIndex, core.Eliminate, eps)
+		if err != nil {
+			return err
+		}
+		formNew, _, err := timeSGBAll(pts, core.OnTheFlyIndex, core.FormNewGroup, eps)
+		if err != nil {
+			return err
+		}
+		anyT, _, err := timeSGBAny(pts, core.OnTheFlyIndex, eps)
+		if err != nil {
+			return err
+		}
+
+		t.row(n, ms(dbscanT), ms(birchT), ms(km20T), ms(km40T),
+			ms(joinAny), ms(elim), ms(formNew), ms(anyT))
+	}
+	t.flush()
+	fmt.Fprintln(cfg.Out)
+	return nil
+}
+
+func timed(fn func() error) (time.Duration, error) {
+	start := time.Now()
+	err := fn()
+	return time.Since(start), err
+}

@@ -1,0 +1,35 @@
+package benchkit
+
+import (
+	"time"
+
+	"github.com/sgb-db/sgb/internal/core"
+	"github.com/sgb-db/sgb/internal/plan"
+	"github.com/sgb-db/sgb/internal/sqlparser"
+	"github.com/sgb-db/sgb/internal/storage"
+	"github.com/sgb-db/sgb/internal/types"
+)
+
+// runSQL plans and executes one SELECT against the catalog, timing the
+// execution (planning excluded, matching how the paper reports "SGB
+// response time" net of preprocessing only where it says so — planning
+// cost here is microseconds either way).
+func runSQL(cat *storage.Catalog, sql string, alg core.Algorithm, seed int64) ([]types.Row, time.Duration, error) {
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		return nil, 0, err
+	}
+	b := plan.NewBuilder(cat)
+	b.SGBAlgorithm = alg
+	b.SGBSeed = seed
+	cq, err := b.BuildSelect(sel)
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	rows, err := plan.Execute(cq)
+	if err != nil {
+		return nil, 0, err
+	}
+	return rows, time.Since(start), nil
+}

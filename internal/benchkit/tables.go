@@ -1,0 +1,125 @@
+package benchkit
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/sgb-db/sgb/internal/core"
+	"github.com/sgb-db/sgb/internal/geom"
+	"github.com/sgb-db/sgb/internal/storage"
+	"github.com/sgb-db/sgb/internal/tpch"
+)
+
+// Table 1: the complexity table for SGB-All under L∞. The empirical
+// check doubles n and reports both runtime growth exponents and the
+// dominant operation counters (distance computations for All-Pairs,
+// rectangle tests for Bounds-Checking, index probes for the Index) —
+// the measured counters track the claimed O(n²) / O(n·|G|) /
+// O(n·log|G|) bounds.
+//
+// Table 2: the query suite — GB1–GB3 and SGB1–SGB6 run end-to-end
+// through the SQL engine on the TPC-H-like dataset, reporting runtime
+// and result cardinality.
+
+func init() {
+	register(Experiment{
+		ID:    "table1",
+		Title: "SGB-All complexity (All-Pairs / Bounds-Checking / on-the-fly Index)",
+		Expect: "All-Pairs distance computations grow ~4x per doubling (O(n²)); " +
+			"Bounds rect-tests grow ~2x·|G|; Index probes grow ~2x with log-factor work",
+		Run: runTable1,
+	})
+	register(Experiment{
+		ID:     "table2",
+		Title:  "TPC-H query suite GB1–GB3, SGB1–SGB6",
+		Expect: "SGB queries run end-to-end with runtimes comparable to their GROUP BY peers",
+		Run:    runTable2,
+	})
+}
+
+func runTable1(cfg Config) error {
+	e, _ := Find("table1")
+	header(cfg, e)
+	const eps = 0.3
+	sizes := []int{cfg.scaled(1000), cfg.scaled(2000), cfg.scaled(4000), cfg.scaled(8000)}
+	fmt.Fprintf(cfg.Out, "uniform points in [0,10]^2, LINF, eps=%v, ON-OVERLAP JOIN-ANY\n\n", eps)
+
+	for _, alg := range []core.Algorithm{core.AllPairs, core.BoundsCheck, core.OnTheFlyIndex} {
+		fmt.Fprintf(cfg.Out, "-- %v --\n", alg)
+		t := newTable(cfg.Out, "n", "time(ms)", "time-growth", "dists", "rect-tests",
+			"probes", "groups")
+		var prev float64
+		for _, n := range sizes {
+			pts := uniformPoints(n, 10, cfg.Seed+5)
+			st := &core.Stats{}
+			opt := core.Options{
+				Metric: geom.LInf, Eps: eps, Overlap: core.JoinAny, Algorithm: alg, Stats: st,
+			}
+			d, groups, err := timeSGBAllOpt(pts, opt)
+			if err != nil {
+				return err
+			}
+			cur := float64(d.Microseconds())
+			t.row(n, ms(d), growth(prev, cur),
+				st.DistanceComputations, st.RectTests, st.IndexProbes, groups)
+			prev = cur
+		}
+		t.flush()
+		fmt.Fprintln(cfg.Out)
+	}
+	return nil
+}
+
+func runTable2(cfg Config) error {
+	e, _ := Find("table2")
+	header(cfg, e)
+	cat := storage.NewCatalog()
+	ds := tpch.Generate(tpch.ScaleRows(1 * cfg.Scale))
+	if err := ds.Install(cat); err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "TPC-H-like data: %d customers, %d orders, %d lineitems, %d suppliers, %d parts\n\n",
+		ds.Customer.Len(), ds.Orders.Len(), ds.Lineitem.Len(), ds.Supplier.Len(), ds.Part.Len())
+
+	// Thresholds tuned to the generated distributions: l_quantity sums
+	// per order reach ~175 on average, o_totalprice up to ~5e5.
+	queries := []struct {
+		name, sql string
+	}{
+		{"GB1 (Q18)", tpch.GB1(200)},
+		{"GB2 (Q9)", tpch.GB2},
+		{"GB3 (Q15)", tpch.GB3},
+		{"SGB1 (all/join-any)", tpch.SGB12(false, 2000, "join-any", 200, 30000)},
+		{"SGB1 (all/eliminate)", tpch.SGB12(false, 2000, "eliminate", 200, 30000)},
+		{"SGB1 (all/form-new)", tpch.SGB12(false, 2000, "form-new", 200, 30000)},
+		{"SGB2 (any)", tpch.SGB12(true, 2000, "", 200, 30000)},
+		{"SGB3 (all/join-any)", tpch.SGB34(false, 50000, "join-any")},
+		{"SGB3 (all/eliminate)", tpch.SGB34(false, 50000, "eliminate")},
+		{"SGB3 (all/form-new)", tpch.SGB34(false, 50000, "form-new")},
+		{"SGB4 (any)", tpch.SGB34(true, 50000, "")},
+		{"SGB5 (all/join-any)", tpch.SGB56(false, 100000, "join-any")},
+		{"SGB5 (all/eliminate)", tpch.SGB56(false, 100000, "eliminate")},
+		{"SGB5 (all/form-new)", tpch.SGB56(false, 100000, "form-new")},
+		{"SGB6 (any)", tpch.SGB56(true, 100000, "")},
+	}
+	t := newTable(cfg.Out, "query", "rows", "time(ms)")
+	for _, q := range queries {
+		rows, d, err := runSQL(cat, q.sql, core.OnTheFlyIndex, cfg.Seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", q.name, err)
+		}
+		t.row(q.name, len(rows), ms(d))
+	}
+	t.flush()
+	return nil
+}
+
+// timeSGBAllOpt measures one SGB-All evaluation with explicit options.
+func timeSGBAllOpt(pts []geom.Point, opt core.Options) (time.Duration, int, error) {
+	start := time.Now()
+	res, err := core.SGBAll(pts, opt)
+	if err != nil {
+		return 0, 0, err
+	}
+	return time.Since(start), res.NumGroups(), nil
+}

@@ -1,0 +1,104 @@
+package checkin
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPointsDeterministic(t *testing.T) {
+	a := Points(Config{Checkins: 500, Seed: 5})
+	b := Points(Config{Checkins: 500, Seed: 5})
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("nondeterministic point %d", i)
+		}
+	}
+	c := Points(Config{Checkins: 500, Seed: 6})
+	same := 0
+	for i := range a {
+		if a[i].Equal(c[i]) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestPointsBounds(t *testing.T) {
+	pts := Points(Brightkite(2000))
+	if len(pts) != 2000 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for _, p := range pts {
+		// Hot-spot centers are within world bounds; scatter is tiny, so
+		// allow a degree of slack.
+		if p[0] < -61 || p[0] > 71 || p[1] < -181 || p[1] > 181 {
+			t.Fatalf("point out of bounds: %v", p)
+		}
+	}
+}
+
+// TestSpatialSkew: check-ins must be clustered (the property Figure 11
+// depends on). A large fraction of points should have a near neighbor
+// far closer than uniform data would allow.
+func TestSpatialSkew(t *testing.T) {
+	pts := Points(Brightkite(1500))
+	close := 0
+	for i := 1; i < len(pts); i += 3 {
+		// Distance to the previous sampled point's hot spot is not
+		// meaningful; instead test nearest-of-50-random.
+		best := math.Inf(1)
+		for j := 0; j < 50; j++ {
+			k := (i*31 + j*97) % len(pts)
+			if k == i {
+				continue
+			}
+			dx := pts[i][0] - pts[k][0]
+			dy := pts[i][1] - pts[k][1]
+			if d := math.Hypot(dx, dy); d < best {
+				best = d
+			}
+		}
+		if best < 2 {
+			close++
+		}
+	}
+	// Uniform world-scale data would give ~π·2²/46800 ≈ 0.03% odds per
+	// sample (≈1.3% over 50 samples); clustered data shares hot-spots
+	// far more often. Require a wide margin over the uniform baseline.
+	sampled := len(pts) / 3
+	if close < sampled/5 {
+		t.Fatalf("only %d/%d sampled points have a close neighbor — data not skewed", close, sampled)
+	}
+}
+
+func TestProfilesDiffer(t *testing.T) {
+	b := Brightkite(100)
+	g := Gowalla(100)
+	if b.Hotspots == g.Hotspots || b.Spread == g.Spread {
+		t.Error("profiles indistinguishable")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tab := Table("checkins", Config{Checkins: 300, Users: 40, Seed: 2})
+	if tab.Len() != 300 {
+		t.Fatalf("rows = %d", tab.Len())
+	}
+	if tab.Schema.ColumnIndex("latitude") != 1 || tab.Schema.ColumnIndex("checkin_date") != 3 {
+		t.Fatalf("schema = %v", tab.Schema.Names())
+	}
+	for _, row := range tab.Rows {
+		if row[0].I < 1 || row[0].I > 40 {
+			t.Fatalf("user id out of range: %v", row[0])
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	cfg := (Config{Checkins: 1000}).withDefaults()
+	if cfg.Users <= 0 || cfg.Hotspots <= 0 || cfg.Spread <= 0 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+}

@@ -1,0 +1,298 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+
+	"github.com/sgb-db/sgb/internal/geom"
+)
+
+// BIRCHConfig configures the CF-tree construction.
+type BIRCHConfig struct {
+	// Threshold is the maximum radius of a leaf clustering feature;
+	// points farther than this from an existing CF centroid start a
+	// new subcluster.
+	Threshold float64
+	// Branching is the maximum number of CF entries per tree node
+	// (default 8, the classic B).
+	Branching int
+	// Refine enables the global refinement pass (BIRCH phase 4): after
+	// the CF-tree scan, every point is reassigned to its nearest leaf
+	// centroid in a second full data scan. The paper's runtime argument
+	// — clustering "scan[s] the data more than once" — relies on it, so
+	// it defaults on in the benches.
+	Refine bool
+}
+
+// BIRCHResult reports the leaf subclusters of the CF-tree.
+type BIRCHResult struct {
+	// Centroids of the leaf clustering features.
+	Centroids []geom.Point
+	// Sizes[i] is the number of points absorbed by centroid i.
+	Sizes []int
+	// Assign maps each input index to a centroid (only when Refine).
+	Assign []int
+	// Scans is the number of full passes over the data (1 or 2).
+	Scans int
+}
+
+// cf is a clustering feature: (N, LS, SS) — count, linear sum, and
+// squared sum — exactly the triple of Zhang et al. [10].
+type cf struct {
+	n  int
+	ls []float64
+	ss float64
+}
+
+func newCF(d int) *cf { return &cf{ls: make([]float64, d)} }
+
+func (c *cf) add(p geom.Point) {
+	c.n++
+	for i, v := range p {
+		c.ls[i] += v
+		c.ss += v * v
+	}
+}
+
+func (c *cf) centroid() geom.Point {
+	out := make(geom.Point, len(c.ls))
+	for i, v := range c.ls {
+		out[i] = v / float64(c.n)
+	}
+	return out
+}
+
+// radius is the CF radius sqrt(SS/N - ||LS/N||²): the average distance
+// of members to the centroid.
+func (c *cf) radius() float64 {
+	var norm2 float64
+	for _, v := range c.ls {
+		m := v / float64(c.n)
+		norm2 += m * m
+	}
+	r2 := c.ss/float64(c.n) - norm2
+	if r2 < 0 {
+		return 0
+	}
+	return math.Sqrt(r2)
+}
+
+// radiusWith returns the radius the CF would have after absorbing p,
+// without mutating it.
+func (c *cf) radiusWith(p geom.Point) float64 {
+	n := float64(c.n + 1)
+	ss := c.ss
+	var norm2 float64
+	for i, v := range c.ls {
+		ls := v + p[i]
+		ss0 := p[i] * p[i]
+		ss += ss0
+		m := ls / n
+		norm2 += m * m
+	}
+	r2 := ss/n - norm2
+	if r2 < 0 {
+		return 0
+	}
+	return math.Sqrt(r2)
+}
+
+// bnode is a CF-tree node: leaves hold CF entries, inner nodes hold
+// child pointers summarized by their own CFs.
+type bnode struct {
+	leaf     bool
+	cfs      []*cf
+	children []*bnode
+}
+
+// BIRCH builds a CF-tree in one data scan (phase 1) and optionally
+// performs the global reassignment scan (phase 4). The leaf clustering
+// features are the output clusters.
+func BIRCH(points []geom.Point, cfg BIRCHConfig) (*BIRCHResult, error) {
+	if cfg.Threshold <= 0 {
+		return nil, errors.New("cluster: BIRCH threshold must be positive")
+	}
+	if cfg.Branching < 2 {
+		cfg.Branching = 8
+	}
+	res := &BIRCHResult{Scans: 1}
+	if len(points) == 0 {
+		return res, nil
+	}
+	d := len(points[0])
+	root := &bnode{leaf: true}
+	for _, p := range points {
+		root = insertCF(root, p, d, cfg)
+	}
+	collectLeaves(root, res)
+	if cfg.Refine {
+		res.Scans = 2
+		res.Assign = make([]int, len(points))
+		for i := range res.Sizes {
+			res.Sizes[i] = 0
+		}
+		for i, p := range points {
+			best, bd := 0, math.Inf(1)
+			for c, ctr := range res.Centroids {
+				if dd := sq(p, ctr); dd < bd {
+					best, bd = c, dd
+				}
+			}
+			res.Assign[i] = best
+			res.Sizes[best]++
+		}
+	}
+	return res, nil
+}
+
+// insertCF descends to the closest leaf CF; absorbs p if the radius
+// stays under the threshold, otherwise adds a new CF, splitting nodes
+// that exceed the branching factor. Returns the (possibly new) root.
+func insertCF(root *bnode, p geom.Point, d int, cfg BIRCHConfig) *bnode {
+	split := insertRec(root, p, d, cfg)
+	if split == nil {
+		return root
+	}
+	// Root split: grow the tree upward.
+	newRoot := &bnode{leaf: false}
+	newRoot.children = []*bnode{root, split}
+	newRoot.cfs = []*cf{summarize(root, d), summarize(split, d)}
+	return newRoot
+}
+
+// insertRec inserts p under n; a non-nil return is a new sibling
+// produced by splitting n.
+func insertRec(n *bnode, p geom.Point, d int, cfg BIRCHConfig) *bnode {
+	if n.leaf {
+		// Closest CF entry by centroid distance.
+		best, bd := -1, math.Inf(1)
+		for i, c := range n.cfs {
+			if dd := sq(p, c.centroid()); dd < bd {
+				best, bd = i, dd
+			}
+		}
+		if best >= 0 && n.cfs[best].radiusWith(p) <= cfg.Threshold {
+			n.cfs[best].add(p)
+			return nil
+		}
+		nc := newCF(d)
+		nc.add(p)
+		n.cfs = append(n.cfs, nc)
+		if len(n.cfs) <= cfg.Branching {
+			return nil
+		}
+		return splitLeaf(n, d)
+	}
+	// Inner node: descend into the closest child summary.
+	best, bd := 0, math.Inf(1)
+	for i, c := range n.cfs {
+		if dd := sq(p, c.centroid()); dd < bd {
+			best, bd = i, dd
+		}
+	}
+	n.cfs[best].add(p)
+	if sibling := insertRec(n.children[best], p, d, cfg); sibling != nil {
+		n.children = append(n.children, sibling)
+		n.cfs[best] = summarize(n.children[best], d)
+		n.cfs = append(n.cfs, summarize(sibling, d))
+		if len(n.children) > cfg.Branching {
+			return splitInner(n, d)
+		}
+	}
+	return nil
+}
+
+// splitLeaf splits an overfull leaf by the farthest-pair heuristic of
+// the BIRCH paper: the two most distant CFs seed the halves.
+func splitLeaf(n *bnode, d int) *bnode {
+	a, b := farthestPair(n.cfs)
+	left := &bnode{leaf: true}
+	right := &bnode{leaf: true}
+	for i, c := range n.cfs {
+		if goesLeft(i, a, b, c, n.cfs) {
+			left.cfs = append(left.cfs, c)
+		} else {
+			right.cfs = append(right.cfs, c)
+		}
+	}
+	*n = *left
+	return right
+}
+
+func splitInner(n *bnode, d int) *bnode {
+	a, b := farthestPair(n.cfs)
+	left := &bnode{leaf: false}
+	right := &bnode{leaf: false}
+	for i, c := range n.cfs {
+		if goesLeft(i, a, b, c, n.cfs) {
+			left.cfs = append(left.cfs, c)
+			left.children = append(left.children, n.children[i])
+		} else {
+			right.cfs = append(right.cfs, c)
+			right.children = append(right.children, n.children[i])
+		}
+	}
+	*n = *left
+	return right
+}
+
+// goesLeft assigns entry i to the seed-a half unless it is seed b or
+// strictly closer to seed b; pinning the seeds guarantees both halves
+// are nonempty even for coincident centroids.
+func goesLeft(i, a, b int, c *cf, cfs []*cf) bool {
+	if i == a {
+		return true
+	}
+	if i == b {
+		return false
+	}
+	return sq(c.centroid(), cfs[a].centroid()) <= sq(c.centroid(), cfs[b].centroid())
+}
+
+func farthestPair(cfs []*cf) (int, int) {
+	a, b, worst := 0, 1, -1.0
+	for i := 0; i < len(cfs); i++ {
+		for j := i + 1; j < len(cfs); j++ {
+			if dd := sq(cfs[i].centroid(), cfs[j].centroid()); dd > worst {
+				a, b, worst = i, j, dd
+			}
+		}
+	}
+	return a, b
+}
+
+// summarize folds a subtree into a single CF.
+func summarize(n *bnode, d int) *cf {
+	out := newCF(d)
+	var rec func(*bnode)
+	rec = func(m *bnode) {
+		if m.leaf {
+			for _, c := range m.cfs {
+				out.n += c.n
+				out.ss += c.ss
+				for i, v := range c.ls {
+					out.ls[i] += v
+				}
+			}
+			return
+		}
+		for _, ch := range m.children {
+			rec(ch)
+		}
+	}
+	rec(n)
+	return out
+}
+
+func collectLeaves(n *bnode, res *BIRCHResult) {
+	if n.leaf {
+		for _, c := range n.cfs {
+			res.Centroids = append(res.Centroids, c.centroid())
+			res.Sizes = append(res.Sizes, c.n)
+		}
+		return
+	}
+	for _, ch := range n.children {
+		collectLeaves(ch, res)
+	}
+}

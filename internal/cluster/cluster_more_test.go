@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/sgb-db/sgb/internal/geom"
+)
+
+// TestKMeansEmptyClusterReseed: pathological seeding where a centroid
+// loses every point still converges (the empty cluster reseeds).
+func TestKMeansEmptyClusterReseed(t *testing.T) {
+	// Many coincident points force duplicate centroids → empty clusters.
+	pts := make([]geom.Point, 60)
+	for i := range pts {
+		pts[i] = geom.Point{float64(i % 2), 0} // only two distinct locations
+	}
+	res, err := KMeans(pts, KMeansConfig{K: 5, Seed: 4, MaxIter: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assign) != 60 {
+		t.Fatalf("assign len = %d", len(res.Assign))
+	}
+	// Inertia must be finite and small (points sit on two spots).
+	if res.Inertia > 60 {
+		t.Fatalf("inertia = %v", res.Inertia)
+	}
+}
+
+func TestKMeansAllIdenticalPoints(t *testing.T) {
+	pts := make([]geom.Point, 30)
+	for i := range pts {
+		pts[i] = geom.Point{3, 3}
+	}
+	res, err := KMeans(pts, KMeansConfig{K: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia != 0 {
+		t.Fatalf("identical points inertia = %v", res.Inertia)
+	}
+}
+
+func TestDBSCANLInfMetric(t *testing.T) {
+	// Two points at LInf distance 1 but L2 distance ~1.41.
+	pts := []geom.Point{
+		{0, 0}, {1, 1}, {0.5, 0.5}, {0.2, 0.8},
+		{10, 10}, {11, 11}, {10.5, 10.5}, {10.2, 10.8},
+	}
+	res, err := DBSCAN(pts, DBSCANConfig{Eps: 1, MinPts: 3, Metric: geom.LInf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 2 {
+		t.Fatalf("LInf clusters = %d (labels %v)", res.NumClusters, res.Labels)
+	}
+}
+
+func TestDBSCANAllNoise(t *testing.T) {
+	pts := []geom.Point{{0, 0}, {100, 100}, {-100, 50}}
+	res, err := DBSCAN(pts, DBSCANConfig{Eps: 1, MinPts: 2, Metric: geom.L2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 0 {
+		t.Fatalf("clusters = %d", res.NumClusters)
+	}
+	for i, l := range res.Labels {
+		if l != Noise {
+			t.Fatalf("point %d labeled %d", i, l)
+		}
+	}
+}
+
+// TestBIRCHDeepTreeSplits drives enough spread data through a small
+// branching factor to force inner-node splits and root growth.
+func TestBIRCHDeepTreeSplits(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	pts := make([]geom.Point, 3000)
+	for i := range pts {
+		pts[i] = geom.Point{r.Float64() * 100, r.Float64() * 100}
+	}
+	res, err := BIRCH(pts, BIRCHConfig{Threshold: 0.8, Branching: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range res.Sizes {
+		total += s
+	}
+	if total != len(pts) {
+		t.Fatalf("CF sizes sum %d != %d", total, len(pts))
+	}
+	if len(res.Centroids) < 100 {
+		t.Fatalf("expected many leaf CFs on spread data, got %d", len(res.Centroids))
+	}
+	// Every centroid lies in the data's bounding box.
+	for _, c := range res.Centroids {
+		if c[0] < 0 || c[0] > 100 || c[1] < 0 || c[1] > 100 {
+			t.Fatalf("centroid out of range: %v", c)
+		}
+	}
+}
+
+// TestBIRCHRadiusMath checks the CF radius identities directly.
+func TestBIRCHRadiusMath(t *testing.T) {
+	c := newCF(2)
+	c.add(geom.Point{0, 0})
+	if c.radius() != 0 {
+		t.Fatalf("singleton radius = %v", c.radius())
+	}
+	// Adding the same point keeps radius 0.
+	if r := c.radiusWith(geom.Point{0, 0}); r != 0 {
+		t.Fatalf("radiusWith same = %v", r)
+	}
+	// Two points at distance 2: centroid in the middle, radius 1.
+	c.add(geom.Point{2, 0})
+	if got := c.radius(); got < 0.999 || got > 1.001 {
+		t.Fatalf("pair radius = %v", got)
+	}
+	ctr := c.centroid()
+	if ctr[0] != 1 || ctr[1] != 0 {
+		t.Fatalf("centroid = %v", ctr)
+	}
+	// radiusWith must not mutate.
+	before := c.n
+	_ = c.radiusWith(geom.Point{10, 10})
+	if c.n != before {
+		t.Fatal("radiusWith mutated the CF")
+	}
+}
+
+func TestGoesLeftPinsSeeds(t *testing.T) {
+	cfs := []*cf{newCF(2), newCF(2), newCF(2)}
+	for i, c := range cfs {
+		c.add(geom.Point{float64(i), 0})
+	}
+	if !goesLeft(0, 0, 2, cfs[0], cfs) {
+		t.Error("seed a not pinned left")
+	}
+	if goesLeft(2, 0, 2, cfs[2], cfs) {
+		t.Error("seed b not pinned right")
+	}
+}

@@ -1,0 +1,184 @@
+// Package convexhull provides the two-dimensional convex-hull machinery
+// behind the paper's Convex Hull Test (Procedure 6): the refinement step
+// that removes false positives when SGB-All runs under the L2 metric.
+//
+// Given a group g whose points all passed the ε-All rectangle filter, the
+// test exploits two facts proved in Section 6.4 of the paper:
+//
+//  1. any point inside the hull of g is within diam(g) ≤ ε of every
+//     member, and
+//  2. for a point x outside the hull, the member farthest from x is a
+//     hull vertex, so checking x against that single vertex decides
+//     membership.
+package convexhull
+
+import (
+	"math"
+	"sort"
+
+	"github.com/sgb-db/sgb/internal/geom"
+)
+
+// Hull is the convex hull of a set of 2-D points, stored as vertices in
+// counter-clockwise order with no three collinear vertices.
+type Hull struct {
+	vertices []geom.Point
+}
+
+// cross returns the z-component of (b-a) × (c-a): positive when a→b→c
+// turns counter-clockwise, negative when clockwise, zero when collinear.
+func cross(a, b, c geom.Point) float64 {
+	return (b[0]-a[0])*(c[1]-a[1]) - (b[1]-a[1])*(c[0]-a[0])
+}
+
+// Compute builds the convex hull of pts using Andrew's monotone chain
+// (O(m log m)). Input points must be 2-D; duplicates are tolerated.
+// Degenerate inputs (0, 1, 2 points, or all-collinear sets) yield hulls
+// with fewer than three vertices, which every query method handles.
+func Compute(pts []geom.Point) *Hull {
+	n := len(pts)
+	if n == 0 {
+		return &Hull{}
+	}
+	// Sort a copy lexicographically by (x, y).
+	sorted := make([]geom.Point, n)
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i][0] != sorted[j][0] {
+			return sorted[i][0] < sorted[j][0]
+		}
+		return sorted[i][1] < sorted[j][1]
+	})
+	// Deduplicate.
+	uniq := sorted[:1]
+	for _, p := range sorted[1:] {
+		last := uniq[len(uniq)-1]
+		if p[0] != last[0] || p[1] != last[1] {
+			uniq = append(uniq, p)
+		}
+	}
+	if len(uniq) == 1 {
+		return &Hull{vertices: []geom.Point{uniq[0]}}
+	}
+	if len(uniq) == 2 {
+		return &Hull{vertices: []geom.Point{uniq[0], uniq[1]}}
+	}
+
+	// Lower hull.
+	var lower []geom.Point
+	for _, p := range uniq {
+		for len(lower) >= 2 && cross(lower[len(lower)-2], lower[len(lower)-1], p) <= 0 {
+			lower = lower[:len(lower)-1]
+		}
+		lower = append(lower, p)
+	}
+	// Upper hull.
+	var upper []geom.Point
+	for i := len(uniq) - 1; i >= 0; i-- {
+		p := uniq[i]
+		for len(upper) >= 2 && cross(upper[len(upper)-2], upper[len(upper)-1], p) <= 0 {
+			upper = upper[:len(upper)-1]
+		}
+		upper = append(upper, p)
+	}
+	// Concatenate, dropping each chain's last point (duplicated ends).
+	hull := append(lower[:len(lower)-1], upper[:len(upper)-1]...)
+	if len(hull) > 2 && collinearLoop(hull) {
+		// All points collinear: keep the two extremes only.
+		hull = []geom.Point{hull[0], extreme(hull)}
+	}
+	return &Hull{vertices: hull}
+}
+
+// collinearLoop reports whether every vertex triple is collinear.
+func collinearLoop(vs []geom.Point) bool {
+	for i := 2; i < len(vs); i++ {
+		if cross(vs[0], vs[1], vs[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// extreme returns the vertex farthest from vs[0].
+func extreme(vs []geom.Point) geom.Point {
+	best, bd := vs[0], -1.0
+	for _, v := range vs[1:] {
+		if d := geom.L2.Dist(vs[0], v); d > bd {
+			best, bd = v, d
+		}
+	}
+	return best
+}
+
+// Vertices returns the hull vertices in counter-clockwise order.
+// The returned slice is owned by the hull; callers must not mutate it.
+func (h *Hull) Vertices() []geom.Point { return h.vertices }
+
+// Len returns the number of hull vertices.
+func (h *Hull) Len() int { return len(h.vertices) }
+
+// Contains reports whether p lies inside or on the hull boundary.
+func (h *Hull) Contains(p geom.Point) bool {
+	vs := h.vertices
+	switch len(vs) {
+	case 0:
+		return false
+	case 1:
+		return vs[0][0] == p[0] && vs[0][1] == p[1]
+	case 2:
+		return onSegment(vs[0], vs[1], p)
+	}
+	for i := range vs {
+		j := (i + 1) % len(vs)
+		if cross(vs[i], vs[j], p) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// onSegment reports whether p lies on the closed segment ab.
+func onSegment(a, b, p geom.Point) bool {
+	if cross(a, b, p) != 0 {
+		return false
+	}
+	return math.Min(a[0], b[0]) <= p[0] && p[0] <= math.Max(a[0], b[0]) &&
+		math.Min(a[1], b[1]) <= p[1] && p[1] <= math.Max(a[1], b[1])
+}
+
+// Farthest returns the hull vertex with maximum metric distance from p
+// and that distance. This realizes getMaxDistElem of Procedure 6: the
+// farthest point of a convex set from any query point is a vertex of its
+// hull, so scanning the h = O(log k) expected vertices suffices.
+// Returns (nil, 0) on an empty hull.
+func (h *Hull) Farthest(p geom.Point, m geom.Metric) (geom.Point, float64) {
+	var best geom.Point
+	bd := -1.0
+	for _, v := range h.vertices {
+		if d := m.Dist(p, v); d > bd {
+			best, bd = v, d
+		}
+	}
+	if best == nil {
+		return nil, 0
+	}
+	return best, bd
+}
+
+// Diameter returns the maximum pairwise metric distance between hull
+// vertices — i.e. the diameter of the original point set, since extreme
+// pairs are hull vertices. Uses the O(h²) vertex scan; h is tiny
+// (expected O(log k)) in SGB workloads.
+func (h *Hull) Diameter(m geom.Metric) float64 {
+	var d float64
+	vs := h.vertices
+	for i := 0; i < len(vs); i++ {
+		for j := i + 1; j < len(vs); j++ {
+			if dd := m.Dist(vs[i], vs[j]); dd > d {
+				d = dd
+			}
+		}
+	}
+	return d
+}

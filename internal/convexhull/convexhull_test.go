@@ -1,0 +1,203 @@
+package convexhull
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/sgb-db/sgb/internal/geom"
+)
+
+func pts(coords ...float64) []geom.Point {
+	out := make([]geom.Point, 0, len(coords)/2)
+	for i := 0; i+1 < len(coords); i += 2 {
+		out = append(out, geom.Point{coords[i], coords[i+1]})
+	}
+	return out
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	h := Compute(nil)
+	if h.Len() != 0 {
+		t.Fatalf("empty hull has %d vertices", h.Len())
+	}
+	if h.Contains(geom.Point{0, 0}) {
+		t.Fatal("empty hull contains a point")
+	}
+	if v, d := h.Farthest(geom.Point{0, 0}, geom.L2); v != nil || d != 0 {
+		t.Fatal("empty hull farthest should be nil")
+	}
+
+	h = Compute(pts(3, 4))
+	if h.Len() != 1 {
+		t.Fatalf("single hull has %d vertices", h.Len())
+	}
+	if !h.Contains(geom.Point{3, 4}) || h.Contains(geom.Point{3, 5}) {
+		t.Fatal("single-point containment wrong")
+	}
+}
+
+func TestTwoPointsAndCollinear(t *testing.T) {
+	h := Compute(pts(0, 0, 2, 2))
+	if h.Len() != 2 {
+		t.Fatalf("segment hull has %d vertices", h.Len())
+	}
+	if !h.Contains(geom.Point{1, 1}) {
+		t.Fatal("midpoint should be on segment")
+	}
+	if h.Contains(geom.Point{1, 1.1}) {
+		t.Fatal("off-segment point contained")
+	}
+
+	// All-collinear set collapses to its two extremes.
+	h = Compute(pts(0, 0, 1, 1, 2, 2, 3, 3, -1, -1))
+	if h.Len() != 2 {
+		t.Fatalf("collinear hull has %d vertices: %v", h.Len(), h.Vertices())
+	}
+	if got := h.Diameter(geom.L2); math.Abs(got-4*math.Sqrt2) > 1e-12 {
+		t.Fatalf("collinear diameter = %v", got)
+	}
+}
+
+func TestSquareHull(t *testing.T) {
+	// Square corners plus interior/edge points.
+	input := pts(0, 0, 4, 0, 4, 4, 0, 4, 2, 2, 2, 0, 1, 3)
+	h := Compute(input)
+	if h.Len() != 4 {
+		t.Fatalf("square hull has %d vertices: %v", h.Len(), h.Vertices())
+	}
+	if !h.Contains(geom.Point{2, 2}) || !h.Contains(geom.Point{0, 0}) || !h.Contains(geom.Point{4, 2}) {
+		t.Fatal("containment failed for inside/corner/edge point")
+	}
+	if h.Contains(geom.Point{4.01, 2}) {
+		t.Fatal("outside point contained")
+	}
+	if d := h.Diameter(geom.L2); math.Abs(d-4*math.Sqrt2) > 1e-12 {
+		t.Fatalf("diameter = %v", d)
+	}
+	if d := h.Diameter(geom.LInf); d != 4 {
+		t.Fatalf("LInf diameter = %v", d)
+	}
+	v, d := h.Farthest(geom.Point{-1, -1}, geom.L2)
+	if !v.Equal(geom.Point{4, 4}) {
+		t.Fatalf("farthest = %v (d=%v)", v, d)
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	h := Compute(pts(1, 1, 1, 1, 1, 1, 2, 2, 2, 2))
+	if h.Len() != 2 {
+		t.Fatalf("dup hull has %d vertices", h.Len())
+	}
+}
+
+func randPoints(r *rand.Rand, n int) []geom.Point {
+	out := make([]geom.Point, n)
+	for i := range out {
+		out[i] = geom.Point{r.Float64()*10 - 5, r.Float64()*10 - 5}
+	}
+	return out
+}
+
+// Property: the hull contains every input point; hull vertices are a
+// subset of the input; walking the boundary never makes a clockwise turn.
+func TestHullProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		input := randPoints(r, 1+r.Intn(60))
+		h := Compute(input)
+		for _, p := range input {
+			if !h.Contains(p) {
+				t.Fatalf("trial %d: hull does not contain input point %v", trial, p)
+			}
+		}
+		inputSet := make(map[[2]float64]bool)
+		for _, p := range input {
+			inputSet[[2]float64{p[0], p[1]}] = true
+		}
+		vs := h.Vertices()
+		for _, v := range vs {
+			if !inputSet[[2]float64{v[0], v[1]}] {
+				t.Fatalf("trial %d: hull vertex %v not an input point", trial, v)
+			}
+		}
+		if len(vs) >= 3 {
+			for i := range vs {
+				a, b, c := vs[i], vs[(i+1)%len(vs)], vs[(i+2)%len(vs)]
+				if cross(a, b, c) <= 0 {
+					t.Fatalf("trial %d: non-CCW turn at %v %v %v", trial, a, b, c)
+				}
+			}
+		}
+	}
+}
+
+// Property: Diameter equals the brute-force max pairwise distance over
+// the original points, and Farthest matches the brute-force farthest,
+// for both metrics — the two facts the Convex Hull Test relies on.
+func TestDiameterAndFarthestMatchBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 200; trial++ {
+		input := randPoints(r, 2+r.Intn(50))
+		h := Compute(input)
+		for _, m := range []geom.Metric{geom.L2, geom.LInf} {
+			var want float64
+			for i := range input {
+				for j := i + 1; j < len(input); j++ {
+					if d := m.Dist(input[i], input[j]); d > want {
+						want = d
+					}
+				}
+			}
+			if got := h.Diameter(m); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d %v: diameter %v != brute %v", trial, m, got, want)
+			}
+			q := geom.Point{r.Float64()*30 - 15, r.Float64()*30 - 15}
+			var wantFar float64
+			for _, p := range input {
+				if d := m.Dist(q, p); d > wantFar {
+					wantFar = d
+				}
+			}
+			if _, got := h.Farthest(q, m); math.Abs(got-wantFar) > 1e-9 {
+				t.Fatalf("trial %d %v: farthest %v != brute %v", trial, m, got, wantFar)
+			}
+		}
+	}
+}
+
+// Property: containment test agrees with a brute-force half-plane check
+// built from the hull itself applied to random probes.
+func TestContainsAgainstHalfPlanes(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		input := randPoints(r, 3+r.Intn(40))
+		h := Compute(input)
+		vs := h.Vertices()
+		if len(vs) < 3 {
+			continue
+		}
+		for probe := 0; probe < 50; probe++ {
+			q := geom.Point{r.Float64()*14 - 7, r.Float64()*14 - 7}
+			want := true
+			for i := range vs {
+				if cross(vs[i], vs[(i+1)%len(vs)], q) < 0 {
+					want = false
+					break
+				}
+			}
+			if got := h.Contains(q); got != want {
+				t.Fatalf("trial %d: Contains(%v) = %v, want %v", trial, q, got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkCompute1000(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	input := randPoints(r, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compute(input)
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/sgb-db/sgb/internal/geom"
+)
+
+// TestAblationsPreserveResults: the performance knobs (index refresh
+// hysteresis, convex-hull refinement) must not change the grouping.
+func TestAblationsPreserveResults(t *testing.T) {
+	r := rand.New(rand.NewSource(321))
+	points := clusteredPoints(r, 400, 8, 12, 0.4)
+	base := Options{Metric: geom.L2, Eps: 0.8, Overlap: Eliminate, Algorithm: OnTheFlyIndex, Seed: 3}
+
+	ref, err := SGBAll(points, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []Options{
+		func() Options { o := base; o.IndexHysteresis = 1; return o }(),   // eager reindex
+		func() Options { o := base; o.IndexHysteresis = 100; return o }(), // maximally stale
+		func() Options { o := base; o.NoHullTest = true; return o }(),     // exact member scans
+	}
+	for i, opt := range variants {
+		res, err := SGBAll(points, opt)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if !SameGrouping(ref.Groups, res.Groups) {
+			t.Fatalf("variant %d changed the grouping", i)
+		}
+	}
+}
+
+// TestHysteresisReducesIndexUpdates verifies the design rationale: the
+// lazy refresh performs far fewer R-tree updates than eager
+// maintenance while staying correct.
+func TestHysteresisReducesIndexUpdates(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	points := clusteredPoints(r, 1500, 10, 20, 0.3)
+
+	eager := &Stats{}
+	lazy := &Stats{}
+	for _, run := range []struct {
+		h  float64
+		st *Stats
+	}{{1, eager}, {0, lazy}} {
+		opt := Options{
+			Metric: geom.LInf, Eps: 0.6, Overlap: JoinAny,
+			Algorithm: OnTheFlyIndex, IndexHysteresis: run.h, Stats: run.st,
+		}
+		if _, err := SGBAll(points, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lazy.IndexUpdates >= eager.IndexUpdates {
+		t.Fatalf("hysteresis did not reduce index updates: lazy=%d eager=%d",
+			lazy.IndexUpdates, eager.IndexUpdates)
+	}
+	t.Logf("index updates: eager=%d lazy=%d (%.1fx fewer)",
+		eager.IndexUpdates, lazy.IndexUpdates,
+		float64(eager.IndexUpdates)/float64(lazy.IndexUpdates))
+}
+
+// TestHullTestSavesDistanceComputations verifies Procedure 6's point:
+// under L2 with large dense groups, the hull refinement does far fewer
+// distance computations than exact member scans.
+func TestHullTestSavesDistanceComputations(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	// Few large dense clusters → groups with many members.
+	points := clusteredPoints(r, 2000, 4, 30, 0.15)
+
+	withHull := &Stats{}
+	noHull := &Stats{}
+	for _, run := range []struct {
+		no bool
+		st *Stats
+	}{{false, withHull}, {true, noHull}} {
+		opt := Options{
+			Metric: geom.L2, Eps: 1.2, Overlap: JoinAny,
+			Algorithm: OnTheFlyIndex, NoHullTest: run.no, Stats: run.st,
+		}
+		if _, err := SGBAll(points, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if withHull.DistanceComputations >= noHull.DistanceComputations {
+		t.Fatalf("hull test did not reduce distance computations: hull=%d scan=%d",
+			withHull.DistanceComputations, noHull.DistanceComputations)
+	}
+	if withHull.HullTests == 0 {
+		t.Fatal("hull test never executed")
+	}
+	t.Logf("distance computations: hull=%d scan=%d (%.1fx fewer), hull tests=%d",
+		withHull.DistanceComputations, noHull.DistanceComputations,
+		float64(noHull.DistanceComputations)/float64(withHull.DistanceComputations),
+		withHull.HullTests)
+}

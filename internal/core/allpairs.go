@@ -1,0 +1,42 @@
+package core
+
+// allPairsFinder is the naive FindCloseGroups of Procedure 2: it
+// evaluates the distance-to-all similarity predicate between pi and
+// every previously processed point. With n input points this incurs
+// C(n,2) distance computations, the O(n²) baseline of Table 1.
+type allPairsFinder struct{}
+
+func (f *allPairsFinder) findCloseGroups(st *sgbAllState, pi int) (candidates, overlaps []*group) {
+	p := st.points[pi]
+	for _, gj := range st.groups[st.stageFloor:] {
+		if gj == nil {
+			continue
+		}
+		candidateFlag := true
+		overlapFlag := false
+		for _, m := range gj.members {
+			st.opt.Stats.addDist(1)
+			if st.opt.Metric.Within(p, st.points[m], st.opt.Eps) {
+				overlapFlag = true
+			} else {
+				candidateFlag = false
+				if st.opt.Overlap == JoinAny {
+					// JOIN-ANY never consults OverlapGroups, so the
+					// scan can stop at the first failing member.
+					break
+				}
+			}
+		}
+		if candidateFlag {
+			candidates = append(candidates, gj)
+		} else if st.opt.Overlap != JoinAny && overlapFlag {
+			overlaps = append(overlaps, gj)
+		}
+	}
+	return candidates, overlaps
+}
+
+func (f *allPairsFinder) groupCreated(*sgbAllState, *group) {}
+func (f *allPairsFinder) groupChanged(*sgbAllState, *group) {}
+func (f *allPairsFinder) groupRemoved(*sgbAllState, *group) {}
+func (f *allPairsFinder) stageReset(*sgbAllState)           {}

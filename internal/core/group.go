@@ -1,0 +1,185 @@
+package core
+
+import (
+	"github.com/sgb-db/sgb/internal/convexhull"
+	"github.com/sgb-db/sgb/internal/geom"
+)
+
+// group is the runtime state of one SGB-All group (the paper's
+// AggHashEntry extension: a tuple store plus the ε-All bounding
+// rectangle of Definition 5, plus the cached convex hull used by the L2
+// refinement of Procedure 6).
+type group struct {
+	id      int
+	members []int // input indices in join order
+
+	// epsRect is the ε-All bounding rectangle R_{ε-All}: the
+	// intersection of every member's ε-box. Under L∞ a point inside
+	// epsRect is within ε of all members (exact test); under L2 the
+	// rectangle is a conservative filter (Figure 7b) refined by the
+	// convex-hull test.
+	epsRect geom.Rect
+
+	// mbr is the minimum bounding rectangle of the members themselves,
+	// used by the overlap-rectangle filter: a point can only be within
+	// ε of some member if its ε-box intersects mbr. Because members of
+	// a clique group are pairwise within ε, mbr ⊆ epsRect always holds.
+	mbr geom.Rect
+
+	// indexedRect remembers the exact rectangle currently stored in
+	// Groups_IX so delete-before-reinsert removes the right entry.
+	indexedRect geom.Rect
+	indexed     bool
+
+	// hull caches the 2-D convex hull for the L2 refinement; it is
+	// rebuilt lazily after membership changes.
+	hull      *convexhull.Hull
+	hullDirty bool
+}
+
+// sgbAllState carries the evolving group set plus the evaluation
+// context shared by all three SGB-All strategies.
+type sgbAllState struct {
+	points []geom.Point
+	opt    Options
+	dims   int
+
+	groups []*group // live groups, in creation order (nil = deleted)
+	finder finder   // strategy: populates candidate & overlap sets
+	rand   *rng
+
+	// stageFloor freezes groups created before the current
+	// FORM-NEW-GROUP recursion stage: points of the deferred set S′
+	// form new groups among themselves only (Example 1 puts the
+	// overlapping point a5 into a fresh singleton group g3 even though
+	// it is within ε of g1 and g2). Groups with id < stageFloor are
+	// invisible to candidate and overlap detection.
+	stageFloor int
+
+	eliminated []int // points dropped by ELIMINATE
+	deferred   []int // S′: points deferred by FORM-NEW-GROUP
+}
+
+// finder abstracts FindCloseGroups over the three strategies.
+type finder interface {
+	// findCloseGroups fills candidates with groups pi may join (the
+	// similarity predicate holds against every member) and, when the
+	// overlap clause requires it, overlaps with groups where the
+	// predicate holds for at least one but not all members.
+	findCloseGroups(st *sgbAllState, pi int) (candidates, overlaps []*group)
+	// groupInserted / groupChanged / groupRemoved keep any auxiliary
+	// structure (the R-tree) synchronized with group mutations.
+	groupCreated(st *sgbAllState, g *group)
+	groupChanged(st *sgbAllState, g *group)
+	groupRemoved(st *sgbAllState, g *group)
+	// stageReset marks the start of a FORM-NEW-GROUP recursion stage:
+	// every existing group is frozen (invisible to candidacy), so any
+	// auxiliary structure can be cleared rather than queried and
+	// filtered. Groups frozen by a stage are never mutated again.
+	stageReset(st *sgbAllState)
+}
+
+// newGroupFor creates a fresh singleton group for point pi.
+func (st *sgbAllState) newGroupFor(pi int) *group {
+	p := st.points[pi]
+	g := &group{
+		id:      len(st.groups),
+		members: []int{pi},
+		epsRect: geom.EpsBox(p, st.opt.Eps),
+		mbr:     geom.PointRect(p),
+	}
+	g.hullDirty = true
+	st.groups = append(st.groups, g)
+	st.opt.Stats.addCreated(1)
+	st.finder.groupCreated(st, g)
+	return g
+}
+
+// insert adds pi to g and maintains the ε-All rectangle invariant:
+// the rectangle shrinks to the intersection with pi's ε-box
+// (Figures 5c–5e). Maintenance is O(1) per insert, as the paper notes.
+func (st *sgbAllState) insert(pi int, g *group) {
+	p := st.points[pi]
+	g.members = append(g.members, pi)
+	g.epsRect = g.epsRect.Intersect(geom.EpsBox(p, st.opt.Eps))
+	g.mbr.ExtendPoint(p)
+	// The cached convex hull stays valid when the new member lies
+	// inside it — the common case in dense groups, and the reason the
+	// hull refinement's amortized cost stays near the paper's
+	// O(log log k) per test instead of an O(k log k) rebuild per insert.
+	if g.hullDirty || g.hull == nil || len(p) != 2 || !g.hull.Contains(p) {
+		g.hullDirty = true
+	}
+	st.finder.groupChanged(st, g)
+}
+
+// removeMembers deletes the given input indices from g, rebuilding the
+// group's rectangles from the surviving members (removals can only
+// grow the ε-All rectangle, so an incremental update is impossible).
+// Empty groups are dropped. Used by ELIMINATE and FORM-NEW-GROUP
+// overlap processing.
+func (st *sgbAllState) removeMembers(g *group, victims map[int]bool) {
+	kept := g.members[:0]
+	for _, m := range g.members {
+		if !victims[m] {
+			kept = append(kept, m)
+		}
+	}
+	g.members = kept
+	if len(g.members) == 0 {
+		st.groups[g.id] = nil
+		st.finder.groupRemoved(st, g)
+		return
+	}
+	g.epsRect = geom.EpsBox(st.points[g.members[0]], st.opt.Eps)
+	g.mbr = geom.PointRect(st.points[g.members[0]])
+	for _, m := range g.members[1:] {
+		p := st.points[m]
+		g.epsRect = g.epsRect.Intersect(geom.EpsBox(p, st.opt.Eps))
+		g.mbr.ExtendPoint(p)
+	}
+	g.hullDirty = true
+	st.finder.groupChanged(st, g)
+}
+
+// hullOf returns the cached convex hull of g, rebuilding it if stale.
+// Only meaningful in two dimensions.
+func (st *sgbAllState) hullOf(g *group) *convexhull.Hull {
+	if g.hullDirty || g.hull == nil {
+		pts := make([]geom.Point, len(g.members))
+		for i, m := range g.members {
+			pts[i] = st.points[m]
+		}
+		g.hull = convexhull.Compute(pts)
+		g.hullDirty = false
+	}
+	return g.hull
+}
+
+// isCandidate reports whether pi may join g: the similarity predicate
+// must hold against every member. The strategy-independent exact check;
+// bounds-based strategies call it only for refinement.
+func (st *sgbAllState) isCandidate(pi int, g *group) bool {
+	p := st.points[pi]
+	for _, m := range g.members {
+		st.opt.Stats.addDist(1)
+		if !st.opt.Metric.Within(p, st.points[m], st.opt.Eps) {
+			return false
+		}
+	}
+	return true
+}
+
+// overlapsWith reports whether pi is within ε of at least one member of
+// g (the OverlapGroups membership criterion, given pi is not a
+// candidate).
+func (st *sgbAllState) overlapsWith(pi int, g *group) bool {
+	p := st.points[pi]
+	for _, m := range g.members {
+		st.opt.Stats.addDist(1)
+		if st.opt.Metric.Within(p, st.points[m], st.opt.Eps) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/sgb-db/sgb/internal/geom"
+	"github.com/sgb-db/sgb/internal/rtree"
+)
+
+// indexedFinder is the Index Bounds-Checking FindCloseGroups of
+// Procedure 5: the ε-All bounding rectangles of the live groups are
+// indexed in an on-the-fly R-tree (Groups_IX, Figure 6), so a window
+// query with pi's ε-box retrieves the only groups that can be
+// candidates or overlaps — O(n·log|G|) average case (Table 1).
+//
+// Because member MBRs are contained in their group's ε-All rectangle
+// (clique members are pairwise within ε), a single index over the
+// ε-All rectangles serves both the candidate and the overlap probes.
+type indexedFinder struct {
+	ix   *rtree.Tree
+	dims int
+	buf  []any // reusable window-query result buffer
+}
+
+func newIndexedFinder(dims int) *indexedFinder {
+	if dims == 0 {
+		dims = 1
+	}
+	return &indexedFinder{ix: rtree.New(dims), dims: dims}
+}
+
+func (f *indexedFinder) findCloseGroups(st *sgbAllState, pi int) (candidates, overlaps []*group) {
+	p := st.points[pi]
+	pBox := geom.EpsBox(p, st.opt.Eps)
+	st.opt.Stats.addProbe(1)
+	f.buf = f.buf[:0]
+	f.buf = f.ix.Search(pBox, f.buf)
+	// Normalize the R-tree's traversal order to group-creation order so
+	// that all three strategies arbitrate JOIN-ANY identically for a
+	// given seed (the grouping itself is strategy-independent; only the
+	// candidate enumeration order would differ).
+	sort.Slice(f.buf, func(i, j int) bool {
+		return f.buf[i].(*group).id < f.buf[j].(*group).id
+	})
+	needOverlap := st.opt.Overlap != JoinAny
+	for _, v := range f.buf {
+		gj := v.(*group)
+		if gj.id < st.stageFloor {
+			continue // frozen by a FORM-NEW-GROUP recursion stage
+		}
+		st.opt.Stats.addRect(1)
+		if gj.epsRect.Contains(p) && st.refine(pi, gj) {
+			candidates = append(candidates, gj)
+			continue
+		}
+		if !needOverlap {
+			continue
+		}
+		st.opt.Stats.addRect(1)
+		if pBox.Intersects(gj.mbr) && st.overlapsWith(pi, gj) {
+			overlaps = append(overlaps, gj)
+		}
+	}
+	return candidates, overlaps
+}
+
+func (f *indexedFinder) groupCreated(st *sgbAllState, g *group) {
+	g.indexedRect = g.epsRect.Clone()
+	g.indexed = true
+	st.opt.Stats.addUpdate(1)
+	f.ix.Insert(g.indexedRect, g)
+}
+
+// groupChanged refreshes g's entry after a membership change. The
+// window query only needs the indexed rectangle to CONTAIN the true
+// ε-All rectangle (hits are verified exactly afterwards), so the entry
+// is refreshed lazily:
+//
+//   - a removal can grow the ε-All rectangle beyond the indexed one —
+//     reindex immediately (correctness);
+//   - an insert only shrinks it — reindex merely when the stale entry
+//     has become noticeably less selective (area hysteresis). Since the
+//     rectangle's sides are bounded below by ε, a group reindexes O(1)
+//     times over its lifetime instead of once per insert.
+func (f *indexedFinder) groupChanged(st *sgbAllState, g *group) {
+	if !g.indexed {
+		return
+	}
+	h := st.opt.IndexHysteresis
+	if h <= 0 {
+		h = defaultHysteresis
+	}
+	if g.indexedRect.ContainsRect(g.epsRect) {
+		if g.indexedRect.Area() <= h*g.epsRect.Area() {
+			return // still selective enough; keep the stale entry
+		}
+	}
+	st.opt.Stats.addUpdate(2)
+	f.ix.Delete(g.indexedRect, g)
+	g.indexedRect = g.epsRect.Clone()
+	f.ix.Insert(g.indexedRect, g)
+}
+
+// defaultHysteresis is the staleness bound for indexed group
+// rectangles: the entry is refreshed once its area exceeds this
+// multiple of the true ε-All rectangle's area.
+const defaultHysteresis = 1.8
+
+func (f *indexedFinder) groupRemoved(st *sgbAllState, g *group) {
+	if !g.indexed {
+		return
+	}
+	st.opt.Stats.addUpdate(1)
+	f.ix.Delete(g.indexedRect, g)
+	g.indexed = false
+}
+
+// stageReset rebuilds Groups_IX empty at a FORM-NEW-GROUP recursion
+// stage: every group created so far is frozen, so keeping its
+// rectangle indexed would only produce window-query hits that the
+// stage filter discards — on high-overlap inputs those stale hits
+// dominated the runtime.
+func (f *indexedFinder) stageReset(st *sgbAllState) {
+	for _, g := range st.groups {
+		if g != nil {
+			g.indexed = false
+		}
+	}
+	f.ix = rtree.New(f.dims)
+}
+
+func rectEq(a, b geom.Rect) bool {
+	return a.Min.Equal(b.Min) && a.Max.Equal(b.Max)
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"github.com/sgb-db/sgb/internal/geom"
+	"github.com/sgb-db/sgb/internal/rtree"
+	"github.com/sgb-db/sgb/internal/unionfind"
+)
+
+// SGBAny evaluates the SGB-Any (DISTANCE-TO-ANY) operator: every output
+// group is a maximal connected component of the ε-similarity graph — a
+// point belongs to a group if it is within ε of at least one member.
+// Overlapping groups merge (Figure 8), so no ON-OVERLAP clause exists
+// and opt.Overlap is ignored.
+//
+// Supported algorithms: AllPairs (naive; evaluates the predicate
+// against every processed point) and OnTheFlyIndex (Procedures 7–8: an
+// R-tree over the processed points plus a Union-Find over group
+// membership). BoundsCheck is rejected: the paper shows ε-rectangle
+// bounds degenerate into chain-like regions under distance-to-any
+// semantics, and the convex-hull refinement is unsound there (its
+// diameter may exceed ε), so no bounds-checking variant exists.
+func SGBAny(points []geom.Point, opt Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Algorithm == BoundsCheck {
+		return nil, errBoundsCheckAny
+	}
+	dims, err := checkInput(points)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	if len(points) == 0 {
+		return res, nil
+	}
+
+	uf := unionfind.New(len(points))
+	switch opt.Algorithm {
+	case AllPairs:
+		sgbAnyAllPairs(points, opt, uf)
+	case OnTheFlyIndex:
+		sgbAnyIndexed(points, dims, opt, uf)
+	}
+	res.Groups = groupsFromUF(uf, len(points))
+	return res, nil
+}
+
+var errBoundsCheckAny = errValue("core: SGB-Any has no Bounds-Checking variant (see Section 7.1); use AllPairs or OnTheFlyIndex")
+
+type errValue string
+
+func (e errValue) Error() string { return string(e) }
+
+// sgbAnyAllPairs is the naive baseline: every prior point is tested
+// against the incoming point (O(n²) distance computations).
+func sgbAnyAllPairs(points []geom.Point, opt Options, uf *unionfind.UF) {
+	for i := 1; i < len(points); i++ {
+		p := points[i]
+		for j := 0; j < i; j++ {
+			opt.Stats.addDist(1)
+			if opt.Metric.Within(p, points[j], opt.Eps) {
+				if uf.Find(i) != uf.Find(j) {
+					opt.Stats.addMerge(1)
+				}
+				uf.Union(i, j)
+			}
+		}
+	}
+}
+
+// sgbAnyIndexed is Procedure 7/8: Points_IX maintains the processed
+// points; for each incoming point a window query retrieves the points
+// whose ε-box intersects (exact under L∞; verified under L2 by
+// VerifyPoints), and GetGroups/MergeGroupsInsert collapse the candidate
+// groups through the Union-Find forest.
+func sgbAnyIndexed(points []geom.Point, dims int, opt Options, uf *unionfind.UF) {
+	ix := rtree.New(dims)
+	// Point ids are stored pre-boxed so the per-point index insert does
+	// not allocate an interface value.
+	ids := make([]any, len(points))
+	for i := range ids {
+		ids[i] = i
+	}
+	for i, p := range points {
+		pBox := geom.EpsBox(p, opt.Eps)
+		opt.Stats.addProbe(1)
+		ix.Visit(pBox, func(_ geom.Rect, data any) bool {
+			j := data.(int)
+			if opt.Metric == geom.L2 {
+				// VerifyPoints: the ε-box over-approximates the
+				// ε-ball under L2, so confirm the true distance.
+				opt.Stats.addDist(1)
+				if !opt.Metric.Within(p, points[j], opt.Eps) {
+					return true
+				}
+			}
+			if uf.Find(i) != uf.Find(j) {
+				opt.Stats.addMerge(1)
+				uf.Union(i, j)
+			}
+			return true
+		})
+		opt.Stats.addUpdate(1)
+		ix.Insert(geom.PointRect(p), ids[i])
+	}
+}
+
+// groupsFromUF extracts the final partition in deterministic order:
+// groups sorted by their smallest member index, members ascending.
+func groupsFromUF(uf *unionfind.UF, n int) []Group {
+	firstSeen := make(map[int]int) // root -> group slot
+	var groups []Group
+	for i := 0; i < n; i++ {
+		r := uf.Find(i)
+		slot, ok := firstSeen[r]
+		if !ok {
+			slot = len(groups)
+			firstSeen[r] = slot
+			groups = append(groups, Group{})
+		}
+		groups[slot].Members = append(groups[slot].Members, i)
+	}
+	return groups
+}

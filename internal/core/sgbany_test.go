@@ -1,0 +1,197 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/sgb-db/sgb/internal/geom"
+)
+
+// TestExample2SGBAny reproduces the paper's Example 2: a5 bridges
+// g1{a1,a2} and g2{a3,a4}, merging everything into one group of 5.
+func TestExample2SGBAny(t *testing.T) {
+	for _, alg := range []Algorithm{AllPairs, OnTheFlyIndex} {
+		res, err := SGBAny(figure2Points(), Options{Metric: geom.LInf, Eps: 3, Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if res.NumGroups() != 1 || len(res.Groups[0].Members) != 5 {
+			t.Errorf("%v: groups = %v, want one group of 5", alg, res.Groups)
+		}
+	}
+}
+
+// TestFigure1bChain verifies the chain semantics of Figure 1b: points
+// connected transitively through ≤ε hops form a single group even when
+// the endpoints are far apart.
+func TestFigure1bChain(t *testing.T) {
+	var points []geom.Point
+	for i := 0; i < 10; i++ {
+		points = append(points, geom.Point{float64(i) * 2.9, 0})
+	}
+	points = append(points, geom.Point{100, 100}) // isolated
+	for _, alg := range []Algorithm{AllPairs, OnTheFlyIndex} {
+		res, err := SGBAny(points, Options{Metric: geom.L2, Eps: 3, Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NumGroups() != 2 {
+			t.Fatalf("%v: %d groups, want 2", alg, res.NumGroups())
+		}
+		sizes := sortedSizes(res)
+		if !equalIntSlices(sizes, []int{1, 10}) {
+			t.Fatalf("%v: sizes = %v", alg, sizes)
+		}
+	}
+}
+
+// TestSGBAnyMatchesConnectedComponents is the defining property:
+// SGB-Any must compute exactly the connected components of the
+// ε-similarity graph, for both algorithms and metrics, on random and
+// clustered data.
+func TestSGBAnyMatchesConnectedComponents(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		var points []geom.Point
+		if trial%2 == 0 {
+			points = randomPoints(r, 20+r.Intn(200), 2, 12)
+		} else {
+			points = clusteredPoints(r, 20+r.Intn(200), 5, 12, 0.5)
+		}
+		eps := 0.2 + r.Float64()*1.2
+		for _, m := range allMetrics {
+			want := ConnectedComponents(points, m, eps)
+			for _, alg := range []Algorithm{AllPairs, OnTheFlyIndex} {
+				res, err := SGBAny(points, Options{Metric: m, Eps: eps, Algorithm: alg})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !SameGrouping(res.Groups, want) {
+					t.Fatalf("trial %d %v/%v: partition mismatch", trial, m, alg)
+				}
+			}
+		}
+	}
+}
+
+// TestSGBAnyOrderInvariance: unlike SGB-All, the SGB-Any partition is
+// independent of input order (connected components are order-free).
+func TestSGBAnyOrderInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	base := clusteredPoints(r, 150, 4, 8, 0.4)
+	ref, err := SGBAny(base, Options{Metric: geom.L2, Eps: 0.7, Algorithm: OnTheFlyIndex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build the reference partition keyed by point identity.
+	type key [2]float64
+	refPart := make(map[key]int)
+	for gi, g := range ref.Groups {
+		for _, m := range g.Members {
+			refPart[key{base[m][0], base[m][1]}] = gi
+		}
+	}
+	for shuffle := 0; shuffle < 5; shuffle++ {
+		perm := r.Perm(len(base))
+		shuffled := make([]geom.Point, len(base))
+		for i, p := range perm {
+			shuffled[i] = base[p]
+		}
+		res, err := SGBAny(shuffled, Options{Metric: geom.L2, Eps: 0.7, Algorithm: OnTheFlyIndex})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NumGroups() != ref.NumGroups() {
+			t.Fatalf("shuffle %d: %d groups, want %d", shuffle, res.NumGroups(), ref.NumGroups())
+		}
+		// Same-group relation must be preserved.
+		groupOf := make(map[key]int)
+		for gi, g := range res.Groups {
+			for _, m := range g.Members {
+				groupOf[key{shuffled[m][0], shuffled[m][1]}] = gi
+			}
+		}
+		seenPairs := make(map[[2]int]bool)
+		for k1, g1 := range refPart {
+			for k2, g2 := range refPart {
+				same := g1 == g2
+				if (groupOf[k1] == groupOf[k2]) != same {
+					t.Fatalf("shuffle %d: pair grouping flipped", shuffle)
+				}
+				_ = seenPairs
+			}
+		}
+	}
+}
+
+// TestSGBAnyQuickProperty uses testing/quick to fuzz point sets: the
+// indexed result always matches brute-force components.
+func TestSGBAnyQuickProperty(t *testing.T) {
+	f := func(raw []float64, epsRaw float64) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		if len(raw) > 160 {
+			raw = raw[:160]
+		}
+		eps := 0.1 + mod1(epsRaw)*2
+		var points []geom.Point
+		for i := 0; i+1 < len(raw); i += 2 {
+			points = append(points, geom.Point{mod1(raw[i]) * 10, mod1(raw[i+1]) * 10})
+		}
+		res, err := SGBAny(points, Options{Metric: geom.L2, Eps: eps, Algorithm: OnTheFlyIndex})
+		if err != nil {
+			return false
+		}
+		return SameGrouping(res.Groups, ConnectedComponents(points, geom.L2, eps))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mod1 maps any float (including NaN/Inf) into [0,1).
+func mod1(x float64) float64 {
+	if x != x || x > 1e300 || x < -1e300 { // NaN or huge
+		return 0.5
+	}
+	if x < 0 {
+		x = -x
+	}
+	return x - float64(int64(x))
+}
+
+func TestSGBAnyRejectsBoundsCheck(t *testing.T) {
+	_, err := SGBAny([]geom.Point{{0, 0}}, Options{Metric: geom.L2, Eps: 1, Algorithm: BoundsCheck})
+	if err == nil {
+		t.Fatal("SGB-Any accepted the Bounds-Checking strategy")
+	}
+}
+
+func TestSGBAnyEmptyAndSingle(t *testing.T) {
+	res, err := SGBAny(nil, Options{Metric: geom.L2, Eps: 1})
+	if err != nil || res.NumGroups() != 0 {
+		t.Fatalf("empty: %v %v", res, err)
+	}
+	res, err = SGBAny([]geom.Point{{5, 5}}, Options{Metric: geom.L2, Eps: 1, Algorithm: OnTheFlyIndex})
+	if err != nil || res.NumGroups() != 1 {
+		t.Fatalf("single: %v %v", res, err)
+	}
+}
+
+// TestSGBAnyMergeStats: merges reported by Stats equal n - #groups
+// (each union reduces the component count by one).
+func TestSGBAnyMergeStats(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	points := clusteredPoints(r, 500, 6, 10, 0.4)
+	st := &Stats{}
+	res, err := SGBAny(points, Options{Metric: geom.LInf, Eps: 0.6, Algorithm: OnTheFlyIndex, Stats: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(len(points) - res.NumGroups())
+	if st.GroupMerges != want {
+		t.Fatalf("merges = %d, want %d", st.GroupMerges, want)
+	}
+}

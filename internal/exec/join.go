@@ -1,0 +1,160 @@
+package exec
+
+import (
+	"github.com/sgb-db/sgb/internal/types"
+)
+
+// HashJoin is an inner equi-join: it builds a hash table on the left
+// input's key values and probes with the right input. Output rows are
+// the concatenation leftRow ++ rightRow. An optional Residual predicate
+// (over the concatenated row) filters matches with non-equi conditions.
+type HashJoin struct {
+	Left, Right         Operator
+	LeftKeys, RightKeys []Scalar
+	Residual            Scalar // may be nil
+
+	table   map[string][]types.Row
+	current []types.Row // pending matches for the current probe row
+	probe   types.Row
+	idx     int
+}
+
+// Open materializes and hashes the left (build) side.
+func (j *HashJoin) Open() error {
+	j.table = make(map[string][]types.Row)
+	j.current = nil
+	j.idx = 0
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	defer j.Left.Close()
+	for {
+		row, err := j.Left.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		key, err := evalKey(j.LeftKeys, row)
+		if err != nil {
+			return err
+		}
+		j.table[key] = append(j.table[key], row)
+	}
+	return j.Right.Open()
+}
+
+func (j *HashJoin) Close() error { j.table = nil; return j.Right.Close() }
+
+func (j *HashJoin) Next() (types.Row, error) {
+	for {
+		for j.idx < len(j.current) {
+			build := j.current[j.idx]
+			j.idx++
+			out := make(types.Row, 0, len(build)+len(j.probe))
+			out = append(out, build...)
+			out = append(out, j.probe...)
+			if j.Residual != nil {
+				v, err := j.Residual(out)
+				if err != nil {
+					return nil, err
+				}
+				if !v.Truthy() {
+					continue
+				}
+			}
+			return out, nil
+		}
+		probe, err := j.Right.Next()
+		if err != nil || probe == nil {
+			return nil, err
+		}
+		key, err := evalKey(j.RightKeys, probe)
+		if err != nil {
+			return nil, err
+		}
+		j.probe = probe
+		j.current = j.table[key]
+		j.idx = 0
+	}
+}
+
+// evalKey evaluates the key expressions and encodes them for hashing.
+func evalKey(keys []Scalar, row types.Row) (string, error) {
+	vals := make(types.Row, len(keys))
+	for i, k := range keys {
+		v, err := k(row)
+		if err != nil {
+			return "", err
+		}
+		vals[i] = v
+	}
+	return rowKey(vals), nil
+}
+
+// NestedLoopJoin is the fallback inner join for conditions without
+// equi-join keys: the right side is materialized once and rescanned per
+// left row; Cond (may be nil = cross join) filters the concatenation.
+type NestedLoopJoin struct {
+	Left, Right Operator
+	Cond        Scalar
+
+	rightRows []types.Row
+	leftRow   types.Row
+	idx       int
+}
+
+func (j *NestedLoopJoin) Open() error {
+	j.leftRow = nil
+	j.idx = 0
+	if err := j.Right.Open(); err != nil {
+		return err
+	}
+	defer j.Right.Close()
+	j.rightRows = nil
+	for {
+		row, err := j.Right.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		j.rightRows = append(j.rightRows, row)
+	}
+	return j.Left.Open()
+}
+
+func (j *NestedLoopJoin) Close() error { j.rightRows = nil; return j.Left.Close() }
+
+func (j *NestedLoopJoin) Next() (types.Row, error) {
+	for {
+		if j.leftRow == nil {
+			row, err := j.Left.Next()
+			if err != nil || row == nil {
+				return nil, err
+			}
+			j.leftRow = row
+			j.idx = 0
+		}
+		for j.idx < len(j.rightRows) {
+			right := j.rightRows[j.idx]
+			j.idx++
+			out := make(types.Row, 0, len(j.leftRow)+len(right))
+			out = append(out, j.leftRow...)
+			out = append(out, right...)
+			if j.Cond != nil {
+				v, err := j.Cond(out)
+				if err != nil {
+					return nil, err
+				}
+				if !v.Truthy() {
+					continue
+				}
+			}
+			return out, nil
+		}
+		j.leftRow = nil
+	}
+}

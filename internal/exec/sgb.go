@@ -1,0 +1,121 @@
+package exec
+
+import (
+	"fmt"
+
+	"github.com/sgb-db/sgb/internal/core"
+	"github.com/sgb-db/sgb/internal/geom"
+	"github.com/sgb-db/sgb/internal/types"
+)
+
+// SGB is the executor node for the similarity group-by operators. Like
+// the paper's PostgreSQL extension it materializes the input into a
+// tuple store (the ELIMINATE and FORM-NEW-GROUP semantics can only be
+// finalized "after processing the complete dataset"), extracts the
+// grouping attributes as multi-dimensional points, runs SGB-All or
+// SGB-Any from internal/core, and then folds the configured aggregates
+// over each output group. Output rows carry the aggregate results in
+// spec order.
+type SGB struct {
+	Input Operator
+	// GroupExprs are the d grouping-attribute expressions (numeric).
+	GroupExprs []Scalar
+	// Any selects SGB-Any; otherwise SGB-All.
+	Any bool
+	// Opt carries metric, ε, overlap clause, algorithm, and seed.
+	Opt core.Options
+	// Aggs are computed per output group.
+	Aggs []AggSpec
+
+	out []types.Row
+	pos int
+}
+
+func (s *SGB) Open() error {
+	s.out = nil
+	s.pos = 0
+	for _, a := range s.Aggs {
+		if err := a.Validate(); err != nil {
+			return err
+		}
+	}
+	if len(s.GroupExprs) == 0 {
+		return fmt.Errorf("exec: similarity grouping requires at least one grouping attribute")
+	}
+	if err := s.Input.Open(); err != nil {
+		return err
+	}
+	defer s.Input.Close()
+
+	// TupleStore + point extraction.
+	var rows []types.Row
+	var points []geom.Point
+	for {
+		row, err := s.Input.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		p := make(geom.Point, len(s.GroupExprs))
+		for i, g := range s.GroupExprs {
+			v, err := g(row)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				return fmt.Errorf("exec: NULL similarity grouping attribute in row %d", len(rows))
+			}
+			f, err := v.AsFloat()
+			if err != nil {
+				return fmt.Errorf("exec: similarity grouping attribute %d: %v", i+1, err)
+			}
+			p[i] = f
+		}
+		rows = append(rows, row)
+		points = append(points, p)
+	}
+
+	var res *core.Result
+	var err error
+	if s.Any {
+		res, err = core.SGBAny(points, s.Opt)
+	} else {
+		res, err = core.SGBAll(points, s.Opt)
+	}
+	if err != nil {
+		return err
+	}
+
+	for _, g := range res.Groups {
+		accs := make([]accumulator, len(s.Aggs))
+		for i, a := range s.Aggs {
+			accs[i] = a.newAccumulator()
+		}
+		for _, m := range g.Members {
+			for _, acc := range accs {
+				if err := acc.add(rows[m]); err != nil {
+					return err
+				}
+			}
+		}
+		out := make(types.Row, len(s.Aggs))
+		for i, acc := range accs {
+			out[i] = acc.result()
+		}
+		s.out = append(s.out, out)
+	}
+	return nil
+}
+
+func (s *SGB) Next() (types.Row, error) {
+	if s.pos >= len(s.out) {
+		return nil, nil
+	}
+	row := s.out[s.pos]
+	s.pos++
+	return row, nil
+}
+
+func (s *SGB) Close() error { s.out = nil; return nil }

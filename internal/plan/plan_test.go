@@ -1,0 +1,306 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sgb-db/sgb/internal/core"
+	"github.com/sgb-db/sgb/internal/sqlparser"
+	"github.com/sgb-db/sgb/internal/storage"
+	"github.com/sgb-db/sgb/internal/types"
+)
+
+func testCatalog(t *testing.T) *storage.Catalog {
+	t.Helper()
+	cat := storage.NewCatalog()
+	users := storage.NewTable("users", storage.Schema{
+		{Name: "uid", Type: types.KindInt},
+		{Name: "name", Type: types.KindText},
+		{Name: "bal", Type: types.KindFloat},
+	})
+	users.MustInsert(types.Row{types.Int(1), types.Text("ann"), types.Float(10)})
+	users.MustInsert(types.Row{types.Int(2), types.Text("bob"), types.Float(20)})
+	users.MustInsert(types.Row{types.Int(3), types.Text("eve"), types.Float(30)})
+	orders := storage.NewTable("orders", storage.Schema{
+		{Name: "oid", Type: types.KindInt},
+		{Name: "uid", Type: types.KindInt},
+		{Name: "amt", Type: types.KindFloat},
+	})
+	orders.MustInsert(types.Row{types.Int(100), types.Int(1), types.Float(5)})
+	orders.MustInsert(types.Row{types.Int(101), types.Int(2), types.Float(7)})
+	orders.MustInsert(types.Row{types.Int(102), types.Int(1), types.Float(9)})
+	if err := cat.Create(users); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Create(orders); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func runQuery(t *testing.T, cat *storage.Catalog, sql string) ([]types.Row, []string) {
+	t.Helper()
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	cq, err := NewBuilder(cat).BuildSelect(sel)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	rows, err := Execute(cq)
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	return rows, cq.Columns
+}
+
+func mustFail(t *testing.T, cat *storage.Catalog, sql, wantSub string) {
+	t.Helper()
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	cq, err := NewBuilder(cat).BuildSelect(sel)
+	if err == nil {
+		_, err = Execute(cq)
+	}
+	if err == nil {
+		t.Fatalf("query %q did not fail", sql)
+	}
+	if wantSub != "" && !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("query %q error %q does not contain %q", sql, err, wantSub)
+	}
+}
+
+func TestColumnResolution(t *testing.T) {
+	cat := testCatalog(t)
+	// Qualified and unqualified references, alias qualification.
+	rows, cols := runQuery(t, cat, "SELECT u.name, bal FROM users u WHERE u.uid = 2")
+	if len(rows) != 1 || rows[0][0].S != "bob" || rows[0][1].F != 20 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if cols[0] != "name" || cols[1] != "bal" {
+		t.Fatalf("cols = %v", cols)
+	}
+	// Ambiguity across join inputs.
+	mustFail(t, cat, "SELECT uid FROM users, orders WHERE users.uid = orders.uid", "ambiguous")
+	// Unknown column.
+	mustFail(t, cat, "SELECT ghost FROM users", "unknown column")
+	// Unknown qualifier.
+	mustFail(t, cat, "SELECT x.uid FROM users", "unknown column")
+}
+
+func TestJoinKeyExtraction(t *testing.T) {
+	cat := testCatalog(t)
+	// Equi conjunct becomes a hash join; non-equi residual still applies.
+	rows, _ := runQuery(t, cat, `
+		SELECT name, amt FROM users, orders
+		WHERE users.uid = orders.uid AND amt > 5 ORDER BY amt`)
+	if len(rows) != 2 || rows[0][1].F != 7 || rows[1][1].F != 9 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Swapped operand order still extracts keys.
+	rows, _ = runQuery(t, cat, `
+		SELECT count(*) FROM users, orders WHERE orders.uid = users.uid`)
+	if rows[0][0].I != 3 {
+		t.Fatalf("swapped keys: %v", rows)
+	}
+}
+
+func TestAggregateRewriting(t *testing.T) {
+	cat := testCatalog(t)
+	// The same aggregate expression in SELECT and HAVING is computed once;
+	// arithmetic over aggregates works.
+	rows, _ := runQuery(t, cat, `
+		SELECT uid, sum(amt) + 1, count(*) FROM orders
+		GROUP BY uid HAVING sum(amt) > 6 ORDER BY uid`)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][0].I != 1 || rows[0][1].F != 15 || rows[0][2].I != 2 {
+		t.Fatalf("group 1 = %v", rows[0])
+	}
+	// Grouping expression reuse in select (structural match).
+	rows, _ = runQuery(t, cat, `
+		SELECT uid % 2, count(*) FROM orders GROUP BY uid % 2 ORDER BY 1`)
+	if len(rows) != 2 {
+		t.Fatalf("mod groups = %v", rows)
+	}
+	// Bare column that is neither grouped nor aggregated is an error.
+	mustFail(t, cat, "SELECT amt FROM orders GROUP BY uid", "GROUP BY")
+}
+
+func TestSimilarityPlanning(t *testing.T) {
+	cat := testCatalog(t)
+	pts := storage.NewTable("pts", storage.Schema{
+		{Name: "x", Type: types.KindFloat},
+		{Name: "y", Type: types.KindFloat},
+	})
+	for _, p := range [][2]float64{{0, 0}, {1, 1}, {10, 10}, {11, 11}} {
+		pts.MustInsert(types.Row{types.Float(p[0]), types.Float(p[1])})
+	}
+	if err := cat.Create(pts); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := runQuery(t, cat, `
+		SELECT count(*) FROM pts
+		GROUP BY x, y DISTANCE-TO-ALL LINF WITHIN 2 ON-OVERLAP JOIN-ANY`)
+	if len(rows) != 2 || rows[0][0].I != 2 || rows[1][0].I != 2 {
+		t.Fatalf("sgb rows = %v", rows)
+	}
+	// ε must be a positive constant.
+	mustFail(t, cat, `SELECT count(*) FROM pts
+		GROUP BY x, y DISTANCE-TO-ALL L2 WITHIN 0`, "positive")
+	mustFail(t, cat, `SELECT count(*) FROM pts
+		GROUP BY x, y DISTANCE-TO-ALL L2 WITHIN x`, "constant")
+	// ε can be a constant expression.
+	rows, _ = runQuery(t, cat, `
+		SELECT count(*) FROM pts
+		GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1 + 1`)
+	if len(rows) != 2 {
+		t.Fatalf("const-expr eps rows = %v", rows)
+	}
+	// Bare columns are rejected under similarity grouping.
+	mustFail(t, cat, `SELECT x FROM pts
+		GROUP BY x, y DISTANCE-TO-ALL L2 WITHIN 1`, "")
+	// SELECT * is rejected with grouping.
+	mustFail(t, cat, `SELECT * FROM pts
+		GROUP BY x, y DISTANCE-TO-ALL L2 WITHIN 1`, "")
+}
+
+func TestBuilderAlgorithmOverride(t *testing.T) {
+	cat := testCatalog(t)
+	pts := storage.NewTable("p2", storage.Schema{
+		{Name: "x", Type: types.KindFloat},
+		{Name: "y", Type: types.KindFloat},
+	})
+	for i := 0; i < 50; i++ {
+		pts.MustInsert(types.Row{types.Float(float64(i % 7)), types.Float(float64(i % 5))})
+	}
+	if err := cat.Create(pts); err != nil {
+		t.Fatal(err)
+	}
+	sel, err := sqlparser.ParseSelect(`SELECT count(*) FROM p2
+		GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BoundsCheck silently upgrades to the index for SGB-Any.
+	b := NewBuilder(cat)
+	b.SGBAlgorithm = core.BoundsCheck
+	st := &core.Stats{}
+	b.SGBStats = st
+	cq, err := b.BuildSelect(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(cq); err != nil {
+		t.Fatalf("bounds-check any: %v", err)
+	}
+	if st.IndexProbes == 0 {
+		t.Error("stats did not flow through the builder")
+	}
+}
+
+func TestOrderByOrdinalAndAlias(t *testing.T) {
+	cat := testCatalog(t)
+	rows, _ := runQuery(t, cat, "SELECT name, bal AS b FROM users ORDER BY 2 DESC")
+	if rows[0][0].S != "eve" {
+		t.Fatalf("ordinal sort = %v", rows)
+	}
+	rows, _ = runQuery(t, cat, "SELECT name, bal AS b FROM users ORDER BY b")
+	if rows[0][0].S != "ann" {
+		t.Fatalf("alias sort = %v", rows)
+	}
+	mustFail(t, cat, "SELECT name FROM users ORDER BY 5", "out of range")
+}
+
+func TestConstantCompilation(t *testing.T) {
+	e, err := sqlparser.ParseSelect("SELECT 2 * 3 + 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := CompileConstant(e.Items[0].Expr)
+	if err != nil || v.I != 7 {
+		t.Fatalf("const = %v, %v", v, err)
+	}
+	// Date arithmetic folds too.
+	e, err = sqlparser.ParseSelect("SELECT date '1995-01-01' + interval '1' month")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err = CompileConstant(e.Items[0].Expr)
+	if err != nil || v.String() != "1995-02-01" {
+		t.Fatalf("const date = %v, %v", v, err)
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	cat := testCatalog(t)
+	ship := storage.NewTable("ship", storage.Schema{
+		{Name: "d", Type: types.KindDate},
+		{Name: "v", Type: types.KindFloat},
+	})
+	dv, _ := types.ParseDate("1995-03-15")
+	ship.MustInsert(types.Row{dv, types.Float(-2.25)})
+	if err := cat.Create(ship); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := runQuery(t, cat,
+		"SELECT year(d), month(d), day(d), abs(v), floor(v), ceil(v), sqrt(4) FROM ship")
+	r := rows[0]
+	if r[0].I != 1995 || r[1].I != 3 || r[2].I != 15 {
+		t.Fatalf("date parts = %v", r)
+	}
+	if r[3].F != 2.25 || r[4].F != -3 || r[5].F != -2 || r[6].F != 2 {
+		t.Fatalf("math funcs = %v", r)
+	}
+	mustFail(t, cat, "SELECT year(v) FROM ship", "DATE")
+	mustFail(t, cat, "SELECT sqrt(v) FROM ship", "negative")
+	mustFail(t, cat, "SELECT nosuchfn(v) FROM ship", "unknown function")
+	mustFail(t, cat, "SELECT abs(v, v) FROM ship", "argument")
+}
+
+func TestGroupByYearFunction(t *testing.T) {
+	// The GB2/Q9 pattern: grouping by a scalar function of a column and
+	// reusing it in the projection.
+	cat := storage.NewCatalog()
+	tbl := storage.NewTable("ev", storage.Schema{
+		{Name: "d", Type: types.KindDate},
+		{Name: "amt", Type: types.KindInt},
+	})
+	for _, row := range []struct {
+		date string
+		amt  int64
+	}{
+		{"1995-01-10", 5}, {"1995-06-10", 7}, {"1996-01-10", 1},
+	} {
+		dv, _ := types.ParseDate(row.date)
+		tbl.MustInsert(types.Row{dv, types.Int(row.amt)})
+	}
+	if err := cat.Create(tbl); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := runQuery(t, cat, `
+		SELECT year(d) AS y, sum(amt) FROM ev GROUP BY year(d) ORDER BY y`)
+	if len(rows) != 2 || rows[0][0].I != 1995 || rows[0][1].I != 12 || rows[1][1].I != 1 {
+		t.Fatalf("year grouping = %v", rows)
+	}
+}
+
+func TestNoFromSelect(t *testing.T) {
+	cat := storage.NewCatalog()
+	rows, cols := runQuery(t, cat, "SELECT 1 + 1 AS two, 'x'")
+	if len(rows) != 1 || rows[0][0].I != 2 || rows[0][1].S != "x" {
+		t.Fatalf("no-from = %v", rows)
+	}
+	if cols[0] != "two" {
+		t.Fatalf("cols = %v", cols)
+	}
+}
+
+func TestHavingWithoutGroupByRejected(t *testing.T) {
+	cat := testCatalog(t)
+	mustFail(t, cat, "SELECT name FROM users HAVING name = 'ann'", "HAVING")
+}

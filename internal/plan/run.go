@@ -1,0 +1,23 @@
+package plan
+
+import (
+	"github.com/sgb-db/sgb/internal/exec"
+	"github.com/sgb-db/sgb/internal/sqlparser"
+	"github.com/sgb-db/sgb/internal/types"
+)
+
+// CompileConstant evaluates a row-independent expression (literals and
+// arithmetic over them, including date/interval math). Used for
+// INSERT ... VALUES and similarity thresholds.
+func CompileConstant(e sqlparser.Expr) (types.Value, error) {
+	s, err := compileScalar(e, nil, nil)
+	if err != nil {
+		return types.Value{}, err
+	}
+	return s(nil)
+}
+
+// Execute drains a compiled query into a fully materialized result.
+func Execute(cq *CompiledQuery) ([]types.Row, error) {
+	return exec.Run(cq.Root)
+}

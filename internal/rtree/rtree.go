@@ -1,0 +1,499 @@
+// Package rtree implements an in-memory R-tree (Guttman, SIGMOD 1984)
+// with quadratic split, full deletion (condense-tree with reinsertion),
+// and window (range) queries.
+//
+// The paper uses two such indexes:
+//
+//   - Groups_IX — SGB-All's on-the-fly index over the ε-All bounding
+//     rectangles of the discovered groups (Procedure 5, Figure 6);
+//     rectangles shrink as members join, so the index must support
+//     delete + reinsert.
+//   - Points_IX — SGB-Any's index over the processed points
+//     (Procedure 8, Figure 8a).
+//
+// The tree stores opaque references (Data) with their rectangles; it is
+// not safe for concurrent mutation.
+package rtree
+
+import (
+	"fmt"
+
+	"github.com/sgb-db/sgb/internal/geom"
+)
+
+// Default fanout bounds. Guttman's m ≤ M/2 invariant holds.
+const (
+	DefaultMaxEntries = 16
+	DefaultMinEntries = 4
+)
+
+// entry is either a leaf entry (child == nil, Data set) or an inner
+// entry (child set) whose rect tightly bounds the child subtree.
+type entry struct {
+	rect  geom.Rect
+	child *node
+	data  any
+}
+
+type node struct {
+	leaf    bool
+	entries []entry
+	parent  *node
+	// index of this node's entry within parent.entries; maintained on
+	// every mutation so that upward traversals are O(height).
+	parentIdx int
+}
+
+// Tree is an R-tree over d-dimensional rectangles.
+type Tree struct {
+	root       *node
+	dims       int
+	size       int
+	maxEntries int
+	minEntries int
+}
+
+// New returns an empty R-tree for dims-dimensional data with default
+// fanout (m=4, M=16).
+func New(dims int) *Tree {
+	return NewWithFanout(dims, DefaultMinEntries, DefaultMaxEntries)
+}
+
+// NewWithFanout returns an empty R-tree with the given fanout bounds.
+// It panics unless 2 ≤ min ≤ max/2 (Guttman's requirement).
+func NewWithFanout(dims, min, max int) *Tree {
+	if dims < 1 {
+		panic("rtree: dims must be >= 1")
+	}
+	if min < 2 || min > max/2 {
+		panic(fmt.Sprintf("rtree: invalid fanout min=%d max=%d", min, max))
+	}
+	return &Tree{
+		root:       &node{leaf: true},
+		dims:       dims,
+		maxEntries: max,
+		minEntries: min,
+	}
+}
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds data with bounding rectangle r.
+func (t *Tree) Insert(r geom.Rect, data any) {
+	if r.Dims() != t.dims {
+		panic("rtree: rect dimensionality mismatch")
+	}
+	e := entry{rect: r.Clone(), data: data}
+	leaf := t.chooseLeaf(t.root, e.rect)
+	leaf.entries = append(leaf.entries, e)
+	t.size++
+	t.adjustUpward(leaf)
+}
+
+// chooseLeaf descends from n to the leaf whose bounding rectangle needs
+// the least area enlargement to include r (ties by smallest area).
+func (t *Tree) chooseLeaf(n *node, r geom.Rect) *node {
+	for !n.leaf {
+		bestIdx := -1
+		var bestEnl, bestArea float64
+		for i := range n.entries {
+			enl := n.entries[i].rect.EnlargementArea(r)
+			area := n.entries[i].rect.Area()
+			if bestIdx == -1 || enl < bestEnl || (enl == bestEnl && area < bestArea) {
+				bestIdx, bestEnl, bestArea = i, enl, area
+			}
+		}
+		n = n.entries[bestIdx].child
+	}
+	return n
+}
+
+// adjustUpward fixes bounding rectangles from n to the root, splitting
+// overfull nodes on the way (Guttman's AdjustTree).
+func (t *Tree) adjustUpward(n *node) {
+	for n != nil {
+		if len(n.entries) > t.maxEntries {
+			left, right := t.splitNode(n)
+			if n == t.root {
+				newRoot := &node{leaf: false}
+				attach(newRoot, left)
+				attach(newRoot, right)
+				t.root = newRoot
+				return
+			}
+			parent := n.parent
+			// Replace n's entry with left, append right.
+			parent.entries[n.parentIdx] = entry{rect: mbr(left), child: left}
+			left.parent, left.parentIdx = parent, n.parentIdx
+			attach(parent, right)
+			n = parent
+			continue
+		}
+		if n.parent != nil && !refreshMBR(n) {
+			// This node's bounding rectangle is unchanged, so every
+			// ancestor rectangle is unchanged too.
+			return
+		}
+		n = n.parent
+	}
+}
+
+// refreshMBR recomputes n's bounding rectangle in its parent entry in
+// place (the entry owns its rect) and reports whether it changed.
+func refreshMBR(n *node) bool {
+	e := &n.parent.entries[n.parentIdx]
+	changed := false
+	for d := range e.rect.Min {
+		lo := n.entries[0].rect.Min[d]
+		hi := n.entries[0].rect.Max[d]
+		for i := 1; i < len(n.entries); i++ {
+			if v := n.entries[i].rect.Min[d]; v < lo {
+				lo = v
+			}
+			if v := n.entries[i].rect.Max[d]; v > hi {
+				hi = v
+			}
+		}
+		if e.rect.Min[d] != lo {
+			e.rect.Min[d] = lo
+			changed = true
+		}
+		if e.rect.Max[d] != hi {
+			e.rect.Max[d] = hi
+			changed = true
+		}
+	}
+	return changed
+}
+
+// attach appends child as an entry of parent, wiring parent links.
+func attach(parent, child *node) {
+	child.parent = parent
+	child.parentIdx = len(parent.entries)
+	parent.entries = append(parent.entries, entry{rect: mbr(child), child: child})
+}
+
+// mbr computes the minimum bounding rectangle of a node's entries.
+func mbr(n *node) geom.Rect {
+	r := n.entries[0].rect.Clone()
+	for _, e := range n.entries[1:] {
+		r.Extend(e.rect)
+	}
+	return r
+}
+
+// splitNode performs Guttman's linear split (linear-cost PickSeeds,
+// least-enlargement distribution), distributing n's entries into two
+// new nodes. Linear split keeps insert cost low — the on-the-fly index
+// is rebuilt per query in SGB workloads, so insert throughput matters
+// more than a marginally tighter packing.
+func (t *Tree) splitNode(n *node) (*node, *node) {
+	entries := n.entries
+	dims := entries[0].rect.Dims()
+
+	// Linear PickSeeds: in each dimension find the entry with the
+	// highest low side and the one with the lowest high side; take the
+	// dimension with the greatest separation normalized by total width.
+	seedA, seedB := 0, 1
+	bestSep := -1.0
+	for d := 0; d < dims; d++ {
+		highestLow, lowestHigh := 0, 0
+		lo, hi := entries[0].rect.Min[d], entries[0].rect.Max[d]
+		for i, e := range entries {
+			if e.rect.Min[d] > entries[highestLow].rect.Min[d] {
+				highestLow = i
+			}
+			if e.rect.Max[d] < entries[lowestHigh].rect.Max[d] {
+				lowestHigh = i
+			}
+			if e.rect.Min[d] < lo {
+				lo = e.rect.Min[d]
+			}
+			if e.rect.Max[d] > hi {
+				hi = e.rect.Max[d]
+			}
+		}
+		width := hi - lo
+		if width <= 0 || highestLow == lowestHigh {
+			continue
+		}
+		sep := (entries[highestLow].rect.Min[d] - entries[lowestHigh].rect.Max[d]) / width
+		if sep > bestSep {
+			bestSep, seedA, seedB = sep, lowestHigh, highestLow
+		}
+	}
+	if seedA == seedB { // all rects identical; any distinct pair works
+		seedB = (seedA + 1) % len(entries)
+	}
+
+	left := &node{leaf: n.leaf}
+	right := &node{leaf: n.leaf}
+	leftRect := entries[seedA].rect.Clone()
+	rightRect := entries[seedB].rect.Clone()
+	addEntry(left, entries[seedA])
+	addEntry(right, entries[seedB])
+
+	rem := len(entries) - 2 // unassigned entries, including the current one
+	for i, e := range entries {
+		if i == seedA || i == seedB {
+			continue
+		}
+		// Force assignment when a side must absorb every remaining
+		// entry to reach the minimum fill.
+		switch {
+		case len(left.entries)+rem == t.minEntries:
+			addEntry(left, e)
+			leftRect.Extend(e.rect)
+		case len(right.entries)+rem == t.minEntries:
+			addEntry(right, e)
+			rightRect.Extend(e.rect)
+		default:
+			d1 := leftRect.EnlargementArea(e.rect)
+			d2 := rightRect.EnlargementArea(e.rect)
+			takeLeft := d1 < d2
+			if d1 == d2 {
+				takeLeft = leftRect.Area() < rightRect.Area() ||
+					(leftRect.Area() == rightRect.Area() && len(left.entries) <= len(right.entries))
+			}
+			if takeLeft {
+				addEntry(left, e)
+				leftRect.Extend(e.rect)
+			} else {
+				addEntry(right, e)
+				rightRect.Extend(e.rect)
+			}
+		}
+		rem--
+	}
+	return left, right
+}
+
+// addEntry appends e to n, wiring the child's parent link for inner nodes.
+func addEntry(n *node, e entry) {
+	if e.child != nil {
+		e.child.parent = n
+		e.child.parentIdx = len(n.entries)
+	}
+	n.entries = append(n.entries, e)
+}
+
+// removeEntryAt deletes entry i from n, keeping parentIdx links correct.
+func removeEntryAt(n *node, i int) {
+	last := len(n.entries) - 1
+	if i != last {
+		n.entries[i] = n.entries[last]
+		if c := n.entries[i].child; c != nil {
+			c.parentIdx = i
+		}
+	}
+	n.entries = n.entries[:last]
+}
+
+// Delete removes the entry whose rectangle equals r and whose data
+// compares equal (==) to data. It reports whether an entry was removed.
+func (t *Tree) Delete(r geom.Rect, data any) bool {
+	leaf, idx := t.findLeaf(t.root, r, data)
+	if leaf == nil {
+		return false
+	}
+	removeEntryAt(leaf, idx)
+	t.size--
+	t.condenseTree(leaf)
+	// Shrink the root: if it has a single inner child, promote it.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+		t.root.parent = nil
+	}
+	if !t.root.leaf && len(t.root.entries) == 0 {
+		t.root = &node{leaf: true}
+	}
+	return true
+}
+
+// findLeaf locates the leaf and entry index holding (r, data).
+func (t *Tree) findLeaf(n *node, r geom.Rect, data any) (*node, int) {
+	if n.leaf {
+		for i := range n.entries {
+			if n.entries[i].data == data && rectsEqual(n.entries[i].rect, r) {
+				return n, i
+			}
+		}
+		return nil, -1
+	}
+	for i := range n.entries {
+		if n.entries[i].rect.ContainsRect(r) {
+			if leaf, idx := t.findLeaf(n.entries[i].child, r, data); leaf != nil {
+				return leaf, idx
+			}
+		}
+	}
+	return nil, -1
+}
+
+func rectsEqual(a, b geom.Rect) bool {
+	return a.Min.Equal(b.Min) && a.Max.Equal(b.Max)
+}
+
+// condenseTree implements Guttman's CondenseTree: underfull nodes on the
+// path from leaf to root are removed and their surviving entries
+// reinserted at the appropriate level.
+func (t *Tree) condenseTree(n *node) {
+	type orphan struct {
+		e      entry
+		isLeaf bool
+	}
+	var orphans []orphan
+	for n != t.root {
+		parent := n.parent
+		if len(n.entries) < t.minEntries {
+			removeEntryAt(parent, n.parentIdx)
+			for _, e := range n.entries {
+				orphans = append(orphans, orphan{e: e, isLeaf: n.leaf})
+			}
+		} else {
+			parent.entries[n.parentIdx].rect = mbr(n)
+		}
+		n = parent
+	}
+	// Reinsert orphans. Leaf entries reinsert normally; subtree entries
+	// reinsert all their leaf descendants (simple and correct; deletions
+	// are rare relative to queries in SGB workloads).
+	for _, o := range orphans {
+		if o.isLeaf {
+			t.size--
+			t.Insert(o.e.rect, o.e.data)
+		} else {
+			t.reinsertSubtree(o.e.child)
+		}
+	}
+}
+
+func (t *Tree) reinsertSubtree(n *node) {
+	if n.leaf {
+		for _, e := range n.entries {
+			t.size--
+			t.Insert(e.rect, e.data)
+		}
+		return
+	}
+	for _, e := range n.entries {
+		t.reinsertSubtree(e.child)
+	}
+}
+
+// Search appends to out the data of every entry whose rectangle
+// intersects window, and returns out. This is the WindowQuery of
+// Procedures 5 and 8.
+func (t *Tree) Search(window geom.Rect, out []any) []any {
+	return t.search(t.root, window, out)
+}
+
+func (t *Tree) search(n *node, w geom.Rect, out []any) []any {
+	for i := range n.entries {
+		if !n.entries[i].rect.Intersects(w) {
+			continue
+		}
+		if n.leaf {
+			out = append(out, n.entries[i].data)
+		} else {
+			out = t.search(n.entries[i].child, w, out)
+		}
+	}
+	return out
+}
+
+// Visit calls fn for every entry whose rectangle intersects window,
+// stopping early if fn returns false. Allocation-free alternative to
+// Search for hot paths.
+func (t *Tree) Visit(window geom.Rect, fn func(r geom.Rect, data any) bool) {
+	t.visit(t.root, window, fn)
+}
+
+func (t *Tree) visit(n *node, w geom.Rect, fn func(geom.Rect, any) bool) bool {
+	for i := range n.entries {
+		if !n.entries[i].rect.Intersects(w) {
+			continue
+		}
+		if n.leaf {
+			if !fn(n.entries[i].rect, n.entries[i].data) {
+				return false
+			}
+		} else if !t.visit(n.entries[i].child, w, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// All appends every stored data value to out and returns it.
+func (t *Tree) All(out []any) []any {
+	return t.all(t.root, out)
+}
+
+func (t *Tree) all(n *node, out []any) []any {
+	for i := range n.entries {
+		if n.leaf {
+			out = append(out, n.entries[i].data)
+		} else {
+			out = t.all(n.entries[i].child, out)
+		}
+	}
+	return out
+}
+
+// Height returns the height of the tree (1 for a lone leaf root).
+func (t *Tree) Height() int {
+	h := 1
+	for n := t.root; !n.leaf; n = n.entries[0].child {
+		h++
+	}
+	return h
+}
+
+// CheckInvariants validates structural invariants (fanout bounds, tight
+// MBRs, parent links); it is used by tests and returns a descriptive
+// error, or nil when the tree is well-formed.
+func (t *Tree) CheckInvariants() error {
+	var walk func(n *node, depth int, isRoot bool) (int, error)
+	walk = func(n *node, depth int, isRoot bool) (int, error) {
+		if !isRoot && len(n.entries) < t.minEntries {
+			return 0, fmt.Errorf("rtree: underfull node at depth %d: %d entries", depth, len(n.entries))
+		}
+		if len(n.entries) > t.maxEntries {
+			return 0, fmt.Errorf("rtree: overfull node at depth %d: %d entries", depth, len(n.entries))
+		}
+		if n.leaf {
+			return len(n.entries), nil
+		}
+		total := 0
+		for i := range n.entries {
+			c := n.entries[i].child
+			if c == nil {
+				return 0, fmt.Errorf("rtree: inner entry without child at depth %d", depth)
+			}
+			if c.parent != n || c.parentIdx != i {
+				return 0, fmt.Errorf("rtree: broken parent link at depth %d entry %d", depth, i)
+			}
+			want := mbr(c)
+			if !rectsEqual(n.entries[i].rect, want) {
+				return 0, fmt.Errorf("rtree: stale MBR at depth %d entry %d: have %v want %v",
+					depth, i, n.entries[i].rect, want)
+			}
+			cnt, err := walk(c, depth+1, false)
+			if err != nil {
+				return 0, err
+			}
+			total += cnt
+		}
+		return total, nil
+	}
+	cnt, err := walk(t.root, 0, true)
+	if err != nil {
+		return err
+	}
+	if cnt != t.size {
+		return fmt.Errorf("rtree: size mismatch: counted %d, recorded %d", cnt, t.size)
+	}
+	return nil
+}

@@ -1,0 +1,328 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/sgb-db/sgb/internal/geom"
+)
+
+func randRect(r *rand.Rand, d int, span float64) geom.Rect {
+	min := make(geom.Point, d)
+	max := make(geom.Point, d)
+	for i := 0; i < d; i++ {
+		a := r.Float64() * 100
+		b := a + r.Float64()*span
+		min[i], max[i] = a, b
+	}
+	return geom.NewRect(min, max)
+}
+
+// linearSearch is the oracle: brute-force window query.
+func linearSearch(rects []geom.Rect, ids []int, w geom.Rect) []int {
+	var out []int
+	for i, r := range rects {
+		if r.Intersects(w) {
+			out = append(out, ids[i])
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sortedInts(vs []any) []int {
+	out := make([]int, len(vs))
+	for i, v := range vs {
+		out[i] = v.(int)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(2)
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("Len=%d Height=%d", tr.Len(), tr.Height())
+	}
+	if got := tr.Search(geom.NewRect(geom.Point{0, 0}, geom.Point{1, 1}), nil); len(got) != 0 {
+		t.Fatalf("search on empty tree returned %v", got)
+	}
+	if tr.Delete(geom.PointRect(geom.Point{0, 0}), 1) {
+		t.Fatal("delete on empty tree succeeded")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertAndSearchSmall(t *testing.T) {
+	tr := New(2)
+	tr.Insert(geom.PointRect(geom.Point{1, 1}), 1)
+	tr.Insert(geom.PointRect(geom.Point{5, 5}), 2)
+	tr.Insert(geom.PointRect(geom.Point{9, 9}), 3)
+	got := sortedInts(tr.Search(geom.NewRect(geom.Point{0, 0}, geom.Point{6, 6}), nil))
+	if !equalInts(got, []int{1, 2}) {
+		t.Fatalf("search = %v", got)
+	}
+	// Touching boundary counts as intersecting.
+	got = sortedInts(tr.Search(geom.NewRect(geom.Point{9, 9}, geom.Point{10, 10}), nil))
+	if !equalInts(got, []int{3}) {
+		t.Fatalf("boundary search = %v", got)
+	}
+}
+
+// Property: search agrees with linear scan across many random trees,
+// dimensions, and window sizes.
+func TestSearchMatchesLinearScan(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		d := 1 + r.Intn(3)
+		n := 1 + r.Intn(600)
+		tr := New(d)
+		rects := make([]geom.Rect, n)
+		ids := make([]int, n)
+		for i := 0; i < n; i++ {
+			rects[i] = randRect(r, d, 8)
+			ids[i] = i
+			tr.Insert(rects[i], i)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for q := 0; q < 25; q++ {
+			w := randRect(r, d, 30)
+			got := sortedInts(tr.Search(w, nil))
+			want := linearSearch(rects, ids, w)
+			if !equalInts(got, want) {
+				t.Fatalf("trial %d query %d: got %v want %v", trial, q, got, want)
+			}
+		}
+	}
+}
+
+func TestVisitEarlyStop(t *testing.T) {
+	tr := New(2)
+	for i := 0; i < 100; i++ {
+		tr.Insert(geom.PointRect(geom.Point{float64(i), float64(i)}), i)
+	}
+	count := 0
+	tr.Visit(geom.NewRect(geom.Point{0, 0}, geom.Point{99, 99}), func(_ geom.Rect, _ any) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("visited %d, want 5", count)
+	}
+}
+
+func TestAll(t *testing.T) {
+	tr := New(2)
+	for i := 0; i < 50; i++ {
+		tr.Insert(geom.PointRect(geom.Point{float64(i % 7), float64(i % 11)}), i)
+	}
+	got := sortedInts(tr.All(nil))
+	if len(got) != 50 {
+		t.Fatalf("All returned %d entries", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("All missing id %d", i)
+		}
+	}
+}
+
+func TestDeleteBasic(t *testing.T) {
+	tr := New(2)
+	r1 := geom.PointRect(geom.Point{1, 1})
+	tr.Insert(r1, 1)
+	tr.Insert(geom.PointRect(geom.Point{2, 2}), 2)
+	if !tr.Delete(r1, 1) {
+		t.Fatal("delete failed")
+	}
+	if tr.Delete(r1, 1) {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	got := sortedInts(tr.Search(geom.NewRect(geom.Point{0, 0}, geom.Point{3, 3}), nil))
+	if !equalInts(got, []int{2}) {
+		t.Fatalf("post-delete search = %v", got)
+	}
+	// Deleting with the right data but wrong rect must fail.
+	tr.Insert(r1, 3)
+	if tr.Delete(geom.PointRect(geom.Point{1, 1.5}), 3) {
+		t.Fatal("delete with wrong rect succeeded")
+	}
+}
+
+// Property: random interleaved inserts and deletes keep the tree
+// consistent with a shadow map, and invariants hold throughout.
+func TestInsertDeleteChurn(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 15; trial++ {
+		d := 1 + r.Intn(3)
+		tr := New(d)
+		type item struct {
+			rect geom.Rect
+			id   int
+		}
+		var live []item
+		nextID := 0
+		for op := 0; op < 1200; op++ {
+			if len(live) == 0 || r.Float64() < 0.6 {
+				it := item{rect: randRect(r, d, 6), id: nextID}
+				nextID++
+				tr.Insert(it.rect, it.id)
+				live = append(live, it)
+			} else {
+				k := r.Intn(len(live))
+				it := live[k]
+				if !tr.Delete(it.rect, it.id) {
+					t.Fatalf("trial %d op %d: delete of live item failed", trial, op)
+				}
+				live[k] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			if tr.Len() != len(live) {
+				t.Fatalf("trial %d op %d: Len=%d shadow=%d", trial, op, tr.Len(), len(live))
+			}
+			if op%100 == 0 {
+				if err := tr.CheckInvariants(); err != nil {
+					t.Fatalf("trial %d op %d: %v", trial, op, err)
+				}
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("trial %d final: %v", trial, err)
+		}
+		// Final consistency: search everything, compare ids.
+		w := geom.NewRect(make(geom.Point, d), make(geom.Point, d))
+		for i := 0; i < d; i++ {
+			w.Min[i], w.Max[i] = -1e9, 1e9
+		}
+		got := sortedInts(tr.Search(w, nil))
+		want := make([]int, len(live))
+		for i, it := range live {
+			want[i] = it.id
+		}
+		sort.Ints(want)
+		if !equalInts(got, want) {
+			t.Fatalf("trial %d: final contents mismatch: got %d items want %d", trial, len(got), len(want))
+		}
+	}
+}
+
+func TestDeleteToEmptyAndReuse(t *testing.T) {
+	tr := New(2)
+	rects := make([]geom.Rect, 200)
+	for i := range rects {
+		rects[i] = geom.PointRect(geom.Point{float64(i), float64(-i)})
+		tr.Insert(rects[i], i)
+	}
+	for i := range rects {
+		if !tr.Delete(rects[i], i) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The tree is reusable after full drain.
+	tr.Insert(rects[0], 0)
+	if got := tr.Search(geom.EpsBox(geom.Point{0, 0}, 1), nil); len(got) != 1 {
+		t.Fatalf("post-drain insert lost: %v", got)
+	}
+}
+
+func TestDuplicateRects(t *testing.T) {
+	tr := New(2)
+	r1 := geom.PointRect(geom.Point{3, 3})
+	tr.Insert(r1, 1)
+	tr.Insert(r1, 2)
+	tr.Insert(r1, 3)
+	got := sortedInts(tr.Search(r1, nil))
+	if !equalInts(got, []int{1, 2, 3}) {
+		t.Fatalf("dup search = %v", got)
+	}
+	// Delete must remove exactly the entry with matching data.
+	if !tr.Delete(r1, 2) {
+		t.Fatal("delete dup failed")
+	}
+	got = sortedInts(tr.Search(r1, nil))
+	if !equalInts(got, []int{1, 3}) {
+		t.Fatalf("post-dup-delete search = %v", got)
+	}
+}
+
+func TestFanoutValidation(t *testing.T) {
+	for _, bad := range [][2]int{{1, 16}, {9, 16}, {0, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("fanout %v accepted", bad)
+				}
+			}()
+			NewWithFanout(2, bad[0], bad[1])
+		}()
+	}
+	// Small legal fanout exercises deep trees.
+	tr := NewWithFanout(2, 2, 4)
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 500; i++ {
+		tr.Insert(randRect(r, 2, 5), i)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 4 {
+		t.Fatalf("expected deep tree, height=%d", tr.Height())
+	}
+}
+
+func BenchmarkInsert10k(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	rects := make([]geom.Rect, 10000)
+	for i := range rects {
+		rects[i] = randRect(r, 2, 2)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := New(2)
+		for j, rc := range rects {
+			tr.Insert(rc, j)
+		}
+	}
+}
+
+func BenchmarkSearch10k(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	tr := New(2)
+	for i := 0; i < 10000; i++ {
+		tr.Insert(randRect(r, 2, 2), i)
+	}
+	w := geom.NewRect(geom.Point{40, 40}, geom.Point{60, 60})
+	var buf []any
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		buf = tr.Search(w, buf)
+	}
+	_ = buf
+}

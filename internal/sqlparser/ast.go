@@ -1,0 +1,249 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/sgb-db/sgb/internal/types"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// SelectStmt is a SELECT query.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    Expr
+	GroupBy  *GroupByClause
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    *int64
+}
+
+func (*SelectStmt) stmt() {}
+
+// SelectItem is one projection: an expression with an optional alias,
+// or the bare star.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Star  bool
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// TableRef is a FROM-clause item.
+type TableRef interface{ tableRef() }
+
+// BaseTable references a named table.
+type BaseTable struct {
+	Name  string
+	Alias string
+}
+
+func (*BaseTable) tableRef() {}
+
+// SubqueryTable is a derived table: (SELECT ...) AS alias.
+type SubqueryTable struct {
+	Select *SelectStmt
+	Alias  string
+}
+
+func (*SubqueryTable) tableRef() {}
+
+// JoinTable is an explicit INNER JOIN with an ON condition.
+type JoinTable struct {
+	Left, Right TableRef
+	Cond        Expr
+}
+
+func (*JoinTable) tableRef() {}
+
+// Semantics selects the similarity grouping operator.
+type Semantics int
+
+const (
+	// SemanticsAll is DISTANCE-TO-ALL (clique groups).
+	SemanticsAll Semantics = iota
+	// SemanticsAny is DISTANCE-TO-ANY (connected components).
+	SemanticsAny
+)
+
+// OverlapAction is the ON-OVERLAP arbitration for SGB-All.
+type OverlapAction int
+
+const (
+	OverlapJoinAny OverlapAction = iota
+	OverlapEliminate
+	OverlapFormNewGroup
+)
+
+// MetricName is the distance function keyword.
+type MetricName int
+
+const (
+	MetricL2 MetricName = iota
+	MetricLInf
+)
+
+// GroupByClause covers both standard grouping (Similarity == nil) and
+// similarity grouping.
+type GroupByClause struct {
+	Exprs      []Expr
+	Similarity *SimilarityClause
+}
+
+// SimilarityClause carries the SGB grouping parameters.
+type SimilarityClause struct {
+	Semantics Semantics
+	Metric    MetricName
+	Eps       Expr
+	Overlap   OverlapAction
+}
+
+// CreateTableStmt is CREATE TABLE name (col type, ...).
+type CreateTableStmt struct {
+	Name    string
+	Columns []ColumnDef
+}
+
+func (*CreateTableStmt) stmt() {}
+
+// ColumnDef is one column definition.
+type ColumnDef struct {
+	Name string
+	Type types.Kind
+}
+
+// InsertStmt is INSERT INTO name [(cols)] VALUES (...), (...).
+type InsertStmt struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+}
+
+func (*InsertStmt) stmt() {}
+
+// DropTableStmt is DROP TABLE name.
+type DropTableStmt struct{ Name string }
+
+func (*DropTableStmt) stmt() {}
+
+// Expr is a SQL expression node.
+type Expr interface {
+	expr()
+	String() string
+}
+
+// ColumnRef is a possibly qualified column reference.
+type ColumnRef struct {
+	Table string // optional qualifier
+	Name  string
+}
+
+func (*ColumnRef) expr() {}
+func (c *ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+// Literal is a constant value.
+type Literal struct{ Val types.Value }
+
+func (*Literal) expr() {}
+func (l *Literal) String() string {
+	if l.Val.Kind == types.KindText {
+		return "'" + strings.ReplaceAll(l.Val.S, "'", "''") + "'"
+	}
+	if l.Val.Kind == types.KindDate {
+		return "date '" + l.Val.String() + "'"
+	}
+	return l.Val.String()
+}
+
+// BinaryExpr is a binary operation: arithmetic (+ - * / %),
+// comparison (= <> < <= > >=), or logical (AND OR).
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+func (*BinaryExpr) expr() {}
+func (b *BinaryExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+// UnaryExpr is NOT or unary minus.
+type UnaryExpr struct {
+	Op string
+	E  Expr
+}
+
+func (*UnaryExpr) expr()            {}
+func (u *UnaryExpr) String() string { return fmt.Sprintf("(%s %s)", u.Op, u.E) }
+
+// FuncCall is a function or aggregate invocation; Star marks count(*).
+type FuncCall struct {
+	Name string
+	Args []Expr
+	Star bool
+}
+
+func (*FuncCall) expr() {}
+func (f *FuncCall) String() string {
+	if f.Star {
+		return f.Name + "(*)"
+	}
+	args := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		args[i] = a.String()
+	}
+	return f.Name + "(" + strings.Join(args, ", ") + ")"
+}
+
+// InExpr is `expr [NOT] IN (values...)` or `expr [NOT] IN (subquery)`.
+type InExpr struct {
+	E    Expr
+	List []Expr      // non-nil for a value list
+	Sub  *SelectStmt // non-nil for a subquery
+	Neg  bool
+}
+
+func (*InExpr) expr() {}
+func (i *InExpr) String() string {
+	not := ""
+	if i.Neg {
+		not = " NOT"
+	}
+	if i.Sub != nil {
+		return fmt.Sprintf("(%s%s IN (<subquery>))", i.E, not)
+	}
+	parts := make([]string, len(i.List))
+	for k, e := range i.List {
+		parts[k] = e.String()
+	}
+	return fmt.Sprintf("(%s%s IN (%s))", i.E, not, strings.Join(parts, ", "))
+}
+
+// BetweenExpr is `expr BETWEEN lo AND hi`.
+type BetweenExpr struct {
+	E, Lo, Hi Expr
+	Neg       bool
+}
+
+func (*BetweenExpr) expr() {}
+func (b *BetweenExpr) String() string {
+	not := ""
+	if b.Neg {
+		not = " NOT"
+	}
+	return fmt.Sprintf("(%s%s BETWEEN %s AND %s)", b.E, not, b.Lo, b.Hi)
+}

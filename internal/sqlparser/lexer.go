@@ -1,0 +1,178 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// lexer scans the input into tokens.
+type lexer struct {
+	src []byte
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: []byte(src)} }
+
+func isSpace(c byte) bool  { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+func isLetter(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isIdent(c byte) bool  { return isLetter(c) || isDigit(c) }
+
+// next scans the next token.
+func (l *lexer) next() (Token, error) {
+	l.skipSpace()
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isLetter(c):
+		return l.scanWord(start), nil
+	case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+		return l.scanNumber(start)
+	case c == '\'':
+		return l.scanString(start)
+	}
+	// Operators and punctuation, longest first.
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = string(l.src[l.pos : l.pos+2])
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=":
+		l.pos += 2
+		return Token{Kind: TokSymbol, Text: two, Pos: start}, nil
+	}
+	switch c {
+	case ',', '(', ')', '*', '+', '-', '/', '=', '<', '>', '.', ';', '%':
+		l.pos++
+		return Token{Kind: TokSymbol, Text: string(c), Pos: start}, nil
+	}
+	return Token{}, fmt.Errorf("sql: unexpected character %q at offset %d", c, start)
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if isSpace(c) {
+			l.pos++
+			continue
+		}
+		// -- line comments
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		break
+	}
+}
+
+// scanWord scans an identifier or keyword, fusing hyphenated similarity
+// keywords (DISTANCE-TO-ALL, ON-OVERLAP, ...) into single tokens. The
+// fusion backtracks, so arithmetic over identifiers (a-b) still lexes
+// as three tokens.
+func (l *lexer) scanWord(start int) Token {
+	for l.pos < len(l.src) && isIdent(l.src[l.pos]) {
+		l.pos++
+	}
+	word := string(l.src[start:l.pos])
+	upper := strings.ToUpper(word)
+
+	// Attempt hyphen-keyword fusion.
+	if hyphenPrefix(upper) {
+		joined := upper
+		endOfBest := -1
+		bestJoined := ""
+		save := l.pos
+		for l.pos < len(l.src) && l.src[l.pos] == '-' &&
+			l.pos+1 < len(l.src) && isLetter(l.src[l.pos+1]) {
+			l.pos++ // consume '-'
+			ps := l.pos
+			for l.pos < len(l.src) && isIdent(l.src[l.pos]) {
+				l.pos++
+			}
+			joined = joined + "-" + strings.ToUpper(string(l.src[ps:l.pos]))
+			if hyphenKeywords[joined] {
+				endOfBest = l.pos
+				bestJoined = joined
+			}
+			if !hyphenPrefix(joined) {
+				break
+			}
+		}
+		if endOfBest >= 0 {
+			l.pos = endOfBest
+			return Token{Kind: TokKeyword, Text: bestJoined, Pos: start}
+		}
+		l.pos = save
+	}
+
+	if keywords[upper] {
+		return Token{Kind: TokKeyword, Text: upper, Pos: start}
+	}
+	return Token{Kind: TokIdent, Text: word, Pos: start}
+}
+
+func (l *lexer) scanNumber(start int) (Token, error) {
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case isDigit(c):
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp && l.pos+1 < len(l.src) &&
+			(isDigit(l.src[l.pos+1]) || l.src[l.pos+1] == '-' || l.src[l.pos+1] == '+'):
+			seenExp = true
+			l.pos++
+			if l.src[l.pos] == '-' || l.src[l.pos] == '+' {
+				l.pos++
+			}
+		default:
+			return Token{Kind: TokNumber, Text: string(l.src[start:l.pos]), Pos: start}, nil
+		}
+	}
+	return Token{Kind: TokNumber, Text: string(l.src[start:l.pos]), Pos: start}, nil
+}
+
+func (l *lexer) scanString(start int) (Token, error) {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			// '' escapes a quote.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return Token{Kind: TokString, Text: b.String(), Pos: start}, nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return Token{}, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+}
+
+// lexAll tokenizes the whole input (the parser works on the slice).
+func lexAll(src string) ([]Token, error) {
+	l := newLexer(src)
+	var out []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

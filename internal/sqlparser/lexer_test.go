@@ -1,0 +1,131 @@
+package sqlparser
+
+import "testing"
+
+func lex(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := lexAll(src)
+	if err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	return toks
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks := lex(t, "SELECT a, 1.5, 'str' FROM t WHERE a <= 3;")
+	kinds := []TokenKind{
+		TokKeyword, TokIdent, TokSymbol, TokNumber, TokSymbol, TokString,
+		TokKeyword, TokIdent, TokKeyword, TokIdent, TokSymbol, TokNumber,
+		TokSymbol, TokEOF,
+	}
+	if len(toks) != len(kinds) {
+		t.Fatalf("token count = %d, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v (%q), want kind %v", i, toks[i].Kind, toks[i].Text, k)
+		}
+	}
+}
+
+func TestLexHyphenKeywordFusion(t *testing.T) {
+	cases := map[string]string{
+		"DISTANCE-TO-ALL": "DISTANCE-TO-ALL",
+		"distance-to-any": "DISTANCE-TO-ANY",
+		"Distance-All":    "DISTANCE-ALL",
+		"ON-OVERLAP":      "ON-OVERLAP",
+		"JOIN-ANY":        "JOIN-ANY",
+		"FORM-NEW-GROUP":  "FORM-NEW-GROUP",
+		"FORM-NEW":        "FORM-NEW",
+	}
+	for src, want := range cases {
+		toks := lex(t, src)
+		if toks[0].Kind != TokKeyword || toks[0].Text != want {
+			t.Errorf("lex(%q) = %v %q", src, toks[0].Kind, toks[0].Text)
+		}
+		if toks[1].Kind != TokEOF {
+			t.Errorf("lex(%q) left trailing tokens", src)
+		}
+	}
+}
+
+func TestLexHyphenBackoff(t *testing.T) {
+	// distance-cost: DISTANCE is a hyphen-keyword prefix but the chain
+	// does not complete a keyword — must lex as ident '-' ident.
+	toks := lex(t, "distance-cost")
+	if len(toks) != 4 || toks[0].Kind != TokIdent || toks[1].Text != "-" || toks[2].Kind != TokIdent {
+		t.Fatalf("backoff = %v", toks)
+	}
+	// form-newish: FORM-NEW matches a prefix of the chain; the fusion
+	// must take the longest complete keyword and stop cleanly.
+	toks = lex(t, "form-new-group-x")
+	if toks[0].Text != "FORM-NEW-GROUP" || toks[1].Text != "-" || toks[2].Text != "x" {
+		t.Fatalf("longest match = %v", toks)
+	}
+	// a-b where neither part starts a keyword.
+	toks = lex(t, "a-b")
+	if len(toks) != 4 || toks[1].Text != "-" {
+		t.Fatalf("plain minus = %v", toks)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	for src, want := range map[string]string{
+		"42":     "42",
+		"3.25":   "3.25",
+		".5":     ".5",
+		"1e6":    "1e6",
+		"2.5e-3": "2.5e-3",
+		"7E+2":   "7E+2",
+	} {
+		toks := lex(t, src)
+		if toks[0].Kind != TokNumber || toks[0].Text != want {
+			t.Errorf("lex(%q) = %q", src, toks[0].Text)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lex(t, "a -- comment to end of line\nb")
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Fatalf("comments = %v", toks)
+	}
+	// A lone '-' is still a minus.
+	toks = lex(t, "a - b")
+	if toks[1].Text != "-" {
+		t.Fatalf("minus = %v", toks)
+	}
+}
+
+func TestLexTwoCharOperators(t *testing.T) {
+	toks := lex(t, "<= >= <> != < > =")
+	want := []string{"<=", ">=", "<>", "!=", "<", ">", "="}
+	for i, w := range want {
+		if toks[i].Text != w {
+			t.Errorf("op %d = %q, want %q", i, toks[i].Text, w)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := lexAll("'unterminated"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := lexAll("a @ b"); err == nil {
+		t.Error("bad character accepted")
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks := lex(t, "'a''b'")
+	if toks[0].Kind != TokString || toks[0].Text != "a'b" {
+		t.Fatalf("escape = %q", toks[0].Text)
+	}
+}
+
+func TestTokenPositions(t *testing.T) {
+	toks := lex(t, "SELECT a")
+	if toks[0].Pos != 0 || toks[1].Pos != 7 {
+		t.Fatalf("positions = %d, %d", toks[0].Pos, toks[1].Pos)
+	}
+}

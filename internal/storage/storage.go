@@ -1,0 +1,255 @@
+// Package storage provides the in-memory relational substrate: column
+// schemas, row-oriented tables, and the catalog the planner resolves
+// table names against. The paper's prototype lives inside PostgreSQL's
+// heap storage; here an append-only in-memory table plays that role
+// (the SGB experiments are CPU-bound on the operators, not on I/O).
+package storage
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/sgb-db/sgb/internal/types"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Type types.Kind
+}
+
+// Schema is an ordered column list.
+type Schema []Column
+
+// ColumnIndex returns the position of the named column (case
+// insensitive), or -1.
+func (s Schema) ColumnIndex(name string) int {
+	for i, c := range s {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Table is an append-only, in-memory relation.
+type Table struct {
+	Name   string
+	Schema Schema
+	Rows   []types.Row
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, schema Schema) *Table {
+	return &Table{Name: name, Schema: schema}
+}
+
+// Insert appends a row after arity and kind checks (integers are
+// coerced to floats for FLOAT columns and vice versa is rejected;
+// NULLs are accepted everywhere).
+func (t *Table) Insert(row types.Row) error {
+	if len(row) != len(t.Schema) {
+		return fmt.Errorf("storage: %s expects %d values, got %d", t.Name, len(t.Schema), len(row))
+	}
+	for i, v := range row {
+		if v.IsNull() {
+			continue
+		}
+		want := t.Schema[i].Type
+		if v.Kind == want {
+			continue
+		}
+		if want == types.KindFloat && v.Kind == types.KindInt {
+			row[i] = types.Float(float64(v.I))
+			continue
+		}
+		return fmt.Errorf("storage: %s.%s expects %s, got %s",
+			t.Name, t.Schema[i].Name, want, v.Kind)
+	}
+	t.Rows = append(t.Rows, row)
+	return nil
+}
+
+// MustInsert panics on insertion failure; for generators and tests.
+func (t *Table) MustInsert(row types.Row) {
+	if err := t.Insert(row); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the row count.
+func (t *Table) Len() int { return len(t.Rows) }
+
+// Catalog maps table names (case insensitive) to tables. Safe for
+// concurrent readers with exclusive writers.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Create registers a new table; it fails if the name is taken.
+func (c *Catalog) Create(t *Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(t.Name)
+	if _, exists := c.tables[key]; exists {
+		return fmt.Errorf("storage: table %q already exists", t.Name)
+	}
+	c.tables[key] = t
+	return nil
+}
+
+// Drop removes a table; it fails if the table is absent.
+func (c *Catalog) Drop(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, exists := c.tables[key]; !exists {
+		return fmt.Errorf("storage: table %q does not exist", name)
+	}
+	delete(c.tables, key)
+	return nil
+}
+
+// Lookup resolves a table name.
+func (c *Catalog) Lookup(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("storage: table %q does not exist", name)
+	}
+	return t, nil
+}
+
+// Names lists registered tables, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteCSV serializes the table (header row of "name:type" cells, then
+// data rows) so generated datasets can be saved and reloaded.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(t.Schema))
+	for i, c := range t.Schema {
+		header[i] = c.Name + ":" + c.Type.String()
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(t.Schema))
+	for _, row := range t.Rows {
+		for i, v := range row {
+			rec[i] = v.String()
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV loads a table previously produced by WriteCSV.
+func ReadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("storage: reading CSV header: %w", err)
+	}
+	schema := make(Schema, len(header))
+	for i, h := range header {
+		parts := strings.SplitN(h, ":", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("storage: malformed CSV header cell %q", h)
+		}
+		kind, err := types.ParseKind(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		schema[i] = Column{Name: parts[0], Type: kind}
+	}
+	t := NewTable(name, schema)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("storage: reading CSV row: %w", err)
+		}
+		row := make(types.Row, len(rec))
+		for i, cell := range rec {
+			v, err := parseCell(cell, schema[i].Type)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		if err := t.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func parseCell(cell string, kind types.Kind) (types.Value, error) {
+	if cell == "NULL" {
+		return types.Null(), nil
+	}
+	switch kind {
+	case types.KindInt:
+		i, err := strconv.ParseInt(cell, 10, 64)
+		if err != nil {
+			return types.Value{}, fmt.Errorf("storage: bad int %q", cell)
+		}
+		return types.Int(i), nil
+	case types.KindFloat:
+		f, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			return types.Value{}, fmt.Errorf("storage: bad float %q", cell)
+		}
+		return types.Float(f), nil
+	case types.KindText:
+		return types.Text(cell), nil
+	case types.KindBool:
+		switch cell {
+		case "true":
+			return types.Bool(true), nil
+		case "false":
+			return types.Bool(false), nil
+		}
+		return types.Value{}, fmt.Errorf("storage: bad bool %q", cell)
+	case types.KindDate:
+		return types.ParseDate(cell)
+	default:
+		return types.Value{}, fmt.Errorf("storage: unsupported CSV kind %s", kind)
+	}
+}

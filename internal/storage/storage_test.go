@@ -1,0 +1,140 @@
+package storage
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/sgb-db/sgb/internal/types"
+)
+
+func demoTable() *Table {
+	t := NewTable("pts", Schema{
+		{Name: "id", Type: types.KindInt},
+		{Name: "x", Type: types.KindFloat},
+		{Name: "name", Type: types.KindText},
+		{Name: "flag", Type: types.KindBool},
+		{Name: "d", Type: types.KindDate},
+	})
+	t.MustInsert(types.Row{types.Int(1), types.Float(1.5), types.Text("a"), types.Bool(true), types.Date(100)})
+	t.MustInsert(types.Row{types.Int(2), types.Float(-2.5), types.Text("b,c"), types.Bool(false), types.Date(-5)})
+	t.MustInsert(types.Row{types.Int(3), types.Null(), types.Null(), types.Null(), types.Null()})
+	return t
+}
+
+func TestSchemaColumnIndex(t *testing.T) {
+	s := demoTable().Schema
+	if s.ColumnIndex("X") != 1 { // case-insensitive
+		t.Errorf("ColumnIndex(X) = %d", s.ColumnIndex("X"))
+	}
+	if s.ColumnIndex("missing") != -1 {
+		t.Error("missing column found")
+	}
+	names := s.Names()
+	if len(names) != 5 || names[0] != "id" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	tab := NewTable("t", Schema{
+		{Name: "a", Type: types.KindInt},
+		{Name: "b", Type: types.KindFloat},
+	})
+	if err := tab.Insert(types.Row{types.Int(1)}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := tab.Insert(types.Row{types.Text("x"), types.Float(1)}); err == nil {
+		t.Error("kind mismatch accepted")
+	}
+	// Int coerces to float columns.
+	if err := tab.Insert(types.Row{types.Int(1), types.Int(2)}); err != nil {
+		t.Errorf("int→float coercion failed: %v", err)
+	}
+	if tab.Rows[0][1].Kind != types.KindFloat {
+		t.Error("coercion did not rewrite the value")
+	}
+	// Float does not coerce to int columns.
+	if err := tab.Insert(types.Row{types.Float(1.5), types.Float(2)}); err == nil {
+		t.Error("float→int accepted")
+	}
+	if tab.Len() != 1 {
+		t.Errorf("Len = %d", tab.Len())
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	c := NewCatalog()
+	tab := demoTable()
+	if err := c.Create(tab); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Create(demoTable()); err == nil {
+		t.Error("duplicate create accepted")
+	}
+	got, err := c.Lookup("PTS") // case-insensitive
+	if err != nil || got != tab {
+		t.Errorf("Lookup = %v, %v", got, err)
+	}
+	if _, err := c.Lookup("nope"); err == nil {
+		t.Error("lookup of missing table succeeded")
+	}
+	if names := c.Names(); len(names) != 1 || names[0] != "pts" {
+		t.Errorf("Names = %v", names)
+	}
+	if err := c.Drop("pts"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drop("pts"); err == nil {
+		t.Error("double drop accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tab := demoTable()
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("pts2", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tab.Len() {
+		t.Fatalf("rows = %d, want %d", back.Len(), tab.Len())
+	}
+	for i, row := range tab.Rows {
+		for j, v := range row {
+			if back.Rows[i][j] != v {
+				t.Errorf("cell (%d,%d): %v != %v", i, j, back.Rows[i][j], v)
+			}
+		}
+	}
+	if back.Schema[4].Type != types.KindDate {
+		t.Errorf("schema type lost: %v", back.Schema[4])
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	bad := []string{
+		"",                     // no header
+		"a\n1\n",               // header cell without type
+		"a:INT\nx\n",           // bad int
+		"a:FLOAT\nx\n",         // bad float
+		"a:BOOL\nmaybe\n",      // bad bool
+		"a:DATE\n1995-13-01\n", // bad date
+		"a:WIDGET\n1\n",        // unknown type
+		"a:INT,b:INT\n1\n",     // arity mismatch (csv reader catches)
+	}
+	for _, src := range bad {
+		if _, err := ReadCSV("t", strings.NewReader(src)); err == nil {
+			t.Errorf("ReadCSV accepted %q", src)
+		}
+	}
+	// NULL cells round-trip.
+	good := "a:INT\nNULL\n"
+	tab, err := ReadCSV("t", strings.NewReader(good))
+	if err != nil || !tab.Rows[0][0].IsNull() {
+		t.Errorf("NULL cell: %v, %v", tab, err)
+	}
+}

@@ -1,0 +1,269 @@
+// Package tpch generates TPC-H-like relational data for the paper's
+// performance-evaluation queries (Table 2: GB1–GB3 and SGB1–SGB6).
+//
+// Substitution note (documented in DESIGN.md §4): the paper runs dbgen
+// at scale factors 1–60 (up to 60 GB). This generator reproduces the
+// schema and value distributions the queries touch — uniform keys,
+// dbgen's part/supplier association, lineitem-derived order totals,
+// uniform dates over 1992–1998 — at row counts that fit a single
+// machine, expressed through a fractional scale factor. SGB runtime
+// depends on the grouping-attribute point distribution and cardinality,
+// both of which are preserved.
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/sgb-db/sgb/internal/storage"
+	"github.com/sgb-db/sgb/internal/types"
+)
+
+// Config sets the table cardinalities (every other distribution
+// parameter follows dbgen's shape).
+type Config struct {
+	Customers int
+	Orders    int
+	Suppliers int
+	Parts     int
+	Seed      int64
+	// MaxLinesPerOrder bounds lineitems per order (dbgen: 1–7).
+	MaxLinesPerOrder int
+}
+
+// ScaleRows maps a TPC-H scale factor to row counts using dbgen's
+// ratios (SF 1 = 150 k customers, 1.5 M orders, 10 k suppliers,
+// 200 k parts), scaled down 100× so that SF 1 here ≈ dbgen SF 0.01 —
+// the evaluation sweeps SF just like Figures 10 and 12 do.
+func ScaleRows(sf float64) Config {
+	clamp := func(v float64, lo int) int {
+		n := int(v)
+		if n < lo {
+			return lo
+		}
+		return n
+	}
+	return Config{
+		Customers:        clamp(1500*sf, 10),
+		Orders:           clamp(15000*sf, 100),
+		Suppliers:        clamp(100*sf, 5),
+		Parts:            clamp(2000*sf, 20),
+		Seed:             42,
+		MaxLinesPerOrder: 7,
+	}
+}
+
+// Dataset holds the generated tables.
+type Dataset struct {
+	Customer *storage.Table
+	Orders   *storage.Table
+	Lineitem *storage.Table
+	Supplier *storage.Table
+	Part     *storage.Table
+	PartSupp *storage.Table
+	Nation   *storage.Table
+}
+
+// Install registers every table in the catalog.
+func (d *Dataset) Install(cat *storage.Catalog) error {
+	for _, t := range []*storage.Table{
+		d.Customer, d.Orders, d.Lineitem, d.Supplier, d.Part, d.PartSupp, d.Nation,
+	} {
+		if err := cat.Create(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tables returns the tables in a stable order.
+func (d *Dataset) Tables() []*storage.Table {
+	return []*storage.Table{
+		d.Customer, d.Orders, d.Lineitem, d.Supplier, d.Part, d.PartSupp, d.Nation,
+	}
+}
+
+var nationNames = []string{
+	"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+	"FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+	"JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+	"ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+	"UNITED STATES",
+}
+
+var partTypes = []string{
+	"STANDARD BRASS", "SMALL STEEL", "MEDIUM COPPER", "LARGE TIN",
+	"ECONOMY NICKEL", "PROMO BRASS", "STANDARD STEEL", "SMALL COPPER",
+}
+
+var segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+
+// Generate builds the dataset deterministically from cfg.Seed.
+func Generate(cfg Config) *Dataset {
+	if cfg.MaxLinesPerOrder <= 0 {
+		cfg.MaxLinesPerOrder = 7
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	d := &Dataset{}
+
+	// nation
+	d.Nation = storage.NewTable("nation", storage.Schema{
+		{Name: "n_nationkey", Type: types.KindInt},
+		{Name: "n_name", Type: types.KindText},
+		{Name: "n_regionkey", Type: types.KindInt},
+	})
+	for i, name := range nationNames {
+		d.Nation.MustInsert(types.Row{types.Int(int64(i)), types.Text(name), types.Int(int64(i % 5))})
+	}
+
+	// supplier
+	d.Supplier = storage.NewTable("supplier", storage.Schema{
+		{Name: "s_suppkey", Type: types.KindInt},
+		{Name: "s_name", Type: types.KindText},
+		{Name: "s_nationkey", Type: types.KindInt},
+		{Name: "s_acctbal", Type: types.KindFloat},
+	})
+	for i := 1; i <= cfg.Suppliers; i++ {
+		d.Supplier.MustInsert(types.Row{
+			types.Int(int64(i)),
+			types.Text(fmt.Sprintf("Supplier#%09d", i)),
+			types.Int(int64(r.Intn(len(nationNames)))),
+			types.Float(money(r, -999.99, 9999.99)),
+		})
+	}
+
+	// part
+	d.Part = storage.NewTable("part", storage.Schema{
+		{Name: "p_partkey", Type: types.KindInt},
+		{Name: "p_name", Type: types.KindText},
+		{Name: "p_type", Type: types.KindText},
+		{Name: "p_retailprice", Type: types.KindFloat},
+	})
+	retail := make([]float64, cfg.Parts+1)
+	for i := 1; i <= cfg.Parts; i++ {
+		// dbgen: 900 + (partkey/10)%2001 cents offset pattern.
+		price := 900.0 + float64((i*7)%1100) + float64(i%100)/100
+		retail[i] = price
+		d.Part.MustInsert(types.Row{
+			types.Int(int64(i)),
+			types.Text(fmt.Sprintf("part %d", i)),
+			types.Text(partTypes[i%len(partTypes)]),
+			types.Float(price),
+		})
+	}
+
+	// partsupp: dbgen associates each part with 4 suppliers via the
+	// (partkey + i*(S/4)) formula.
+	d.PartSupp = storage.NewTable("partsupp", storage.Schema{
+		{Name: "ps_partkey", Type: types.KindInt},
+		{Name: "ps_suppkey", Type: types.KindInt},
+		{Name: "ps_availqty", Type: types.KindInt},
+		{Name: "ps_supplycost", Type: types.KindFloat},
+	})
+	for p := 1; p <= cfg.Parts; p++ {
+		for i := 0; i < 4; i++ {
+			d.PartSupp.MustInsert(types.Row{
+				types.Int(int64(p)),
+				types.Int(int64(supplierFor(p, i, cfg.Suppliers))),
+				types.Int(int64(1 + r.Intn(9999))),
+				types.Float(money(r, 1, 1000)),
+			})
+		}
+	}
+
+	// customer
+	d.Customer = storage.NewTable("customer", storage.Schema{
+		{Name: "c_custkey", Type: types.KindInt},
+		{Name: "c_name", Type: types.KindText},
+		{Name: "c_acctbal", Type: types.KindFloat},
+		{Name: "c_nationkey", Type: types.KindInt},
+		{Name: "c_mktsegment", Type: types.KindText},
+	})
+	for i := 1; i <= cfg.Customers; i++ {
+		d.Customer.MustInsert(types.Row{
+			types.Int(int64(i)),
+			types.Text(fmt.Sprintf("Customer#%09d", i)),
+			types.Float(money(r, -999.99, 9999.99)),
+			types.Int(int64(r.Intn(len(nationNames)))),
+			types.Text(segments[r.Intn(len(segments))]),
+		})
+	}
+
+	// orders + lineitem (o_totalprice derived from its lines, as dbgen).
+	d.Orders = storage.NewTable("orders", storage.Schema{
+		{Name: "o_orderkey", Type: types.KindInt},
+		{Name: "o_custkey", Type: types.KindInt},
+		{Name: "o_totalprice", Type: types.KindFloat},
+		{Name: "o_orderdate", Type: types.KindDate},
+		{Name: "o_orderstatus", Type: types.KindText},
+	})
+	d.Lineitem = storage.NewTable("lineitem", storage.Schema{
+		{Name: "l_orderkey", Type: types.KindInt},
+		{Name: "l_partkey", Type: types.KindInt},
+		{Name: "l_suppkey", Type: types.KindInt},
+		{Name: "l_linenumber", Type: types.KindInt},
+		{Name: "l_quantity", Type: types.KindFloat},
+		{Name: "l_extendedprice", Type: types.KindFloat},
+		{Name: "l_discount", Type: types.KindFloat},
+		{Name: "l_tax", Type: types.KindFloat},
+		{Name: "l_shipdate", Type: types.KindDate},
+		{Name: "l_commitdate", Type: types.KindDate},
+		{Name: "l_receiptdate", Type: types.KindDate},
+	})
+	startDate := types.DaysFromCivil(1992, 1, 1)
+	endDate := types.DaysFromCivil(1998, 8, 2)
+	for o := 1; o <= cfg.Orders; o++ {
+		cust := 1 + r.Intn(cfg.Customers)
+		orderDate := startDate + int64(r.Intn(int(endDate-startDate-151)))
+		nlines := 1 + r.Intn(cfg.MaxLinesPerOrder)
+		total := 0.0
+		for l := 1; l <= nlines; l++ {
+			part := 1 + r.Intn(cfg.Parts)
+			supp := supplierFor(part, r.Intn(4), cfg.Suppliers)
+			qty := float64(1 + r.Intn(50))
+			ext := qty * retail[part]
+			disc := float64(r.Intn(11)) / 100
+			tax := float64(r.Intn(9)) / 100
+			ship := orderDate + int64(1+r.Intn(121))
+			commit := orderDate + int64(30+r.Intn(61))
+			receipt := ship + int64(1+r.Intn(30))
+			total += ext * (1 + tax) * (1 - disc)
+			d.Lineitem.MustInsert(types.Row{
+				types.Int(int64(o)),
+				types.Int(int64(part)),
+				types.Int(int64(supp)),
+				types.Int(int64(l)),
+				types.Float(qty),
+				types.Float(ext),
+				types.Float(disc),
+				types.Float(tax),
+				types.Date(ship),
+				types.Date(commit),
+				types.Date(receipt),
+			})
+		}
+		status := "O"
+		if r.Intn(2) == 0 {
+			status = "F"
+		}
+		d.Orders.MustInsert(types.Row{
+			types.Int(int64(o)),
+			types.Int(int64(cust)),
+			types.Float(total),
+			types.Date(orderDate),
+			types.Text(status),
+		})
+	}
+	return d
+}
+
+// supplierFor reproduces dbgen's part→supplier association.
+func supplierFor(part, i, suppliers int) int {
+	return (part+i*((suppliers/4)+(part-1)/suppliers))%suppliers + 1
+}
+
+// money draws a uniform amount rounded to cents.
+func money(r *rand.Rand, lo, hi float64) float64 {
+	v := lo + r.Float64()*(hi-lo)
+	return float64(int64(v*100)) / 100
+}

@@ -1,0 +1,209 @@
+package tpch
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sgb-db/sgb/internal/storage"
+	"github.com/sgb-db/sgb/internal/types"
+)
+
+func TestScaleRows(t *testing.T) {
+	c := ScaleRows(1)
+	if c.Customers != 1500 || c.Orders != 15000 || c.Suppliers != 100 || c.Parts != 2000 {
+		t.Fatalf("SF1 config = %+v", c)
+	}
+	// dbgen ratios hold: orders = 10x customers.
+	if c.Orders != 10*c.Customers {
+		t.Error("order/customer ratio broken")
+	}
+	// Minimums at tiny SF.
+	c = ScaleRows(0.0001)
+	if c.Customers < 10 || c.Suppliers < 5 {
+		t.Fatalf("tiny SF config = %+v", c)
+	}
+}
+
+func TestGenerateCardinalities(t *testing.T) {
+	cfg := ScaleRows(0.1)
+	d := Generate(cfg)
+	if d.Customer.Len() != cfg.Customers {
+		t.Errorf("customers = %d, want %d", d.Customer.Len(), cfg.Customers)
+	}
+	if d.Orders.Len() != cfg.Orders {
+		t.Errorf("orders = %d, want %d", d.Orders.Len(), cfg.Orders)
+	}
+	if d.Supplier.Len() != cfg.Suppliers || d.Part.Len() != cfg.Parts {
+		t.Error("supplier/part counts wrong")
+	}
+	if d.PartSupp.Len() != 4*cfg.Parts {
+		t.Errorf("partsupp = %d, want %d", d.PartSupp.Len(), 4*cfg.Parts)
+	}
+	if d.Nation.Len() != 25 {
+		t.Errorf("nations = %d", d.Nation.Len())
+	}
+	// Lineitems average 1–7 per order.
+	ratio := float64(d.Lineitem.Len()) / float64(d.Orders.Len())
+	if ratio < 1 || ratio > 7 {
+		t.Errorf("lineitems per order = %v", ratio)
+	}
+}
+
+func TestReferentialIntegrity(t *testing.T) {
+	cfg := ScaleRows(0.05)
+	d := Generate(cfg)
+	// Every lineitem references a live order, part, and supplier; every
+	// (partkey, suppkey) pair exists in partsupp — the join the SGB3
+	// query depends on.
+	ps := make(map[[2]int64]bool)
+	for _, row := range d.PartSupp.Rows {
+		ps[[2]int64{row[0].I, row[1].I}] = true
+		if row[1].I < 1 || row[1].I > int64(cfg.Suppliers) {
+			t.Fatalf("partsupp suppkey out of range: %v", row[1].I)
+		}
+	}
+	for _, row := range d.Lineitem.Rows {
+		ok := row[0].I >= 1 && row[0].I <= int64(cfg.Orders)
+		if !ok {
+			t.Fatalf("lineitem orderkey out of range: %v", row[0].I)
+		}
+		if !ps[[2]int64{row[1].I, row[2].I}] {
+			t.Fatalf("lineitem (part=%d, supp=%d) missing from partsupp", row[1].I, row[2].I)
+		}
+	}
+	for _, row := range d.Orders.Rows {
+		if row[1].I < 1 || row[1].I > int64(cfg.Customers) {
+			t.Fatalf("order custkey out of range: %v", row[1].I)
+		}
+	}
+}
+
+func TestOrderTotalsDerivedFromLineitems(t *testing.T) {
+	d := Generate(Config{Customers: 20, Orders: 50, Suppliers: 8, Parts: 30, Seed: 3})
+	// o_totalprice = Σ ext*(1+tax)*(1-disc) over the order's lines.
+	sums := make(map[int64]float64)
+	for _, row := range d.Lineitem.Rows {
+		ext, disc, tax := row[5].F, row[6].F, row[7].F
+		sums[row[0].I] += ext * (1 + tax) * (1 - disc)
+	}
+	for _, row := range d.Orders.Rows {
+		want := sums[row[0].I]
+		if math.Abs(row[2].F-want) > 1e-6*math.Max(1, want) {
+			t.Fatalf("order %d totalprice %v != derived %v", row[0].I, row[2].F, want)
+		}
+	}
+	// Ship < receipt for every line.
+	for _, row := range d.Lineitem.Rows {
+		if row[8].I >= row[10].I {
+			t.Fatalf("shipdate %v not before receiptdate %v", row[8], row[10])
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Customers: 15, Orders: 40, Suppliers: 6, Parts: 25, Seed: 9}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if a.Lineitem.Len() != b.Lineitem.Len() {
+		t.Fatal("nondeterministic lineitem count")
+	}
+	for i := range a.Lineitem.Rows {
+		for j := range a.Lineitem.Rows[i] {
+			if a.Lineitem.Rows[i][j] != b.Lineitem.Rows[i][j] {
+				t.Fatalf("nondeterministic cell (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestInstall(t *testing.T) {
+	cat := storage.NewCatalog()
+	d := Generate(Config{Customers: 10, Orders: 20, Suppliers: 5, Parts: 10, Seed: 1})
+	if err := d.Install(cat); err != nil {
+		t.Fatal(err)
+	}
+	names := cat.Names()
+	want := []string{"customer", "lineitem", "nation", "orders", "part", "partsupp", "supplier"}
+	if len(names) != len(want) {
+		t.Fatalf("catalog names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("catalog names = %v", names)
+		}
+	}
+	// Double install fails cleanly.
+	if err := d.Install(cat); err == nil {
+		t.Error("double install accepted")
+	}
+	if len(d.Tables()) != 7 {
+		t.Errorf("Tables() = %d", len(d.Tables()))
+	}
+}
+
+func TestSupplierForInRange(t *testing.T) {
+	for _, s := range []int{4, 5, 7, 100} {
+		for p := 1; p <= 40; p++ {
+			for i := 0; i < 4; i++ {
+				got := supplierFor(p, i, s)
+				if got < 1 || got > s {
+					t.Fatalf("supplierFor(%d,%d,%d) = %d out of range", p, i, s, got)
+				}
+			}
+		}
+	}
+}
+
+func TestQueriesRenderValidSQL(t *testing.T) {
+	// The rendered query strings must at least be non-empty and contain
+	// their defining clauses (full parse/execution is covered by the
+	// engine integration tests and benchkit).
+	if q := GB1(300); len(q) == 0 {
+		t.Error("GB1 empty")
+	}
+	for _, q := range []string{
+		SGB12(false, 1, "join-any", 100, 1000),
+		SGB12(true, 1, "", 100, 1000),
+		SGB34(false, 1, "eliminate"),
+		SGB34(true, 1, ""),
+		SGB56(false, 1, "form-new"),
+		SGB56(true, 1, ""),
+	} {
+		if len(q) == 0 {
+			t.Fatal("empty SGB query")
+		}
+	}
+	if !contains(SGB12(false, 1, "join-any", 1, 1), "DISTANCE-ALL") {
+		t.Error("SGB1 missing DISTANCE-ALL")
+	}
+	if !contains(SGB12(true, 1, "", 1, 1), "DISTANCE-ANY") {
+		t.Error("SGB2 missing DISTANCE-ANY")
+	}
+	if contains(SGB34(true, 1, ""), "OVERLAP") {
+		t.Error("SGB4 (ANY) must not carry an overlap clause")
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+func TestInsertIntoSQLValue(t *testing.T) {
+	// Generated values fit their declared column kinds (MustInsert
+	// would have panicked otherwise), and dates land in TPC-H range.
+	d := Generate(Config{Customers: 10, Orders: 30, Suppliers: 5, Parts: 10, Seed: 2})
+	lo := types.DaysFromCivil(1992, 1, 1)
+	hi := types.DaysFromCivil(1999, 1, 1)
+	for _, row := range d.Orders.Rows {
+		if row[3].I < lo || row[3].I > hi {
+			t.Fatalf("orderdate %v out of range", row[3])
+		}
+	}
+}

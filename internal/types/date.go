@@ -1,0 +1,136 @@
+package types
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Civil-calendar conversions using the days-from-civil algorithm
+// (proleptic Gregorian, days relative to 1970-01-01). Implemented
+// directly rather than via time.Time so date values stay pure integers
+// with no timezone semantics — appropriate for TPC-H-style data.
+
+// DaysFromCivil converts a calendar date to days since 1970-01-01.
+func DaysFromCivil(y, m, d int) int64 {
+	yy := int64(y)
+	if m <= 2 {
+		yy--
+	}
+	var era int64
+	if yy >= 0 {
+		era = yy / 400
+	} else {
+		era = (yy - 399) / 400
+	}
+	yoe := yy - era*400 // [0, 399]
+	var mp int64
+	if m > 2 {
+		mp = int64(m) - 3
+	} else {
+		mp = int64(m) + 9
+	}
+	doy := (153*mp+2)/5 + int64(d) - 1     // [0, 365]
+	doe := yoe*365 + yoe/4 - yoe/100 + doy // [0, 146096]
+	return era*146097 + doe - 719468
+}
+
+// CivilFromDays converts days since 1970-01-01 back to (y, m, d).
+func CivilFromDays(z int64) (y, m, d int) {
+	z += 719468
+	var era int64
+	if z >= 0 {
+		era = z / 146097
+	} else {
+		era = (z - 146096) / 146097
+	}
+	doe := z - era*146097
+	yoe := (doe - doe/1460 + doe/36524 - doe/146096) / 365
+	yy := yoe + era*400
+	doy := doe - (365*yoe + yoe/4 - yoe/100)
+	mp := (5*doy + 2) / 153
+	d = int(doy - (153*mp+2)/5 + 1)
+	if mp < 10 {
+		m = int(mp + 3)
+	} else {
+		m = int(mp - 9)
+	}
+	if m <= 2 {
+		yy++
+	}
+	return int(yy), m, d
+}
+
+// AddMonths shifts a day number by calendar months, clamping the day of
+// month (Jan 31 + 1 month = Feb 28/29), matching SQL interval rules.
+func AddMonths(days, months int64) int64 {
+	y, m, d := CivilFromDays(days)
+	total := int64(y)*12 + int64(m-1) + months
+	ny := int(total / 12)
+	nm := int(total%12) + 1
+	if nm <= 0 { // negative month wrap
+		nm += 12
+		ny--
+	}
+	if dim := daysInMonth(ny, nm); d > dim {
+		d = dim
+	}
+	return DaysFromCivil(ny, nm, d)
+}
+
+func daysInMonth(y, m int) int {
+	switch m {
+	case 1, 3, 5, 7, 8, 10, 12:
+		return 31
+	case 4, 6, 9, 11:
+		return 30
+	default:
+		if isLeap(y) {
+			return 29
+		}
+		return 28
+	}
+}
+
+func isLeap(y int) bool {
+	return y%4 == 0 && (y%100 != 0 || y%400 == 0)
+}
+
+// ParseDate parses "YYYY-MM-DD" (tolerating the bracketed TPC-H
+// template form "[YYYY-MM-DD]") into a date value.
+func ParseDate(s string) (Value, error) {
+	s = strings.Trim(strings.TrimSpace(s), "[]")
+	parts := strings.Split(s, "-")
+	if len(parts) != 3 {
+		return Value{}, fmt.Errorf("types: invalid date %q", s)
+	}
+	y, err1 := strconv.Atoi(parts[0])
+	m, err2 := strconv.Atoi(parts[1])
+	d, err3 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil || err3 != nil ||
+		m < 1 || m > 12 || d < 1 || d > daysInMonth(y, m) {
+		return Value{}, fmt.Errorf("types: invalid date %q", s)
+	}
+	return Date(DaysFromCivil(y, m, d)), nil
+}
+
+// ParseInterval parses an interval count with a unit keyword
+// (year/month/day/week).
+func ParseInterval(count string, unit string) (Value, error) {
+	n, err := strconv.ParseInt(strings.TrimSpace(strings.Trim(count, "'")), 10, 64)
+	if err != nil {
+		return Value{}, fmt.Errorf("types: invalid interval count %q", count)
+	}
+	switch strings.ToLower(unit) {
+	case "year", "years":
+		return Interval(12*n, 0), nil
+	case "month", "months":
+		return Interval(n, 0), nil
+	case "day", "days":
+		return Interval(0, float64(n)), nil
+	case "week", "weeks":
+		return Interval(0, float64(7*n)), nil
+	default:
+		return Value{}, fmt.Errorf("types: unknown interval unit %q", unit)
+	}
+}

@@ -1,0 +1,129 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCivilRoundTripKnownDates(t *testing.T) {
+	cases := []struct {
+		y, m, d int
+		days    int64
+	}{
+		{1970, 1, 1, 0},
+		{1970, 1, 2, 1},
+		{1969, 12, 31, -1},
+		{2000, 2, 29, 11016}, // leap day
+		{1992, 1, 1, 8035},   // TPC-H start date
+		{1998, 8, 2, 10440},  // TPC-H end date
+	}
+	for _, c := range cases {
+		if got := DaysFromCivil(c.y, c.m, c.d); got != c.days {
+			t.Errorf("DaysFromCivil(%d-%d-%d) = %d, want %d", c.y, c.m, c.d, got, c.days)
+		}
+		y, m, d := CivilFromDays(c.days)
+		if y != c.y || m != c.m || d != c.d {
+			t.Errorf("CivilFromDays(%d) = %d-%d-%d", c.days, y, m, d)
+		}
+	}
+}
+
+// Property: DaysFromCivil and CivilFromDays are inverse over a wide
+// range, and consecutive days map to valid consecutive dates.
+func TestCivilRoundTripQuick(t *testing.T) {
+	f := func(offset int32) bool {
+		days := int64(offset % 200000) // ±547 years around 1970
+		y, m, d := CivilFromDays(days)
+		return DaysFromCivil(y, m, d) == days
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeapYears(t *testing.T) {
+	for _, c := range []struct {
+		y    int
+		leap bool
+	}{
+		{2000, true}, {1900, false}, {1996, true}, {1999, false}, {2400, true},
+	} {
+		if got := isLeap(c.y); got != c.leap {
+			t.Errorf("isLeap(%d) = %v", c.y, got)
+		}
+	}
+	if daysInMonth(2000, 2) != 29 || daysInMonth(1900, 2) != 28 || daysInMonth(1999, 4) != 30 {
+		t.Error("daysInMonth wrong")
+	}
+}
+
+func TestAddMonths(t *testing.T) {
+	cases := []struct {
+		from   string
+		months int64
+		want   string
+	}{
+		{"1995-01-15", 1, "1995-02-15"},
+		{"1995-01-31", 1, "1995-02-28"}, // clamp
+		{"1996-01-31", 1, "1996-02-29"}, // clamp to leap day
+		{"1995-11-30", 3, "1996-02-29"},
+		{"1995-06-15", -7, "1994-11-15"},
+		{"1995-01-15", 12, "1996-01-15"},
+		{"1995-01-15", -13, "1993-12-15"},
+	}
+	for _, c := range cases {
+		from, err := ParseDate(c.from)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Date(AddMonths(from.I, c.months))
+		if got.String() != c.want {
+			t.Errorf("%s + %d months = %s, want %s", c.from, c.months, got, c.want)
+		}
+	}
+}
+
+func TestParseDate(t *testing.T) {
+	good := map[string]string{
+		"1995-03-15":   "1995-03-15",
+		"[1995-03-15]": "1995-03-15", // TPC-H template brackets
+		" 2000-02-29 ": "2000-02-29",
+	}
+	for in, want := range good {
+		v, err := ParseDate(in)
+		if err != nil || v.String() != want {
+			t.Errorf("ParseDate(%q) = %v, %v", in, v, err)
+		}
+	}
+	bad := []string{"", "1995", "1995-13-01", "1995-02-30", "1999-02-29", "x-y-z", "1995/03/15"}
+	for _, in := range bad {
+		if _, err := ParseDate(in); err == nil {
+			t.Errorf("ParseDate accepted %q", in)
+		}
+	}
+}
+
+func TestParseInterval(t *testing.T) {
+	v, err := ParseInterval("10", "month")
+	if err != nil || v.I != 10 || v.F != 0 {
+		t.Fatalf("interval month = %v, %v", v, err)
+	}
+	v, err = ParseInterval("2", "years")
+	if err != nil || v.I != 24 {
+		t.Fatalf("interval years = %v, %v", v, err)
+	}
+	v, err = ParseInterval("3", "week")
+	if err != nil || v.F != 21 {
+		t.Fatalf("interval weeks = %v, %v", v, err)
+	}
+	v, err = ParseInterval("'5'", "day")
+	if err != nil || v.F != 5 {
+		t.Fatalf("quoted interval = %v, %v", v, err)
+	}
+	if _, err := ParseInterval("x", "day"); err == nil {
+		t.Error("bad count accepted")
+	}
+	if _, err := ParseInterval("1", "fortnight"); err == nil {
+		t.Error("bad unit accepted")
+	}
+}

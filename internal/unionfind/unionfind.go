@@ -1,0 +1,97 @@
+// Package unionfind implements a disjoint-set forest with union by rank
+// and path compression (Tarjan & van Leeuwen). The SGB-Any executor uses
+// it "to keep track of existing, newly created, and merged groups"
+// (Procedure 8 / Figure 8b of the paper): when an input point bridges
+// several groups, their roots are redirected to a single representative.
+//
+// Amortized cost per operation is O(α(n)) where α is the inverse
+// Ackermann function (α(n) ≤ 4 for any realistic n), which is what gives
+// SGB-Any its O(n log n) average-case bound.
+package unionfind
+
+// UF is a disjoint-set forest over the integers [0, Len()).
+// The zero value is an empty forest; use Add or MakeSet to grow it.
+type UF struct {
+	parent []int32
+	rank   []int8
+	count  int // number of disjoint sets
+}
+
+// New returns a forest with n singleton sets {0}, {1}, ..., {n-1}.
+func New(n int) *UF {
+	u := &UF{
+		parent: make([]int32, n),
+		rank:   make([]int8, n),
+		count:  n,
+	}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+	}
+	return u
+}
+
+// Add appends a fresh singleton set and returns its element id.
+func (u *UF) Add() int {
+	id := len(u.parent)
+	u.parent = append(u.parent, int32(id))
+	u.rank = append(u.rank, 0)
+	u.count++
+	return id
+}
+
+// Len returns the number of elements in the forest.
+func (u *UF) Len() int { return len(u.parent) }
+
+// Count returns the current number of disjoint sets.
+func (u *UF) Count() int { return u.count }
+
+// Find returns the representative (root) of x's set, compressing the
+// path along the way.
+func (u *UF) Find(x int) int {
+	root := int32(x)
+	for u.parent[root] != root {
+		root = u.parent[root]
+	}
+	// Path compression: point every node on the walk at the root.
+	for int32(x) != root {
+		next := u.parent[x]
+		u.parent[x] = root
+		x = int(next)
+	}
+	return int(root)
+}
+
+// Union merges the sets containing x and y and returns the root of the
+// merged set. It is a no-op (returning the common root) when x and y
+// are already in the same set.
+func (u *UF) Union(x, y int) int {
+	rx, ry := u.Find(x), u.Find(y)
+	if rx == ry {
+		return rx
+	}
+	// Union by rank: attach the shorter tree under the taller one.
+	if u.rank[rx] < u.rank[ry] {
+		rx, ry = ry, rx
+	}
+	u.parent[ry] = int32(rx)
+	if u.rank[rx] == u.rank[ry] {
+		u.rank[rx]++
+	}
+	u.count--
+	return rx
+}
+
+// Same reports whether x and y are in the same set.
+func (u *UF) Same(x, y int) bool { return u.Find(x) == u.Find(y) }
+
+// Sets returns the current partition as a map from root id to the
+// sorted-by-insertion slice of member ids. Intended for result
+// extraction and tests; O(n).
+func (u *UF) Sets() map[int][]int {
+	sets := make(map[int][]int)
+	for i := range u.parent {
+		r := u.Find(i)
+		sets[r] = append(sets[r], i)
+	}
+	return sets
+}

@@ -1,0 +1,110 @@
+// Package sgb is a Go implementation of the similarity group-by
+// operators of Tang et al., "Similarity Group-by Operators for
+// Multi-dimensional Relational Data" (ICDE 2016): SGB-All
+// (DISTANCE-TO-ALL, clique groups with JOIN-ANY / ELIMINATE /
+// FORM-NEW-GROUP overlap arbitration) and SGB-Any (DISTANCE-TO-ANY,
+// connected components), over L2 and L∞ metrics.
+//
+// The package offers two entry points:
+//
+//   - the standalone operator API (GroupByAll, GroupByAny) for grouping
+//     slices of multi-dimensional points directly, and
+//
+//   - an embedded SQL engine (Open / DB.Query) that accepts the paper's
+//     extended GROUP BY syntax:
+//
+//     SELECT count(*) FROM gps
+//     GROUP BY lat, lon DISTANCE-TO-ALL LINF WITHIN 3
+//     ON-OVERLAP JOIN-ANY
+//
+// Three evaluation strategies are provided, mirroring the paper's
+// experiments: the naive All-Pairs baseline, Bounds-Checking with ε-All
+// bounding rectangles, and the on-the-fly R-tree index (the default).
+package sgb
+
+import (
+	"github.com/sgb-db/sgb/internal/core"
+	"github.com/sgb-db/sgb/internal/geom"
+)
+
+// Point is a point in d-dimensional space (usually d = 2: the paper's
+// latitude/longitude or derived TPC-H attribute pairs).
+type Point = geom.Point
+
+// Metric is a Minkowski distance function.
+type Metric = geom.Metric
+
+// Supported metrics.
+const (
+	// L2 is the Euclidean distance.
+	L2 = geom.L2
+	// LInf is the maximum (Chebyshev) distance.
+	LInf = geom.LInf
+)
+
+// Overlap selects the SGB-All ON-OVERLAP arbitration semantics.
+type Overlap = core.Overlap
+
+// ON-OVERLAP actions.
+const (
+	// JoinAny inserts an overlapping point into one arbitrary
+	// (seeded-random) candidate group.
+	JoinAny = core.JoinAny
+	// Eliminate drops overlapping points from the output.
+	Eliminate = core.Eliminate
+	// FormNewGroup segregates overlapping points into new groups.
+	FormNewGroup = core.FormNewGroup
+)
+
+// Algorithm selects the evaluation strategy.
+type Algorithm = core.Algorithm
+
+// Evaluation strategies.
+const (
+	// AllPairs is the quadratic baseline.
+	AllPairs = core.AllPairs
+	// BoundsCheck uses ε-All bounding rectangles (SGB-All only).
+	BoundsCheck = core.BoundsCheck
+	// OnTheFlyIndex additionally indexes groups (or points, for
+	// SGB-Any) in an R-tree. The default and fastest strategy.
+	OnTheFlyIndex = core.OnTheFlyIndex
+)
+
+// Options configures a similarity group-by evaluation.
+type Options = core.Options
+
+// Group is one output group (indices into the input slice).
+type Group = core.Group
+
+// Result is the outcome of a grouping: the groups plus any points
+// dropped by ON-OVERLAP ELIMINATE.
+type Result = core.Result
+
+// Stats accumulates operator-level counters (distance computations,
+// rectangle tests, index probes, ...) when attached to Options.Stats.
+type Stats = core.Stats
+
+// GroupByAll evaluates SGB-All: every pair of points within an output
+// group is within Options.Eps under Options.Metric, and points that
+// qualify for several groups are arbitrated by Options.Overlap.
+//
+// Group membership is reported as indices into points. Like the
+// paper's operator, the grouping is input-order sensitive.
+func GroupByAll(points []Point, opt Options) (*Result, error) {
+	return core.SGBAll(points, opt)
+}
+
+// GroupByAny evaluates SGB-Any: output groups are the maximal connected
+// components of the ε-similarity graph (a point joins a group if it is
+// within Options.Eps of at least one member). Options.Overlap is
+// ignored — overlapping groups merge. The partition is independent of
+// input order.
+func GroupByAny(points []Point, opt Options) (*Result, error) {
+	return core.SGBAny(points, opt)
+}
+
+// ConnectedComponents is the brute-force reference implementation of
+// the SGB-Any semantics, exposed for verification and testing.
+func ConnectedComponents(points []Point, metric Metric, eps float64) []Group {
+	return core.ConnectedComponents(points, metric, eps)
+}

@@ -40,6 +40,7 @@ var benchAlgs = []struct {
 	{"AllPairs", sgb.AllPairs},
 	{"BoundsChecking", sgb.BoundsCheck},
 	{"Index", sgb.OnTheFlyIndex},
+	{"Grid", sgb.GridIndex},
 }
 
 // benchSGBAll is the common body for the Figure 9a–c families.
@@ -90,6 +91,53 @@ func BenchmarkFig9d(b *testing.B) {
 	}
 }
 
+// BenchmarkGrid — the ε-grid finder head-to-head against the R-tree
+// index on the Fig9a uniform workload (n=4000, ε=0.5, L2), for both
+// operators, plus the flat-storage entry point that skips the []Point
+// adaptation entirely.
+func BenchmarkGrid(b *testing.B) {
+	pts := benchPoints(4000, 1)
+	flat := sgb.FromPoints(pts)
+	duel := []struct {
+		name string
+		alg  sgb.Algorithm
+	}{
+		{"Index", sgb.OnTheFlyIndex},
+		{"Grid", sgb.GridIndex},
+	}
+	for _, a := range duel {
+		b.Run("All/"+a.name, func(b *testing.B) {
+			opt := sgb.Options{Metric: sgb.L2, Eps: 0.5, Overlap: sgb.JoinAny, Algorithm: a.alg, Seed: 1}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sgb.GroupByAll(pts, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, a := range duel {
+		b.Run("Any/"+a.name, func(b *testing.B) {
+			opt := sgb.Options{Metric: sgb.L2, Eps: 0.5, Algorithm: a.alg}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sgb.GroupByAny(pts, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("All/Grid/PointSet", func(b *testing.B) {
+		opt := sgb.Options{Metric: sgb.L2, Eps: 0.5, Overlap: sgb.JoinAny, Algorithm: sgb.GridIndex, Seed: 1}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sgb.GroupByAllSet(flat, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // benchFig10 is the size-sweep body (ε fixed at 0.2).
 func benchFig10(b *testing.B, overlap sgb.Overlap, algs []struct {
 	name string
@@ -128,12 +176,12 @@ func BenchmarkFig10b(b *testing.B) { benchFig10(b, sgb.Eliminate, boundsVsIndex,
 // BenchmarkFig10c — size sweep, SGB-All FORM-NEW-GROUP.
 func BenchmarkFig10c(b *testing.B) { benchFig10(b, sgb.FormNewGroup, boundsVsIndex, false) }
 
-// BenchmarkFig10d — size sweep, SGB-Any (All-Pairs vs Index).
+// BenchmarkFig10d — size sweep, SGB-Any (All-Pairs vs Index vs Grid).
 func BenchmarkFig10d(b *testing.B) {
 	algs := []struct {
 		name string
 		alg  sgb.Algorithm
-	}{benchAlgs[0], benchAlgs[2]}
+	}{benchAlgs[0], benchAlgs[2], benchAlgs[3]}
 	benchFig10(b, sgb.JoinAny, algs, true)
 }
 

@@ -1,0 +1,3 @@
+module github.com/sgb-db/sgb
+
+go 1.21

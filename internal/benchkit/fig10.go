@@ -20,7 +20,7 @@ func init() {
 		id, title string
 		overlap   core.Overlap
 	}{
-		{"fig10a", "size sweep, SGB-All JOIN-ANY (Bounds-Checking vs Index)", core.JoinAny},
+		{"fig10a", "size sweep, SGB-All JOIN-ANY (Bounds-Checking vs Index vs Grid)", core.JoinAny},
 		{"fig10b", "size sweep, SGB-All ELIMINATE", core.Eliminate},
 		{"fig10c", "size sweep, SGB-All FORM-NEW-GROUP", core.FormNewGroup},
 	} {
@@ -35,7 +35,7 @@ func init() {
 	}
 	register(Experiment{
 		ID:    "fig10d",
-		Title: "size sweep, SGB-Any (All-Pairs vs Index)",
+		Title: "size sweep, SGB-Any (All-Pairs vs Index vs Grid)",
 		Expect: "All-Pairs grows quadratically; Index grows near-linearly and ends " +
 			"≈3 orders of magnitude faster at the largest size",
 		Run: runFig10Any,
@@ -65,22 +65,27 @@ func runFig10All(cfg Config, ov core.Overlap) error {
 	}
 	fmt.Fprintf(cfg.Out, "uniform points in [0,10]^2, L2, eps=%v, ON-OVERLAP %v\n\n", eps, ov)
 
-	t := newTable(cfg.Out, "n", "Bounds(ms)", "Index(ms)", "Index-speedup",
-		"Bounds-growth", "Index-growth", "groups")
-	var prevB, prevI float64
+	t := newTable(cfg.Out, "n", "Bounds(ms)", "Index(ms)", "Grid(ms)", "Grid-speedup",
+		"Bounds-growth", "Index-growth", "Grid-growth", "groups")
+	var prevB, prevI, prevG float64
 	for _, n := range sizes {
 		pts := uniformPoints(n, 10, cfg.Seed+3)
 		bc, _, err := timeSGBAll(pts, core.BoundsCheck, ov, eps)
 		if err != nil {
 			return err
 		}
-		ix, groups, err := timeSGBAll(pts, core.OnTheFlyIndex, ov, eps)
+		ix, _, err := timeSGBAll(pts, core.OnTheFlyIndex, ov, eps)
 		if err != nil {
 			return err
 		}
-		bms, ims := float64(bc.Microseconds()), float64(ix.Microseconds())
-		t.row(n, ms(bc), ms(ix), speedup(bc, ix), growth(prevB, bms), growth(prevI, ims), groups)
-		prevB, prevI = bms, ims
+		gr, groups, err := timeSGBAll(pts, core.GridIndex, ov, eps)
+		if err != nil {
+			return err
+		}
+		bms, ims, gms := float64(bc.Microseconds()), float64(ix.Microseconds()), float64(gr.Microseconds())
+		t.row(n, ms(bc), ms(ix), ms(gr), speedup(ix, gr),
+			growth(prevB, bms), growth(prevI, ims), growth(prevG, gms), groups)
+		prevB, prevI, prevG = bms, ims, gms
 	}
 	t.flush()
 	return nil
@@ -94,22 +99,27 @@ func runFig10Any(cfg Config) error {
 		cfg.scaled(32000), cfg.scaled(64000)}
 	fmt.Fprintf(cfg.Out, "uniform points in [0,10]^2, L2, eps=%v\n\n", eps)
 
-	t := newTable(cfg.Out, "n", "All-Pairs(ms)", "Index(ms)", "Index-speedup",
-		"AllPairs-growth", "Index-growth", "groups")
-	var prevA, prevI float64
+	t := newTable(cfg.Out, "n", "All-Pairs(ms)", "Index(ms)", "Grid(ms)", "Grid-speedup",
+		"AllPairs-growth", "Index-growth", "Grid-growth", "groups")
+	var prevA, prevI, prevG float64
 	for _, n := range sizes {
 		pts := uniformPoints(n, 10, cfg.Seed+4)
 		ap, _, err := timeSGBAny(pts, core.AllPairs, eps)
 		if err != nil {
 			return err
 		}
-		ix, groups, err := timeSGBAny(pts, core.OnTheFlyIndex, eps)
+		ix, _, err := timeSGBAny(pts, core.OnTheFlyIndex, eps)
 		if err != nil {
 			return err
 		}
-		ams, ims := float64(ap.Microseconds()), float64(ix.Microseconds())
-		t.row(n, ms(ap), ms(ix), speedup(ap, ix), growth(prevA, ams), growth(prevI, ims), groups)
-		prevA, prevI = ams, ims
+		gr, groups, err := timeSGBAny(pts, core.GridIndex, eps)
+		if err != nil {
+			return err
+		}
+		ams, ims, gms := float64(ap.Microseconds()), float64(ix.Microseconds()), float64(gr.Microseconds())
+		t.row(n, ms(ap), ms(ix), ms(gr), speedup(ix, gr),
+			growth(prevA, ams), growth(prevI, ims), growth(prevG, gms), groups)
+		prevA, prevI, prevG = ams, ims, gms
 	}
 	t.flush()
 	return nil

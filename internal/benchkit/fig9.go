@@ -19,7 +19,7 @@ func init() {
 		id, title string
 		overlap   core.Overlap
 	}{
-		{"fig9a", "ε sweep, SGB-All JOIN-ANY (All-Pairs vs Bounds-Checking vs Index)", core.JoinAny},
+		{"fig9a", "ε sweep, SGB-All JOIN-ANY (All-Pairs vs Bounds-Checking vs Index vs Grid)", core.JoinAny},
 		{"fig9b", "ε sweep, SGB-All ELIMINATE", core.Eliminate},
 		{"fig9c", "ε sweep, SGB-All FORM-NEW-GROUP", core.FormNewGroup},
 	} {
@@ -34,7 +34,7 @@ func init() {
 	}
 	register(Experiment{
 		ID:    "fig9d",
-		Title: "ε sweep, SGB-Any (All-Pairs vs Index)",
+		Title: "ε sweep, SGB-Any (All-Pairs vs Index vs Grid)",
 		Expect: "Index ≈2–3 orders of magnitude over All-Pairs for every ε; " +
 			"All-Pairs falls slightly as ε grows, Index stays flat",
 		Run: runFig9Any,
@@ -53,8 +53,8 @@ func runFig9All(cfg Config, ov core.Overlap) error {
 	pts := blobPoints(n, 40, cfg.Seed+1)
 	fmt.Fprintf(cfg.Out, "n = %d points around %d Gaussian blobs (40 points each), L2, ON-OVERLAP %v\n\n", n, n/40, ov)
 
-	t := newTable(cfg.Out, "eps", "All-Pairs(ms)", "Bounds(ms)", "Index(ms)",
-		"Bounds-speedup", "Index-speedup", "groups")
+	t := newTable(cfg.Out, "eps", "All-Pairs(ms)", "Bounds(ms)", "Index(ms)", "Grid(ms)",
+		"Bounds-speedup", "Index-speedup", "Grid-speedup", "groups")
 	for _, eps := range epsSweep {
 		ap, _, err := timeSGBAll(pts, core.AllPairs, ov, eps)
 		if err != nil {
@@ -64,11 +64,16 @@ func runFig9All(cfg Config, ov core.Overlap) error {
 		if err != nil {
 			return err
 		}
-		ix, groups, err := timeSGBAll(pts, core.OnTheFlyIndex, ov, eps)
+		ix, _, err := timeSGBAll(pts, core.OnTheFlyIndex, ov, eps)
 		if err != nil {
 			return err
 		}
-		t.row(eps, ms(ap), ms(bc), ms(ix), speedup(ap, bc), speedup(ap, ix), groups)
+		gr, groups, err := timeSGBAll(pts, core.GridIndex, ov, eps)
+		if err != nil {
+			return err
+		}
+		t.row(eps, ms(ap), ms(bc), ms(ix), ms(gr),
+			speedup(ap, bc), speedup(ap, ix), speedup(ap, gr), groups)
 	}
 	t.flush()
 	return nil
@@ -81,17 +86,22 @@ func runFig9Any(cfg Config) error {
 	pts := blobPoints(n, 10, cfg.Seed+2)
 	fmt.Fprintf(cfg.Out, "n = %d points around %d Gaussian blobs, L2\n\n", n, n/10)
 
-	t := newTable(cfg.Out, "eps", "All-Pairs(ms)", "Index(ms)", "Index-speedup", "groups")
+	t := newTable(cfg.Out, "eps", "All-Pairs(ms)", "Index(ms)", "Grid(ms)",
+		"Index-speedup", "Grid-speedup", "groups")
 	for _, eps := range epsSweep {
 		ap, _, err := timeSGBAny(pts, core.AllPairs, eps)
 		if err != nil {
 			return err
 		}
-		ix, groups, err := timeSGBAny(pts, core.OnTheFlyIndex, eps)
+		ix, _, err := timeSGBAny(pts, core.OnTheFlyIndex, eps)
 		if err != nil {
 			return err
 		}
-		t.row(eps, ms(ap), ms(ix), speedup(ap, ix), groups)
+		gr, groups, err := timeSGBAny(pts, core.GridIndex, eps)
+		if err != nil {
+			return err
+		}
+		t.row(eps, ms(ap), ms(ix), ms(gr), speedup(ap, ix), speedup(ap, gr), groups)
 	}
 	t.flush()
 	return nil

@@ -24,7 +24,7 @@ import (
 func init() {
 	register(Experiment{
 		ID:    "table1",
-		Title: "SGB-All complexity (All-Pairs / Bounds-Checking / on-the-fly Index)",
+		Title: "SGB-All complexity (All-Pairs / Bounds-Checking / on-the-fly Index / ε-Grid)",
 		Expect: "All-Pairs distance computations grow ~4x per doubling (O(n²)); " +
 			"Bounds rect-tests grow ~2x·|G|; Index probes grow ~2x with log-factor work",
 		Run: runTable1,
@@ -44,7 +44,7 @@ func runTable1(cfg Config) error {
 	sizes := []int{cfg.scaled(1000), cfg.scaled(2000), cfg.scaled(4000), cfg.scaled(8000)}
 	fmt.Fprintf(cfg.Out, "uniform points in [0,10]^2, LINF, eps=%v, ON-OVERLAP JOIN-ANY\n\n", eps)
 
-	for _, alg := range []core.Algorithm{core.AllPairs, core.BoundsCheck, core.OnTheFlyIndex} {
+	for _, alg := range []core.Algorithm{core.AllPairs, core.BoundsCheck, core.OnTheFlyIndex, core.GridIndex} {
 		fmt.Fprintf(cfg.Out, "-- %v --\n", alg)
 		t := newTable(cfg.Out, "n", "time(ms)", "time-growth", "dists", "rect-tests",
 			"probes", "groups")

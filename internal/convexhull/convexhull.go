@@ -13,8 +13,9 @@
 package convexhull
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 
 	"github.com/sgb-db/sgb/internal/geom"
 )
@@ -43,11 +44,11 @@ func Compute(pts []geom.Point) *Hull {
 	// Sort a copy lexicographically by (x, y).
 	sorted := make([]geom.Point, n)
 	copy(sorted, pts)
-	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i][0] != sorted[j][0] {
-			return sorted[i][0] < sorted[j][0]
+	slices.SortFunc(sorted, func(a, b geom.Point) int {
+		if a[0] != b[0] {
+			return cmp.Compare(a[0], b[0])
 		}
-		return sorted[i][1] < sorted[j][1]
+		return cmp.Compare(a[1], b[1])
 	})
 	// Deduplicate.
 	uniq := sorted[:1]
@@ -129,11 +130,12 @@ func (h *Hull) Contains(p geom.Point) bool {
 	case 2:
 		return onSegment(vs[0], vs[1], p)
 	}
-	for i := range vs {
-		j := (i + 1) % len(vs)
-		if cross(vs[i], vs[j], p) < 0 {
+	prev := vs[len(vs)-1]
+	for _, v := range vs {
+		if cross(prev, v, p) < 0 {
 			return false
 		}
+		prev = v
 	}
 	return true
 }
@@ -153,6 +155,25 @@ func onSegment(a, b, p geom.Point) bool {
 // hull, so scanning the h = O(log k) expected vertices suffices.
 // Returns (nil, 0) on an empty hull.
 func (h *Hull) Farthest(p geom.Point, m geom.Metric) (geom.Point, float64) {
+	if m == geom.L2 {
+		// Maximize the squared distance and take one square root at
+		// the end — sqrt is monotone, so the winning vertex and the
+		// reported distance are identical to the per-vertex form.
+		var best geom.Point
+		bd := -1.0
+		px, py := p[0], p[1]
+		for _, v := range h.vertices {
+			dx := v[0] - px
+			dy := v[1] - py
+			if d := dx*dx + dy*dy; d > bd {
+				best, bd = v, d
+			}
+		}
+		if best == nil {
+			return nil, 0
+		}
+		return best, math.Sqrt(bd)
+	}
 	var best geom.Point
 	bd := -1.0
 	for _, v := range h.vertices {

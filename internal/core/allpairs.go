@@ -4,10 +4,14 @@ package core
 // evaluates the distance-to-all similarity predicate between pi and
 // every previously processed point. With n input points this incurs
 // C(n,2) distance computations, the O(n²) baseline of Table 1.
-type allPairsFinder struct{}
+type allPairsFinder struct {
+	cands, ovs []*group // result buffers, reused across probes
+}
 
 func (f *allPairsFinder) findCloseGroups(st *sgbAllState, pi int) (candidates, overlaps []*group) {
-	p := st.points[pi]
+	p := st.points.At(pi)
+	f.cands, f.ovs = f.cands[:0], f.ovs[:0]
+	metric, eps := st.opt.Metric, st.opt.Eps
 	for _, gj := range st.groups[st.stageFloor:] {
 		if gj == nil {
 			continue
@@ -16,7 +20,7 @@ func (f *allPairsFinder) findCloseGroups(st *sgbAllState, pi int) (candidates, o
 		overlapFlag := false
 		for _, m := range gj.members {
 			st.opt.Stats.addDist(1)
-			if st.opt.Metric.Within(p, st.points[m], st.opt.Eps) {
+			if metric.Within(p, st.points.At(m), eps) {
 				overlapFlag = true
 			} else {
 				candidateFlag = false
@@ -28,12 +32,12 @@ func (f *allPairsFinder) findCloseGroups(st *sgbAllState, pi int) (candidates, o
 			}
 		}
 		if candidateFlag {
-			candidates = append(candidates, gj)
+			f.cands = append(f.cands, gj)
 		} else if st.opt.Overlap != JoinAny && overlapFlag {
-			overlaps = append(overlaps, gj)
+			f.ovs = append(f.ovs, gj)
 		}
 	}
-	return candidates, overlaps
+	return f.cands, f.ovs
 }
 
 func (f *allPairsFinder) groupCreated(*sgbAllState, *group) {}

@@ -6,38 +6,25 @@ import "github.com/sgb-db/sgb/internal/geom"
 // each group carries its ε-All bounding rectangle (Definition 5), so
 // deciding candidacy takes a constant number of comparisons per group
 // instead of one per member — O(n·|G|) overall (Table 1).
-type boundsFinder struct{}
+type boundsFinder struct {
+	cands, ovs []*group  // result buffers, reused across probes
+	pBox       geom.Rect // scratch ε-box of the probe point
+}
 
 func (f *boundsFinder) findCloseGroups(st *sgbAllState, pi int) (candidates, overlaps []*group) {
-	p := st.points[pi]
-	var pBox geom.Rect
+	p := st.points.At(pi)
+	f.cands, f.ovs = f.cands[:0], f.ovs[:0]
 	needOverlap := st.opt.Overlap != JoinAny
 	if needOverlap {
-		pBox = geom.EpsBox(p, st.opt.Eps)
+		geom.EpsBoxInto(&f.pBox, p, st.opt.Eps)
 	}
 	for _, gj := range st.groups[st.stageFloor:] {
 		if gj == nil {
 			continue
 		}
-		st.opt.Stats.addRect(1)
-		if gj.epsRect.Contains(p) && st.refine(pi, gj) {
-			// PointInRectangleTest passed (and, under L2, the
-			// convex-hull refinement of Procedure 6).
-			candidates = append(candidates, gj)
-			continue
-		}
-		if !needOverlap {
-			continue
-		}
-		// OverlapRectangleTest: pi can only be within ε of a member if
-		// its ε-box intersects the group's member MBR; on a hit the
-		// members are inspected to verify the overlap is nonempty.
-		st.opt.Stats.addRect(1)
-		if pBox.Intersects(gj.mbr) && st.overlapsWith(pi, gj) {
-			overlaps = append(overlaps, gj)
-		}
+		f.cands, f.ovs = st.classifyGroup(pi, gj, p, &f.pBox, needOverlap, f.cands, f.ovs)
 	}
-	return candidates, overlaps
+	return f.cands, f.ovs
 }
 
 func (f *boundsFinder) groupCreated(*sgbAllState, *group) {}

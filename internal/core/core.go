@@ -8,7 +8,13 @@
 //   - BoundsCheck     — ε-All bounding rectangles (Procedure 4),
 //   - OnTheFlyIndex   — R-tree-indexed bounding rectangles (Procedure 5)
 //     and, for SGB-Any, an R-tree over points plus a
-//     Union-Find over group membership (Procedure 8).
+//     Union-Find over group membership (Procedure 8),
+//
+// plus a fourth strategy beyond the paper:
+//
+//   - GridIndex       — a uniform hash grid with ε-sized cells
+//     (internal/grid) in place of the R-tree; the textbook structure
+//     for fixed-radius queries.
 //
 // The operators are deliberately order-sensitive: like the paper's
 // PostgreSQL executor they process tuples in arrival order, and the
@@ -19,6 +25,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"github.com/sgb-db/sgb/internal/geom"
 )
@@ -67,6 +74,15 @@ const (
 	// Procedure 5) or the processed points (SGB-Any, Procedure 8) in an
 	// R-tree (O(n·log|G|) / O(n log n) average case).
 	OnTheFlyIndex
+	// GridIndex replaces the R-tree with a uniform hash grid of ε-sized
+	// cells: SGB-All registers each group's ε-All rectangle (side ≤ 2ε)
+	// in the ≤3^d cells it covers, SGB-Any keeps processed points in
+	// their home cell; probes scan the 3^d-cell neighborhood. Expected
+	// O(1) per probe plus output size — the fastest strategy for the
+	// fixed-radius queries the operators issue. Falls back to the
+	// R-tree above grid.MaxDims (4) dimensions; results are identical
+	// to the other strategies for equal seeds either way.
+	GridIndex
 )
 
 // String names the algorithm as the paper's figures do.
@@ -78,6 +94,8 @@ func (a Algorithm) String() string {
 		return "Bounds-Checking"
 	case OnTheFlyIndex:
 		return "on-the-fly-Index"
+	case GridIndex:
+		return "ε-Grid"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
@@ -113,8 +131,8 @@ type Options struct {
 
 // Validate reports whether the options are usable.
 func (o Options) Validate() error {
-	if o.Eps <= 0 {
-		return errors.New("core: similarity threshold ε must be positive")
+	if !(o.Eps > 0) || math.IsInf(o.Eps, 1) {
+		return errors.New("core: similarity threshold ε must be positive and finite")
 	}
 	if o.Metric != geom.L2 && o.Metric != geom.LInf {
 		return errors.New("core: unknown distance metric")
@@ -125,7 +143,7 @@ func (o Options) Validate() error {
 		return errors.New("core: unknown ON-OVERLAP clause")
 	}
 	switch o.Algorithm {
-	case AllPairs, BoundsCheck, OnTheFlyIndex:
+	case AllPairs, BoundsCheck, OnTheFlyIndex, GridIndex:
 	default:
 		return errors.New("core: unknown algorithm")
 	}

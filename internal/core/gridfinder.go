@@ -1,0 +1,143 @@
+package core
+
+import (
+	"slices"
+
+	"github.com/sgb-db/sgb/internal/geom"
+	"github.com/sgb-db/sgb/internal/grid"
+)
+
+// gridFinder is the GridIndex FindCloseGroups for SGB-All: live groups
+// register their ε-All bounding rectangle in every ε-sized cell it
+// covers (at most 3^d cells — the rectangle's sides are bounded by 2ε).
+//
+//   - Candidates: a group whose ε-All rectangle contains pi is
+//     necessarily registered in pi's home cell, so the candidate probe
+//     is a single map lookup.
+//   - Overlaps: a group overlapping pi's ε-box is registered in one of
+//     the cells that box covers (quantization is monotone), so the
+//     overlap probe scans the ≤3^d-cell neighborhood.
+//
+// Collected group ids are sorted into group-creation order before
+// verification, so JOIN-ANY arbitration is bit-identical to the other
+// strategies for a given seed. Verification reuses the exact
+// PointInRectangle / refine / overlap machinery of Procedures 4–6.
+type gridFinder struct {
+	tab *grid.Table
+
+	// Buffers reused across probes.
+	ids        []int32
+	cands, ovs []*group
+	pBox       geom.Rect
+}
+
+func newGridFinder(dims int, eps float64) *gridFinder {
+	return &gridFinder{tab: grid.New(dims, eps)}
+}
+
+func (f *gridFinder) findCloseGroups(st *sgbAllState, pi int) (candidates, overlaps []*group) {
+	p := st.points.At(pi)
+	st.opt.Stats.addProbe(1)
+	needOverlap := st.opt.Overlap != JoinAny
+	f.ids = f.ids[:0]
+	if needOverlap {
+		lo, hi := f.tab.RangeOfBox(p, st.opt.Eps)
+		f.ids = f.tab.Collect(lo, hi, f.ids)
+		geom.EpsBoxInto(&f.pBox, p, st.opt.Eps)
+	} else {
+		// JOIN-ANY only needs candidate groups, and those must cover
+		// pi's home cell.
+		f.ids = f.tab.CollectCell(f.tab.CellOf(p), f.ids)
+	}
+	// Creation-order normalization doubles as the dedup key: a group
+	// registered in several scanned cells appears as a run of equal
+	// ids.
+	slices.Sort(f.ids)
+	f.cands, f.ovs = f.cands[:0], f.ovs[:0]
+	prev := int32(-1)
+	for _, id := range f.ids {
+		if id == prev {
+			continue
+		}
+		prev = id
+		gj := st.groups[id]
+		if gj == nil || gj.id < st.stageFloor {
+			continue
+		}
+		f.cands, f.ovs = st.classifyGroup(pi, gj, p, &f.pBox, needOverlap, f.cands, f.ovs)
+	}
+	return f.cands, f.ovs
+}
+
+func (f *gridFinder) groupCreated(st *sgbAllState, g *group) {
+	g.gridLo, g.gridHi = f.tab.RangeOf(g.epsRect)
+	g.gridOn = true
+	st.opt.Stats.addUpdate(1)
+	f.tab.AddRange(g.gridLo, g.gridHi, int32(g.id))
+}
+
+// groupChanged re-registers g when its ε-All rectangle no longer
+// matches its registered cell range. Like the R-tree finder, the
+// registration only has to COVER the true rectangle (probe hits are
+// verified exactly), so shrinks are absorbed lazily:
+//
+//   - a removal can grow the rectangle outside the registered cells —
+//     re-register immediately (correctness);
+//   - an insert only shrinks it — re-register merely when the stale
+//     range covers noticeably more cells than the true one. The
+//     initial range is at most 3^d cells and the true range at least
+//     one, so a group re-registers O(1) times over its lifetime
+//     instead of once per boundary-crossing insert.
+func (f *gridFinder) groupChanged(st *sgbAllState, g *group) {
+	if !g.gridOn {
+		return
+	}
+	lo, hi := f.tab.RangeOf(g.epsRect)
+	if lo == g.gridLo && hi == g.gridHi {
+		return
+	}
+	if contained, staleN, trueN := rangeWithin(lo, hi, g.gridLo, g.gridHi, f.tab.Dims()); contained &&
+		4*staleN <= 9*trueN { // stale/true ≤ 2.25: still selective enough
+		return
+	}
+	st.opt.Stats.addUpdate(2)
+	f.tab.RemoveRange(g.gridLo, g.gridHi, int32(g.id))
+	g.gridLo, g.gridHi = lo, hi
+	f.tab.AddRange(lo, hi, int32(g.id))
+}
+
+// rangeWithin reports whether cell range [lo,hi] lies inside [oLo,oHi]
+// and returns both ranges' cell counts.
+func rangeWithin(lo, hi, oLo, oHi grid.Cell, dims int) (contained bool, outerN, innerN int64) {
+	contained = true
+	outerN, innerN = 1, 1
+	for i := 0; i < dims; i++ {
+		if lo[i] < oLo[i] || hi[i] > oHi[i] {
+			contained = false
+		}
+		outerN *= oHi[i] - oLo[i] + 1
+		innerN *= hi[i] - lo[i] + 1
+	}
+	return contained, outerN, innerN
+}
+
+func (f *gridFinder) groupRemoved(st *sgbAllState, g *group) {
+	if !g.gridOn {
+		return
+	}
+	st.opt.Stats.addUpdate(1)
+	f.tab.RemoveRange(g.gridLo, g.gridHi, int32(g.id))
+	g.gridOn = false
+}
+
+// stageReset clears the grid at a FORM-NEW-GROUP recursion stage:
+// every existing group is frozen and must stay invisible, so dropping
+// all registrations at once beats filtering stale hits per probe.
+func (f *gridFinder) stageReset(st *sgbAllState) {
+	for _, g := range st.groups {
+		if g != nil {
+			g.gridOn = false
+		}
+	}
+	f.tab.Reset()
+}

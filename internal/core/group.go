@@ -3,6 +3,7 @@ package core
 import (
 	"github.com/sgb-db/sgb/internal/convexhull"
 	"github.com/sgb-db/sgb/internal/geom"
+	"github.com/sgb-db/sgb/internal/grid"
 )
 
 // group is the runtime state of one SGB-All group (the paper's
@@ -17,7 +18,8 @@ type group struct {
 	// intersection of every member's ε-box. Under L∞ a point inside
 	// epsRect is within ε of all members (exact test); under L2 the
 	// rectangle is a conservative filter (Figure 7b) refined by the
-	// convex-hull test.
+	// convex-hull test. It is maintained in place (ShrinkToEpsBox), so
+	// nothing else may alias its corner storage.
 	epsRect geom.Rect
 
 	// mbr is the minimum bounding rectangle of the members themselves,
@@ -31,6 +33,12 @@ type group struct {
 	indexedRect geom.Rect
 	indexed     bool
 
+	// gridLo/gridHi remember the cell range this group's ε-All
+	// rectangle is currently registered under in the ε-grid (GridIndex
+	// strategy), so registration updates remove exactly the old cells.
+	gridLo, gridHi grid.Cell
+	gridOn         bool
+
 	// hull caches the 2-D convex hull for the L2 refinement; it is
 	// rebuilt lazily after membership changes.
 	hull      *convexhull.Hull
@@ -38,9 +46,9 @@ type group struct {
 }
 
 // sgbAllState carries the evolving group set plus the evaluation
-// context shared by all three SGB-All strategies.
+// context shared by all SGB-All strategies.
 type sgbAllState struct {
-	points []geom.Point
+	points *geom.PointSet
 	opt    Options
 	dims   int
 
@@ -58,17 +66,22 @@ type sgbAllState struct {
 
 	eliminated []int // points dropped by ELIMINATE
 	deferred   []int // S′: points deferred by FORM-NEW-GROUP
+
+	hullPts []geom.Point // scratch for convex-hull rebuilds
 }
 
-// finder abstracts FindCloseGroups over the three strategies.
+// finder abstracts FindCloseGroups over the strategies.
 type finder interface {
 	// findCloseGroups fills candidates with groups pi may join (the
 	// similarity predicate holds against every member) and, when the
 	// overlap clause requires it, overlaps with groups where the
-	// predicate holds for at least one but not all members.
+	// predicate holds for at least one but not all members. The
+	// returned slices are only valid until the next findCloseGroups
+	// call (finders reuse them across probes).
 	findCloseGroups(st *sgbAllState, pi int) (candidates, overlaps []*group)
 	// groupInserted / groupChanged / groupRemoved keep any auxiliary
-	// structure (the R-tree) synchronized with group mutations.
+	// structure (the R-tree or the ε-grid) synchronized with group
+	// mutations.
 	groupCreated(st *sgbAllState, g *group)
 	groupChanged(st *sgbAllState, g *group)
 	groupRemoved(st *sgbAllState, g *group)
@@ -81,7 +94,7 @@ type finder interface {
 
 // newGroupFor creates a fresh singleton group for point pi.
 func (st *sgbAllState) newGroupFor(pi int) *group {
-	p := st.points[pi]
+	p := st.points.At(pi)
 	g := &group{
 		id:      len(st.groups),
 		members: []int{pi},
@@ -97,11 +110,12 @@ func (st *sgbAllState) newGroupFor(pi int) *group {
 
 // insert adds pi to g and maintains the ε-All rectangle invariant:
 // the rectangle shrinks to the intersection with pi's ε-box
-// (Figures 5c–5e). Maintenance is O(1) per insert, as the paper notes.
+// (Figures 5c–5e) in place — no allocation on the per-point hot path.
+// Maintenance is O(1) per insert, as the paper notes.
 func (st *sgbAllState) insert(pi int, g *group) {
-	p := st.points[pi]
+	p := st.points.At(pi)
 	g.members = append(g.members, pi)
-	g.epsRect = g.epsRect.Intersect(geom.EpsBox(p, st.opt.Eps))
+	g.epsRect.ShrinkToEpsBox(p, st.opt.Eps)
 	g.mbr.ExtendPoint(p)
 	// The cached convex hull stays valid when the new member lies
 	// inside it — the common case in dense groups, and the reason the
@@ -131,11 +145,12 @@ func (st *sgbAllState) removeMembers(g *group, victims map[int]bool) {
 		st.finder.groupRemoved(st, g)
 		return
 	}
-	g.epsRect = geom.EpsBox(st.points[g.members[0]], st.opt.Eps)
-	g.mbr = geom.PointRect(st.points[g.members[0]])
+	first := st.points.At(g.members[0])
+	g.epsRect = geom.EpsBox(first, st.opt.Eps)
+	g.mbr = geom.PointRect(first)
 	for _, m := range g.members[1:] {
-		p := st.points[m]
-		g.epsRect = g.epsRect.Intersect(geom.EpsBox(p, st.opt.Eps))
+		p := st.points.At(m)
+		g.epsRect.ShrinkToEpsBox(p, st.opt.Eps)
 		g.mbr.ExtendPoint(p)
 	}
 	g.hullDirty = true
@@ -146,24 +161,48 @@ func (st *sgbAllState) removeMembers(g *group, victims map[int]bool) {
 // Only meaningful in two dimensions.
 func (st *sgbAllState) hullOf(g *group) *convexhull.Hull {
 	if g.hullDirty || g.hull == nil {
-		pts := make([]geom.Point, len(g.members))
-		for i, m := range g.members {
-			pts[i] = st.points[m]
+		pts := st.hullPts[:0]
+		for _, m := range g.members {
+			pts = append(pts, st.points.At(m))
 		}
+		st.hullPts = pts
 		g.hull = convexhull.Compute(pts)
 		g.hullDirty = false
 	}
 	return g.hull
 }
 
+// classifyGroup runs the Procedure 4–6 verification sequence for one
+// group surfaced by a finder's filter step: the PointInRectangleTest
+// against the ε-All rectangle plus exact refinement decides candidacy;
+// otherwise the OverlapRectangleTest against the member MBR plus a
+// member scan decides overlap. It appends gj to cands or ovs and
+// returns both. Shared by every bounds-based finder (Bounds-Checking,
+// R-tree, ε-grid) so the strategies cannot drift apart.
+func (st *sgbAllState) classifyGroup(pi int, gj *group, p geom.Point, pBox *geom.Rect, needOverlap bool, cands, ovs []*group) ([]*group, []*group) {
+	st.opt.Stats.addRect(1)
+	if gj.epsRect.Contains(p) && st.refine(pi, gj) {
+		return append(cands, gj), ovs
+	}
+	if !needOverlap {
+		return cands, ovs
+	}
+	st.opt.Stats.addRect(1)
+	if pBox.Intersects(gj.mbr) && st.overlapsWith(pi, gj) {
+		ovs = append(ovs, gj)
+	}
+	return cands, ovs
+}
+
 // isCandidate reports whether pi may join g: the similarity predicate
 // must hold against every member. The strategy-independent exact check;
 // bounds-based strategies call it only for refinement.
 func (st *sgbAllState) isCandidate(pi int, g *group) bool {
-	p := st.points[pi]
+	p := st.points.At(pi)
+	metric, eps := st.opt.Metric, st.opt.Eps
 	for _, m := range g.members {
 		st.opt.Stats.addDist(1)
-		if !st.opt.Metric.Within(p, st.points[m], st.opt.Eps) {
+		if !metric.Within(p, st.points.At(m), eps) {
 			return false
 		}
 	}
@@ -174,10 +213,11 @@ func (st *sgbAllState) isCandidate(pi int, g *group) bool {
 // g (the OverlapGroups membership criterion, given pi is not a
 // candidate).
 func (st *sgbAllState) overlapsWith(pi int, g *group) bool {
-	p := st.points[pi]
+	p := st.points.At(pi)
+	metric, eps := st.opt.Metric, st.opt.Eps
 	for _, m := range g.members {
 		st.opt.Stats.addDist(1)
-		if st.opt.Metric.Within(p, st.points[m], st.opt.Eps) {
+		if metric.Within(p, st.points.At(m), eps) {
 			return true
 		}
 	}

@@ -25,12 +25,12 @@ func (st *sgbAllState) refine(pi int, g *group) bool {
 	if st.opt.Metric == geom.LInf {
 		return true
 	}
-	if st.dims != 2 || st.opt.NoHullTest {
+	if st.dims != 2 || st.opt.NoHullTest || len(g.members) <= smallGroupScan {
 		return st.isCandidate(pi, g)
 	}
 	st.opt.Stats.addHull(1)
 	hull := st.hullOf(g)
-	p := st.points[pi]
+	p := st.points.At(pi)
 	if hull.Contains(p) {
 		return true
 	}
@@ -38,3 +38,10 @@ func (st *sgbAllState) refine(pi int, g *group) bool {
 	st.opt.Stats.addDist(int64(hull.Len()))
 	return d <= st.opt.Eps
 }
+
+// smallGroupScan is the membership count below which the L2 refinement
+// scans members directly instead of consulting the hull: for tiny
+// groups the exact scan is cheaper than (re)building and querying the
+// hull, and it avoids the rebuild's allocations entirely. Results are
+// identical either way — both paths are exact.
+const smallGroupScan = 8

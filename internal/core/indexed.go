@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"github.com/sgb-db/sgb/internal/geom"
 	"github.com/sgb-db/sgb/internal/rtree"
@@ -19,7 +19,13 @@ import (
 type indexedFinder struct {
 	ix   *rtree.Tree
 	dims int
-	buf  []any // reusable window-query result buffer
+
+	// Buffers reused across probes: the typed window-query hit list
+	// (collected via Visit, so hits never round-trip through []any),
+	// the candidate/overlap results, and the probe's ε-box.
+	hits       []*group
+	cands, ovs []*group
+	pBox       geom.Rect
 }
 
 func newIndexedFinder(dims int) *indexedFinder {
@@ -30,38 +36,28 @@ func newIndexedFinder(dims int) *indexedFinder {
 }
 
 func (f *indexedFinder) findCloseGroups(st *sgbAllState, pi int) (candidates, overlaps []*group) {
-	p := st.points[pi]
-	pBox := geom.EpsBox(p, st.opt.Eps)
+	p := st.points.At(pi)
+	geom.EpsBoxInto(&f.pBox, p, st.opt.Eps)
 	st.opt.Stats.addProbe(1)
-	f.buf = f.buf[:0]
-	f.buf = f.ix.Search(pBox, f.buf)
-	// Normalize the R-tree's traversal order to group-creation order so
-	// that all three strategies arbitrate JOIN-ANY identically for a
-	// given seed (the grouping itself is strategy-independent; only the
-	// candidate enumeration order would differ).
-	sort.Slice(f.buf, func(i, j int) bool {
-		return f.buf[i].(*group).id < f.buf[j].(*group).id
+	f.hits = f.hits[:0]
+	f.ix.Visit(f.pBox, func(_ geom.Rect, data any) bool {
+		f.hits = append(f.hits, data.(*group))
+		return true
 	})
+	// Normalize the R-tree's traversal order to group-creation order so
+	// that all strategies arbitrate JOIN-ANY identically for a given
+	// seed (the grouping itself is strategy-independent; only the
+	// candidate enumeration order would differ).
+	slices.SortFunc(f.hits, func(a, b *group) int { return a.id - b.id })
 	needOverlap := st.opt.Overlap != JoinAny
-	for _, v := range f.buf {
-		gj := v.(*group)
+	f.cands, f.ovs = f.cands[:0], f.ovs[:0]
+	for _, gj := range f.hits {
 		if gj.id < st.stageFloor {
 			continue // frozen by a FORM-NEW-GROUP recursion stage
 		}
-		st.opt.Stats.addRect(1)
-		if gj.epsRect.Contains(p) && st.refine(pi, gj) {
-			candidates = append(candidates, gj)
-			continue
-		}
-		if !needOverlap {
-			continue
-		}
-		st.opt.Stats.addRect(1)
-		if pBox.Intersects(gj.mbr) && st.overlapsWith(pi, gj) {
-			overlaps = append(overlaps, gj)
-		}
+		f.cands, f.ovs = st.classifyGroup(pi, gj, p, &f.pBox, needOverlap, f.cands, f.ovs)
 	}
-	return candidates, overlaps
+	return f.cands, f.ovs
 }
 
 func (f *indexedFinder) groupCreated(st *sgbAllState, g *group) {
@@ -127,8 +123,4 @@ func (f *indexedFinder) stageReset(st *sgbAllState) {
 		}
 	}
 	f.ix = rtree.New(f.dims)
-}
-
-func rectEq(a, b geom.Rect) bool {
-	return a.Min.Equal(b.Min) && a.Max.Equal(b.Max)
 }

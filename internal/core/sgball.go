@@ -1,6 +1,9 @@
 package core
 
-import "github.com/sgb-db/sgb/internal/geom"
+import (
+	"github.com/sgb-db/sgb/internal/geom"
+	"github.com/sgb-db/sgb/internal/grid"
+)
 
 // SGBAll evaluates the SGB-All (DISTANCE-TO-ALL) operator over points:
 // every output group is a clique of the ε-similarity graph, and points
@@ -11,24 +14,38 @@ func SGBAll(points []geom.Point, opt Options) (*Result, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
-	dims, err := checkInput(points)
-	if err != nil {
+	if _, err := checkInput(points); err != nil {
 		return nil, err
 	}
+	return sgbAllSet(geom.FromPoints(points), opt)
+}
+
+// SGBAllSet is SGBAll over flat point storage; exec builds the
+// PointSet directly from the tuple store, and FromPoints adapts
+// []Point callers (zero-copy when the points already view one flat
+// buffer).
+func SGBAllSet(ps *geom.PointSet, opt Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	return sgbAllSet(ps, opt)
+}
+
+func sgbAllSet(ps *geom.PointSet, opt Options) (*Result, error) {
 	res := &Result{}
-	if len(points) == 0 {
+	if ps == nil || ps.Len() == 0 {
 		return res, nil
 	}
 
 	st := &sgbAllState{
-		points: points,
+		points: ps,
 		opt:    opt,
-		dims:   dims,
+		dims:   ps.Dims(),
 		rand:   newRNG(opt.Seed),
 	}
 	st.finder = newFinder(st)
 
-	order := make([]int, len(points))
+	order := make([]int, ps.Len())
 	for i := range order {
 		order[i] = i
 	}
@@ -110,12 +127,12 @@ func (st *sgbAllState) processGroupingAll(pi int, candidates []*group) {
 // predicate with pi's group as well as their own). ELIMINATE deletes
 // them; FORM-NEW-GROUP moves them into S′.
 func (st *sgbAllState) processOverlap(pi int, overlaps []*group) {
-	p := st.points[pi]
+	p := st.points.At(pi)
 	for _, g := range overlaps {
 		victims := make(map[int]bool)
 		for _, m := range g.members {
 			st.opt.Stats.addDist(1)
-			if st.opt.Metric.Within(p, st.points[m], st.opt.Eps) {
+			if st.opt.Metric.Within(p, st.points.At(m), st.opt.Eps) {
 				victims[m] = true
 			}
 		}
@@ -149,6 +166,13 @@ func newFinder(st *sgbAllState) finder {
 		return &boundsFinder{}
 	case OnTheFlyIndex:
 		return newIndexedFinder(st.dims)
+	case GridIndex:
+		if st.dims > grid.MaxDims {
+			// Cell keys are fixed-size arrays; beyond that the R-tree
+			// takes over. The grouping is identical either way.
+			return newIndexedFinder(st.dims)
+		}
+		return newGridFinder(st.dims, st.opt.Eps)
 	default:
 		panic("core: unknown algorithm")
 	}

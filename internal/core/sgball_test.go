@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -8,7 +9,7 @@ import (
 	"github.com/sgb-db/sgb/internal/geom"
 )
 
-var allAlgorithms = []Algorithm{AllPairs, BoundsCheck, OnTheFlyIndex}
+var allAlgorithms = []Algorithm{AllPairs, BoundsCheck, OnTheFlyIndex, GridIndex}
 var allOverlaps = []Overlap{JoinAny, Eliminate, FormNewGroup}
 var allMetrics = []geom.Metric{geom.L2, geom.LInf}
 
@@ -379,6 +380,12 @@ func TestIdenticalPointsFormOneGroup(t *testing.T) {
 func TestOptionValidation(t *testing.T) {
 	if _, err := SGBAll([]geom.Point{{1}}, Options{Metric: geom.L2, Eps: 0}); err == nil {
 		t.Error("accepted ε=0")
+	}
+	if _, err := SGBAll([]geom.Point{{1}}, Options{Metric: geom.L2, Eps: math.NaN(), Algorithm: GridIndex}); err == nil {
+		t.Error("accepted ε=NaN")
+	}
+	if _, err := SGBAll([]geom.Point{{1}}, Options{Metric: geom.L2, Eps: math.Inf(1), Algorithm: GridIndex}); err == nil {
+		t.Error("accepted ε=+Inf")
 	}
 	if _, err := SGBAll([]geom.Point{{1}}, Options{Metric: geom.Metric(9), Eps: 1}); err == nil {
 		t.Error("accepted bad metric")

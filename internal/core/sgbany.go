@@ -2,6 +2,7 @@ package core
 
 import (
 	"github.com/sgb-db/sgb/internal/geom"
+	"github.com/sgb-db/sgb/internal/grid"
 	"github.com/sgb-db/sgb/internal/rtree"
 	"github.com/sgb-db/sgb/internal/unionfind"
 )
@@ -13,40 +14,59 @@ import (
 // and opt.Overlap is ignored.
 //
 // Supported algorithms: AllPairs (naive; evaluates the predicate
-// against every processed point) and OnTheFlyIndex (Procedures 7–8: an
+// against every processed point), OnTheFlyIndex (Procedures 7–8: an
 // R-tree over the processed points plus a Union-Find over group
-// membership). BoundsCheck is rejected: the paper shows ε-rectangle
-// bounds degenerate into chain-like regions under distance-to-any
-// semantics, and the convex-hull refinement is unsound there (its
-// diameter may exceed ε), so no bounds-checking variant exists.
+// membership), and GridIndex (processed points live in their ε-sized
+// home cell; neighbors are found by scanning the 3^d adjacent cells).
+// BoundsCheck is rejected: the paper shows ε-rectangle bounds
+// degenerate into chain-like regions under distance-to-any semantics,
+// and the convex-hull refinement is unsound there (its diameter may
+// exceed ε), so no bounds-checking variant exists.
 func SGBAny(points []geom.Point, opt Options) (*Result, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
+	if _, err := checkInput(points); err != nil {
+		return nil, err
+	}
+	return sgbAnySet(geom.FromPoints(points), opt)
+}
+
+// SGBAnySet is SGBAny over flat point storage (see SGBAllSet).
+func SGBAnySet(ps *geom.PointSet, opt Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	return sgbAnySet(ps, opt)
+}
+
+func sgbAnySet(ps *geom.PointSet, opt Options) (*Result, error) {
 	if opt.Algorithm == BoundsCheck {
 		return nil, errBoundsCheckAny
 	}
-	dims, err := checkInput(points)
-	if err != nil {
-		return nil, err
-	}
 	res := &Result{}
-	if len(points) == 0 {
+	if ps == nil || ps.Len() == 0 {
 		return res, nil
 	}
 
-	uf := unionfind.New(len(points))
+	uf := unionfind.New(ps.Len())
 	switch opt.Algorithm {
 	case AllPairs:
-		sgbAnyAllPairs(points, opt, uf)
+		sgbAnyAllPairs(ps, opt, uf)
 	case OnTheFlyIndex:
-		sgbAnyIndexed(points, dims, opt, uf)
+		sgbAnyIndexed(ps, opt, uf)
+	case GridIndex:
+		if ps.Dims() > grid.MaxDims {
+			sgbAnyIndexed(ps, opt, uf) // see newFinder: grid keys cap at MaxDims
+		} else {
+			sgbAnyGrid(ps, opt, uf)
+		}
 	}
-	res.Groups = groupsFromUF(uf, len(points))
+	res.Groups = groupsFromUF(uf, ps.Len())
 	return res, nil
 }
 
-var errBoundsCheckAny = errValue("core: SGB-Any has no Bounds-Checking variant (see Section 7.1); use AllPairs or OnTheFlyIndex")
+var errBoundsCheckAny = errValue("core: SGB-Any has no Bounds-Checking variant (see Section 7.1); use AllPairs, OnTheFlyIndex, or GridIndex")
 
 type errValue string
 
@@ -54,12 +74,13 @@ func (e errValue) Error() string { return string(e) }
 
 // sgbAnyAllPairs is the naive baseline: every prior point is tested
 // against the incoming point (O(n²) distance computations).
-func sgbAnyAllPairs(points []geom.Point, opt Options, uf *unionfind.UF) {
-	for i := 1; i < len(points); i++ {
-		p := points[i]
+func sgbAnyAllPairs(ps *geom.PointSet, opt Options, uf *unionfind.UF) {
+	metric, eps := opt.Metric, opt.Eps
+	for i := 1; i < ps.Len(); i++ {
+		p := ps.At(i)
 		for j := 0; j < i; j++ {
 			opt.Stats.addDist(1)
-			if opt.Metric.Within(p, points[j], opt.Eps) {
+			if metric.Within(p, ps.At(j), eps) {
 				if uf.Find(i) != uf.Find(j) {
 					opt.Stats.addMerge(1)
 				}
@@ -74,16 +95,18 @@ func sgbAnyAllPairs(points []geom.Point, opt Options, uf *unionfind.UF) {
 // whose ε-box intersects (exact under L∞; verified under L2 by
 // VerifyPoints), and GetGroups/MergeGroupsInsert collapse the candidate
 // groups through the Union-Find forest.
-func sgbAnyIndexed(points []geom.Point, dims int, opt Options, uf *unionfind.UF) {
-	ix := rtree.New(dims)
+func sgbAnyIndexed(ps *geom.PointSet, opt Options, uf *unionfind.UF) {
+	ix := rtree.New(ps.Dims())
 	// Point ids are stored pre-boxed so the per-point index insert does
 	// not allocate an interface value.
-	ids := make([]any, len(points))
+	ids := make([]any, ps.Len())
 	for i := range ids {
 		ids[i] = i
 	}
-	for i, p := range points {
-		pBox := geom.EpsBox(p, opt.Eps)
+	var pBox geom.Rect
+	for i := 0; i < ps.Len(); i++ {
+		p := ps.At(i)
+		geom.EpsBoxInto(&pBox, p, opt.Eps)
 		opt.Stats.addProbe(1)
 		ix.Visit(pBox, func(_ geom.Rect, data any) bool {
 			j := data.(int)
@@ -91,7 +114,7 @@ func sgbAnyIndexed(points []geom.Point, dims int, opt Options, uf *unionfind.UF)
 				// VerifyPoints: the ε-box over-approximates the
 				// ε-ball under L2, so confirm the true distance.
 				opt.Stats.addDist(1)
-				if !opt.Metric.Within(p, points[j], opt.Eps) {
+				if !ps.Within(opt.Metric, i, j, opt.Eps) {
 					return true
 				}
 			}
@@ -103,6 +126,38 @@ func sgbAnyIndexed(points []geom.Point, dims int, opt Options, uf *unionfind.UF)
 		})
 		opt.Stats.addUpdate(1)
 		ix.Insert(geom.PointRect(p), ids[i])
+	}
+}
+
+// sgbAnyGrid is the ε-grid Points_IX: each processed point is
+// registered in its home cell, and the neighbors of an incoming point
+// are found by scanning the 3^d cells its ε-box covers. The cell
+// neighborhood over-approximates the ε-ball under both metrics, so
+// every hit is verified by an exact distance test. Union-Find merging
+// is order-independent, so the resulting components are identical to
+// the other strategies.
+func sgbAnyGrid(ps *geom.PointSet, opt Options, uf *unionfind.UF) {
+	tab := grid.New(ps.Dims(), opt.Eps)
+	metric, eps := opt.Metric, opt.Eps
+	var buf []int32
+	for i := 0; i < ps.Len(); i++ {
+		p := ps.At(i)
+		opt.Stats.addProbe(1)
+		lo, hi := tab.RangeOfBox(p, eps)
+		buf = tab.Collect(lo, hi, buf[:0])
+		for _, j32 := range buf {
+			j := int(j32)
+			opt.Stats.addDist(1)
+			if !metric.Within(p, ps.At(j), eps) {
+				continue
+			}
+			if uf.Find(i) != uf.Find(j) {
+				opt.Stats.addMerge(1)
+				uf.Union(i, j)
+			}
+		}
+		opt.Stats.addUpdate(1)
+		tab.Add(tab.CellOf(p), int32(i))
 	}
 }
 

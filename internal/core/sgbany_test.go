@@ -11,7 +11,7 @@ import (
 // TestExample2SGBAny reproduces the paper's Example 2: a5 bridges
 // g1{a1,a2} and g2{a3,a4}, merging everything into one group of 5.
 func TestExample2SGBAny(t *testing.T) {
-	for _, alg := range []Algorithm{AllPairs, OnTheFlyIndex} {
+	for _, alg := range []Algorithm{AllPairs, OnTheFlyIndex, GridIndex} {
 		res, err := SGBAny(figure2Points(), Options{Metric: geom.LInf, Eps: 3, Algorithm: alg})
 		if err != nil {
 			t.Fatalf("%v: %v", alg, err)
@@ -31,7 +31,7 @@ func TestFigure1bChain(t *testing.T) {
 		points = append(points, geom.Point{float64(i) * 2.9, 0})
 	}
 	points = append(points, geom.Point{100, 100}) // isolated
-	for _, alg := range []Algorithm{AllPairs, OnTheFlyIndex} {
+	for _, alg := range []Algorithm{AllPairs, OnTheFlyIndex, GridIndex} {
 		res, err := SGBAny(points, Options{Metric: geom.L2, Eps: 3, Algorithm: alg})
 		if err != nil {
 			t.Fatal(err)
@@ -62,7 +62,7 @@ func TestSGBAnyMatchesConnectedComponents(t *testing.T) {
 		eps := 0.2 + r.Float64()*1.2
 		for _, m := range allMetrics {
 			want := ConnectedComponents(points, m, eps)
-			for _, alg := range []Algorithm{AllPairs, OnTheFlyIndex} {
+			for _, alg := range []Algorithm{AllPairs, OnTheFlyIndex, GridIndex} {
 				res, err := SGBAny(points, Options{Metric: m, Eps: eps, Algorithm: alg})
 				if err != nil {
 					t.Fatal(err)

@@ -47,9 +47,11 @@ func (s *SGB) Open() error {
 	}
 	defer s.Input.Close()
 
-	// TupleStore + point extraction.
+	// TupleStore + point extraction. The grouping attributes go
+	// straight into a flat PointSet — one contiguous buffer with stride
+	// d — so the operator core never chases per-row coordinate slices.
 	var rows []types.Row
-	var points []geom.Point
+	points := geom.NewPointSet(len(s.GroupExprs))
 	for {
 		row, err := s.Input.Next()
 		if err != nil {
@@ -58,7 +60,7 @@ func (s *SGB) Open() error {
 		if row == nil {
 			break
 		}
-		p := make(geom.Point, len(s.GroupExprs))
+		p := points.Extend()
 		for i, g := range s.GroupExprs {
 			v, err := g(row)
 			if err != nil {
@@ -74,15 +76,14 @@ func (s *SGB) Open() error {
 			p[i] = f
 		}
 		rows = append(rows, row)
-		points = append(points, p)
 	}
 
 	var res *core.Result
 	var err error
 	if s.Any {
-		res, err = core.SGBAny(points, s.Opt)
+		res, err = core.SGBAnySet(points, s.Opt)
 	} else {
-		res, err = core.SGBAll(points, s.Opt)
+		res, err = core.SGBAllSet(points, s.Opt)
 	}
 	if err != nil {
 		return err

@@ -78,8 +78,27 @@ func (m Metric) Dist(p, q Point) float64 {
 	if len(p) != len(q) {
 		panic(fmt.Sprintf("geom: dimension mismatch %d vs %d", len(p), len(q)))
 	}
+	return m.distCoords(p, q)
+}
+
+// distCoords is Dist over raw coordinate slices of equal length, with
+// the d=2 and d=3 cases unrolled (the paper's target dimensionalities;
+// the unrolled bodies keep the loop counter and bounds checks out of
+// the innermost kernel).
+func (m Metric) distCoords(p, q []float64) float64 {
 	switch m {
 	case L2:
+		switch len(p) {
+		case 2:
+			dx := p[0] - q[0]
+			dy := p[1] - q[1]
+			return math.Sqrt(dx*dx + dy*dy)
+		case 3:
+			dx := p[0] - q[0]
+			dy := p[1] - q[1]
+			dz := p[2] - q[2]
+			return math.Sqrt(dx*dx + dy*dy + dz*dz)
+		}
 		var s float64
 		for i := range p {
 			d := p[i] - q[i]
@@ -87,6 +106,32 @@ func (m Metric) Dist(p, q Point) float64 {
 		}
 		return math.Sqrt(s)
 	case LInf:
+		// The unrolled cases keep the generic loop's comparison shape
+		// (d > mx, never math.Max) so non-finite coordinates decide
+		// identically at every dimensionality.
+		switch len(p) {
+		case 2:
+			var mx float64
+			if d := math.Abs(p[0] - q[0]); d > mx {
+				mx = d
+			}
+			if d := math.Abs(p[1] - q[1]); d > mx {
+				mx = d
+			}
+			return mx
+		case 3:
+			var mx float64
+			if d := math.Abs(p[0] - q[0]); d > mx {
+				mx = d
+			}
+			if d := math.Abs(p[1] - q[1]); d > mx {
+				mx = d
+			}
+			if d := math.Abs(p[2] - q[2]); d > mx {
+				mx = d
+			}
+			return mx
+		}
 		var mx float64
 		for i := range p {
 			d := math.Abs(p[i] - q[i])
@@ -106,8 +151,27 @@ func (m Metric) Within(p, q Point, eps float64) bool {
 	if len(p) != len(q) {
 		panic(fmt.Sprintf("geom: dimension mismatch %d vs %d", len(p), len(q)))
 	}
+	return m.withinCoords(p, q, eps)
+}
+
+// withinCoords is Within over raw coordinate slices of equal length,
+// unrolled for d=2/d=3. The accumulation order matches the generic
+// loop, so the unrolled kernels decide every boundary case the same
+// way bit-for-bit.
+func (m Metric) withinCoords(p, q []float64, eps float64) bool {
 	switch m {
 	case L2:
+		switch len(p) {
+		case 2:
+			dx := p[0] - q[0]
+			dy := p[1] - q[1]
+			return dx*dx+dy*dy <= eps*eps
+		case 3:
+			dx := p[0] - q[0]
+			dy := p[1] - q[1]
+			dz := p[2] - q[2]
+			return dx*dx+dy*dy+dz*dz <= eps*eps
+		}
 		var s float64
 		e2 := eps * eps
 		for i := range p {
@@ -119,6 +183,24 @@ func (m Metric) Within(p, q Point, eps float64) bool {
 		}
 		return s <= e2
 	case LInf:
+		// Comparisons mirror the generic loop's `d > eps` rejection
+		// (not `d <= eps` acceptance), so non-finite coordinates
+		// decide identically at every dimensionality.
+		switch len(p) {
+		case 2:
+			if math.Abs(p[0]-q[0]) > eps {
+				return false
+			}
+			return !(math.Abs(p[1]-q[1]) > eps)
+		case 3:
+			if math.Abs(p[0]-q[0]) > eps {
+				return false
+			}
+			if math.Abs(p[1]-q[1]) > eps {
+				return false
+			}
+			return !(math.Abs(p[2]-q[2]) > eps)
+		}
 		for i := range p {
 			if d := math.Abs(p[i] - q[i]); d > eps {
 				return false
@@ -165,6 +247,34 @@ func EpsBox(p Point, eps float64) Rect {
 		max[i] = v + eps
 	}
 	return Rect{Min: min, Max: max}
+}
+
+// EpsBoxInto fills dst with the ε-box of p, reusing dst's corner
+// storage when the dimensionalities already match — the allocation-free
+// variant of EpsBox for per-probe scratch rectangles.
+func EpsBoxInto(dst *Rect, p Point, eps float64) {
+	if len(dst.Min) != len(p) {
+		dst.Min = make(Point, len(p))
+		dst.Max = make(Point, len(p))
+	}
+	for i, v := range p {
+		dst.Min[i] = v - eps
+		dst.Max[i] = v + eps
+	}
+}
+
+// ShrinkToEpsBox intersects r in place with the ε-box of p — the ε-All
+// bounding-rectangle maintenance step of a member insert (Figure 5),
+// without materializing the ε-box or the intersection.
+func (r *Rect) ShrinkToEpsBox(p Point, eps float64) {
+	for i, v := range p {
+		if lo := v - eps; lo > r.Min[i] {
+			r.Min[i] = lo
+		}
+		if hi := v + eps; hi < r.Max[i] {
+			r.Max[i] = hi
+		}
+	}
 }
 
 // Dims returns the dimensionality of the rectangle.

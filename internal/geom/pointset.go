@@ -1,0 +1,149 @@
+package geom
+
+import "fmt"
+
+// PointSet is flat storage for a sequence of points of uniform
+// dimensionality: one contiguous []float64 backing buffer with stride
+// Dims. It replaces []Point on the operators' hot paths — probing a
+// point is a bounds-checked slice of the backing array rather than a
+// pointer chase to a separately allocated coordinate slice, so member
+// scans walk memory sequentially and the distance kernels stay in
+// cache.
+//
+// A PointSet with zero points may have dimensionality 0 (unknown); any
+// non-empty PointSet has Dims ≥ 1.
+type PointSet struct {
+	dims int
+	data []float64
+}
+
+// NewPointSet returns an empty PointSet for dims-dimensional points.
+func NewPointSet(dims int) *PointSet {
+	if dims < 1 {
+		panic("geom: PointSet dims must be >= 1")
+	}
+	return &PointSet{dims: dims}
+}
+
+// NewPointSetCap returns an empty PointSet with capacity preallocated
+// for n points.
+func NewPointSetCap(dims, n int) *PointSet {
+	ps := NewPointSet(dims)
+	ps.data = make([]float64, 0, dims*n)
+	return ps
+}
+
+// Wrap adopts data as the backing buffer of a PointSet without
+// copying. len(data) must be a multiple of dims. The caller must not
+// alias mutations into the buffer afterwards.
+func Wrap(dims int, data []float64) *PointSet {
+	if dims < 1 {
+		panic("geom: PointSet dims must be >= 1")
+	}
+	if len(data)%dims != 0 {
+		panic(fmt.Sprintf("geom: Wrap: %d coordinates is not a multiple of dims %d", len(data), dims))
+	}
+	return &PointSet{dims: dims, data: data}
+}
+
+// FromPoints builds a PointSet from a point slice. When the points
+// already alias one contiguous backing array in order (pts[i] ==
+// base[i*d : (i+1)*d], as produced by slicing a flat buffer) the buffer
+// is adopted zero-copy; otherwise the coordinates are copied once into
+// a fresh flat buffer. Points must share one dimensionality ≥ 1; the
+// operators validate that before converting.
+func FromPoints(pts []Point) *PointSet {
+	if len(pts) == 0 {
+		return &PointSet{}
+	}
+	d := len(pts[0])
+	if d == 0 {
+		panic("geom: FromPoints: zero-dimensional point")
+	}
+	if flat := contiguous(pts, d); flat != nil {
+		return &PointSet{dims: d, data: flat}
+	}
+	ps := NewPointSetCap(d, len(pts))
+	for _, p := range pts {
+		if len(p) != d {
+			panic(fmt.Sprintf("geom: FromPoints: mixed dimensionality %d vs %d", len(p), d))
+		}
+		ps.data = append(ps.data, p...)
+	}
+	return ps
+}
+
+// contiguous reports whether pts views one flat backing array at
+// stride d, returning that array if so. The check stays within the
+// capacity of pts[0], so it never compares addresses across distinct
+// allocations.
+func contiguous(pts []Point, d int) []float64 {
+	n := len(pts)
+	if cap(pts[0]) < n*d {
+		return nil
+	}
+	base := pts[0][:n*d]
+	for i, p := range pts {
+		if len(p) != d || &p[0] != &base[i*d] {
+			return nil
+		}
+	}
+	return base
+}
+
+// Dims returns the dimensionality (0 only for an empty set built from
+// no points).
+func (s *PointSet) Dims() int { return s.dims }
+
+// Len returns the number of stored points.
+func (s *PointSet) Len() int {
+	if s.dims == 0 {
+		return 0
+	}
+	return len(s.data) / s.dims
+}
+
+// At returns point i as a view into the backing buffer — no copy, no
+// allocation. The view must be treated as read-only.
+func (s *PointSet) At(i int) Point {
+	d := s.dims
+	return s.data[i*d : i*d+d : i*d+d]
+}
+
+// AppendPoint copies p onto the end of the set. Panics on a
+// dimensionality mismatch.
+func (s *PointSet) AppendPoint(p Point) {
+	if len(p) != s.dims {
+		panic(fmt.Sprintf("geom: AppendPoint: dimension %d, want %d", len(p), s.dims))
+	}
+	s.data = append(s.data, p...)
+}
+
+// Extend appends one zeroed point and returns its mutable view, so
+// callers can fill coordinates in place without a scratch slice.
+func (s *PointSet) Extend() Point {
+	n := len(s.data)
+	for i := 0; i < s.dims; i++ {
+		s.data = append(s.data, 0)
+	}
+	return s.data[n : n+s.dims : n+s.dims]
+}
+
+// Points materializes the set as a []Point of zero-copy views.
+func (s *PointSet) Points() []Point {
+	out := make([]Point, s.Len())
+	for i := range out {
+		out[i] = s.At(i)
+	}
+	return out
+}
+
+// Dist computes δ(points[i], points[j]) under m.
+func (s *PointSet) Dist(m Metric, i, j int) float64 {
+	return m.distCoords(s.At(i), s.At(j))
+}
+
+// Within reports δ(points[i], points[j]) ≤ eps under m.
+func (s *PointSet) Within(m Metric, i, j int, eps float64) bool {
+	return m.withinCoords(s.At(i), s.At(j), eps)
+}

@@ -1,0 +1,163 @@
+// Package grid implements a uniform hash grid with ε-sized cells — the
+// textbook probe structure for fixed-radius similarity queries. Space
+// is partitioned into axis-aligned cubes of side cellSize (the
+// operators use cellSize = ε); each occupied cell maps to the ids
+// registered in it. Everything within ε of a point then lies in the
+// 3^d cell neighborhood of its home cell, so a probe is a handful of
+// map lookups over contiguous id slices instead of an R-tree descent.
+//
+// The grid is deliberately minimal: int32 ids (the operators index
+// input positions and group ids, both bounded by the input size), cell
+// keys as fixed-size int64 coordinate arrays, and no concurrency.
+// Registration supports rectangles spanning several cells (SGB-All
+// registers each group's ε-All bounding rectangle, whose sides are at
+// most 2ε, in every cell it covers — at most 3^d cells).
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/sgb-db/sgb/internal/geom"
+)
+
+// MaxDims bounds the supported dimensionality: cell keys are fixed-size
+// arrays so they can be Go map keys without hashing collisions or
+// per-key allocation. The paper evaluates d ∈ {2, 3}; callers fall back
+// to the R-tree strategies above MaxDims.
+const MaxDims = 4
+
+// Cell addresses one grid cell by its integer coordinates
+// (floor(x_i / cellSize)); unused trailing dimensions stay zero.
+type Cell [MaxDims]int64
+
+// Table is a uniform hash grid mapping occupied cells to id lists.
+type Table struct {
+	dims  int
+	inv   float64 // 1 / cellSize
+	cells map[Cell][]int32
+}
+
+// New returns an empty grid over dims-dimensional space with the given
+// cell side length.
+func New(dims int, cellSize float64) *Table {
+	if dims < 1 || dims > MaxDims {
+		panic(fmt.Sprintf("grid: dims %d outside [1, %d]", dims, MaxDims))
+	}
+	if !(cellSize > 0) || math.IsInf(cellSize, 1) {
+		panic("grid: cell size must be positive and finite")
+	}
+	return &Table{dims: dims, inv: 1 / cellSize, cells: make(map[Cell][]int32)}
+}
+
+// Dims returns the grid's dimensionality.
+func (t *Table) Dims() int { return t.dims }
+
+// CellOf returns the home cell of p (p must have the grid's
+// dimensionality; extra coordinates are ignored).
+func (t *Table) CellOf(p []float64) Cell {
+	var c Cell
+	for i := 0; i < t.dims; i++ {
+		c[i] = int64(math.Floor(p[i] * t.inv))
+	}
+	return c
+}
+
+// RangeOf returns the inclusive cell range covered by rectangle r.
+// Quantization is monotone, so every point of r has its home cell
+// inside [lo, hi].
+func (t *Table) RangeOf(r geom.Rect) (lo, hi Cell) {
+	for i := 0; i < t.dims; i++ {
+		lo[i] = int64(math.Floor(r.Min[i] * t.inv))
+		hi[i] = int64(math.Floor(r.Max[i] * t.inv))
+	}
+	return lo, hi
+}
+
+// RangeOfBox returns the inclusive cell range covered by the box
+// [center-radius, center+radius] without materializing the rectangle —
+// the per-probe neighborhood computation of the finders.
+func (t *Table) RangeOfBox(center []float64, radius float64) (lo, hi Cell) {
+	for i := 0; i < t.dims; i++ {
+		lo[i] = int64(math.Floor((center[i] - radius) * t.inv))
+		hi[i] = int64(math.Floor((center[i] + radius) * t.inv))
+	}
+	return lo, hi
+}
+
+// Add registers id in cell c.
+func (t *Table) Add(c Cell, id int32) {
+	t.cells[c] = append(t.cells[c], id)
+}
+
+// Remove unregisters id from cell c (swap-delete; cell id order is not
+// meaningful — consumers that need determinism sort collected ids).
+// It is a no-op if id is not present.
+func (t *Table) Remove(c Cell, id int32) {
+	ids := t.cells[c]
+	for i, v := range ids {
+		if v == id {
+			ids[i] = ids[len(ids)-1]
+			ids = ids[:len(ids)-1]
+			if len(ids) == 0 {
+				delete(t.cells, c)
+			} else {
+				t.cells[c] = ids
+			}
+			return
+		}
+	}
+}
+
+// AddRange registers id in every cell of the inclusive range [lo, hi].
+func (t *Table) AddRange(lo, hi Cell, id int32) {
+	t.visitRange(lo, hi, func(c Cell) { t.Add(c, id) })
+}
+
+// RemoveRange unregisters id from every cell of [lo, hi].
+func (t *Table) RemoveRange(lo, hi Cell, id int32) {
+	t.visitRange(lo, hi, func(c Cell) { t.Remove(c, id) })
+}
+
+// visitRange walks the cell range with an odometer over the grid's
+// dimensions.
+func (t *Table) visitRange(lo, hi Cell, fn func(Cell)) {
+	cur := lo
+	for {
+		fn(cur)
+		i := 0
+		for ; i < t.dims; i++ {
+			if cur[i] < hi[i] {
+				cur[i]++
+				break
+			}
+			cur[i] = lo[i]
+		}
+		if i == t.dims {
+			return
+		}
+	}
+}
+
+// Collect appends the ids registered in every cell of [lo, hi] to buf
+// and returns it. Ids registered in several cells of the range appear
+// once per cell; callers dedup after sorting.
+func (t *Table) Collect(lo, hi Cell, buf []int32) []int32 {
+	t.visitRange(lo, hi, func(c Cell) {
+		buf = append(buf, t.cells[c]...)
+	})
+	return buf
+}
+
+// CollectCell appends the ids registered in cell c to buf.
+func (t *Table) CollectCell(c Cell, buf []int32) []int32 {
+	return append(buf, t.cells[c]...)
+}
+
+// OccupiedCells returns the number of non-empty cells.
+func (t *Table) OccupiedCells() int { return len(t.cells) }
+
+// Reset empties the grid, dropping all registrations.
+func (t *Table) Reset() {
+	clear(t.cells)
+}

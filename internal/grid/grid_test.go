@@ -1,0 +1,175 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"github.com/sgb-db/sgb/internal/geom"
+)
+
+func TestCellOfQuantization(t *testing.T) {
+	g := New(2, 0.5)
+	cases := []struct {
+		p    []float64
+		want Cell
+	}{
+		{[]float64{0, 0}, Cell{0, 0}},
+		{[]float64{0.49, 0.99}, Cell{0, 1}},
+		{[]float64{0.5, 1.0}, Cell{1, 2}},
+		{[]float64{-0.01, -0.5}, Cell{-1, -1}},
+		{[]float64{-0.51, 2.3}, Cell{-2, 4}},
+	}
+	for _, c := range cases {
+		if got := g.CellOf(c.p); got != c.want {
+			t.Errorf("CellOf(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestAddRemoveCollect(t *testing.T) {
+	g := New(2, 1)
+	c := Cell{3, 4}
+	g.Add(c, 1)
+	g.Add(c, 2)
+	g.Add(Cell{3, 5}, 3)
+	got := g.CollectCell(c, nil)
+	slices.Sort(got)
+	if !slices.Equal(got, []int32{1, 2}) {
+		t.Fatalf("CollectCell = %v", got)
+	}
+	g.Remove(c, 1)
+	if got := g.CollectCell(c, nil); !slices.Equal(got, []int32{2}) {
+		t.Fatalf("after Remove: %v", got)
+	}
+	g.Remove(c, 2)
+	if g.OccupiedCells() != 1 {
+		t.Fatalf("empty cell not pruned: %d occupied", g.OccupiedCells())
+	}
+	g.Remove(c, 99) // absent id: no-op
+}
+
+func TestRangeRegistration(t *testing.T) {
+	g := New(2, 1)
+	// A 2ε-sided rectangle covers up to 3 cells per axis.
+	r := geom.NewRect(geom.Point{0.5, 0.5}, geom.Point{2.5, 2.5})
+	lo, hi := g.RangeOf(r)
+	if lo != (Cell{0, 0}) || hi != (Cell{2, 2}) {
+		t.Fatalf("RangeOf = %v..%v", lo, hi)
+	}
+	g.AddRange(lo, hi, 7)
+	if g.OccupiedCells() != 9 {
+		t.Fatalf("AddRange registered %d cells, want 9", g.OccupiedCells())
+	}
+	got := g.Collect(lo, hi, nil)
+	if len(got) != 9 {
+		t.Fatalf("Collect found %d entries, want 9", len(got))
+	}
+	g.RemoveRange(lo, hi, 7)
+	if g.OccupiedCells() != 0 {
+		t.Fatalf("RemoveRange left %d cells", g.OccupiedCells())
+	}
+}
+
+// TestNeighborhoodCoversEps is the correctness property the finders
+// rely on: for random points p, q with δ∞(p,q) ≤ ε, q's home cell lies
+// inside the cell range of [p-ε, p+ε].
+func TestNeighborhoodCoversEps(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, d := range []int{1, 2, 3, 4} {
+		for trial := 0; trial < 2000; trial++ {
+			eps := math.Ldexp(r.Float64()+0.1, r.Intn(8)-4) // spread of scales
+			g := New(d, eps)
+			p := make([]float64, d)
+			q := make([]float64, d)
+			for i := 0; i < d; i++ {
+				p[i] = r.Float64()*200 - 100
+				// q within eps of p on every axis (inclusive boundary
+				// sometimes, via exact offsets of ±eps).
+				switch r.Intn(4) {
+				case 0:
+					q[i] = p[i] - eps
+				case 1:
+					q[i] = p[i] + eps
+				default:
+					q[i] = p[i] + (r.Float64()*2-1)*eps
+				}
+			}
+			within := true
+			for i := 0; i < d; i++ {
+				if math.Abs(p[i]-q[i]) > eps {
+					within = false
+				}
+			}
+			if !within {
+				continue // FP rounding pushed the offset outside ε
+			}
+			lo, hi := g.RangeOfBox(p, eps)
+			c := g.CellOf(q)
+			for i := 0; i < d; i++ {
+				if c[i] < lo[i] || c[i] > hi[i] {
+					t.Fatalf("d=%d eps=%v: cell %v of %v outside range %v..%v of %v",
+						d, eps, c, q, lo, hi, p)
+				}
+			}
+		}
+	}
+}
+
+// TestRangeOfMonotone: any point inside a rectangle maps to a cell
+// inside the rectangle's range (the registration invariant).
+func TestRangeOfMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		g := New(3, 0.25+r.Float64())
+		min := geom.Point{r.Float64()*20 - 10, r.Float64()*20 - 10, r.Float64()*20 - 10}
+		max := min.Clone()
+		for i := range max {
+			max[i] += r.Float64() * 2
+		}
+		rect := geom.NewRect(min, max)
+		lo, hi := g.RangeOf(rect)
+		p := make([]float64, 3)
+		for i := range p {
+			p[i] = min[i] + r.Float64()*(max[i]-min[i])
+		}
+		c := g.CellOf(p)
+		for i := 0; i < 3; i++ {
+			if c[i] < lo[i] || c[i] > hi[i] {
+				t.Fatalf("point %v of %v quantized outside %v..%v", p, rect, lo, hi)
+			}
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	g := New(1, 1)
+	g.Add(Cell{1}, 1)
+	g.Add(Cell{2}, 2)
+	g.Reset()
+	if g.OccupiedCells() != 0 {
+		t.Fatal("Reset left occupied cells")
+	}
+	if got := g.CollectCell(Cell{1}, nil); len(got) != 0 {
+		t.Fatalf("Reset left ids: %v", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 1) },
+		func() { New(MaxDims+1, 1) },
+		func() { New(2, 0) },
+		func() { New(2, math.Inf(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

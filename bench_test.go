@@ -49,7 +49,7 @@ func benchSGBAll(b *testing.B, overlap sgb.Overlap) {
 	for _, a := range benchAlgs {
 		for _, eps := range []float64{0.2, 0.5, 0.8} {
 			b.Run(fmt.Sprintf("%s/eps=%.1f", a.name, eps), func(b *testing.B) {
-				opt := sgb.Options{Metric: sgb.L2, Eps: eps, Overlap: overlap, Algorithm: a.alg, Seed: 1}
+				opt := sgb.Options{Metric: sgb.L2, Eps: eps, Overlap: overlap, Algorithm: a.alg, Seed: 1, Parallelism: 1}
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if _, err := sgb.GroupByAll(pts, opt); err != nil {
@@ -79,7 +79,7 @@ func BenchmarkFig9d(b *testing.B) {
 		}
 		for _, eps := range []float64{0.2, 0.5, 0.8} {
 			b.Run(fmt.Sprintf("%s/eps=%.1f", a.name, eps), func(b *testing.B) {
-				opt := sgb.Options{Metric: sgb.L2, Eps: eps, Algorithm: a.alg}
+				opt := sgb.Options{Metric: sgb.L2, Eps: eps, Algorithm: a.alg, Parallelism: 1}
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if _, err := sgb.GroupByAny(pts, opt); err != nil {
@@ -138,6 +138,37 @@ func BenchmarkGrid(b *testing.B) {
 	})
 }
 
+// BenchmarkParallel — the partition/evaluate/merge pipeline on the
+// Fig9a workload (n=4000, ε=0.5, L2): worker sweep for both operators
+// under the ε-grid strategy. w=1 is the sequential path; results are
+// identical at every worker count.
+func BenchmarkParallel(b *testing.B) {
+	pts := benchPoints(4000, 1)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("All/Grid/w=%d", w), func(b *testing.B) {
+			opt := sgb.Options{Metric: sgb.L2, Eps: 0.5, Overlap: sgb.JoinAny,
+				Algorithm: sgb.GridIndex, Seed: 1, Parallelism: w}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sgb.GroupByAll(pts, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("Any/Grid/w=%d", w), func(b *testing.B) {
+			opt := sgb.Options{Metric: sgb.L2, Eps: 0.5, Algorithm: sgb.GridIndex, Parallelism: w}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sgb.GroupByAny(pts, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // benchFig10 is the size-sweep body (ε fixed at 0.2).
 func benchFig10(b *testing.B, overlap sgb.Overlap, algs []struct {
 	name string
@@ -147,7 +178,7 @@ func benchFig10(b *testing.B, overlap sgb.Overlap, algs []struct {
 		for _, n := range []int{2000, 4000, 8000} {
 			pts := benchPoints(n, 3)
 			b.Run(fmt.Sprintf("%s/n=%d", a.name, n), func(b *testing.B) {
-				opt := sgb.Options{Metric: sgb.L2, Eps: 0.2, Overlap: overlap, Algorithm: a.alg, Seed: 1}
+				opt := sgb.Options{Metric: sgb.L2, Eps: 0.2, Overlap: overlap, Algorithm: a.alg, Seed: 1, Parallelism: 1}
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					var err error
@@ -299,7 +330,7 @@ func BenchmarkTable1(b *testing.B) {
 		for _, n := range []int{1000, 4000} {
 			pts := benchPoints(n, 5)
 			b.Run(fmt.Sprintf("%s/n=%d", a.name, n), func(b *testing.B) {
-				opt := sgb.Options{Metric: sgb.LInf, Eps: 0.3, Overlap: sgb.JoinAny, Algorithm: a.alg, Seed: 1}
+				opt := sgb.Options{Metric: sgb.LInf, Eps: 0.3, Overlap: sgb.JoinAny, Algorithm: a.alg, Seed: 1, Parallelism: 1}
 				for i := 0; i < b.N; i++ {
 					if _, err := sgb.GroupByAll(pts, opt); err != nil {
 						b.Fatal(err)
@@ -374,7 +405,7 @@ func BenchmarkAblation(b *testing.B) {
 // BenchmarkHarness runs each benchkit experiment end-to-end at reduced
 // scale — the same code path as cmd/sgbbench, kept exercised by CI.
 func BenchmarkHarness(b *testing.B) {
-	for _, id := range []string{"fig9a", "fig10d", "fig11a", "fig12a", "table1"} {
+	for _, id := range []string{"fig9a", "fig10d", "fig11a", "fig12a", "table1", "scaling"} {
 		e, ok := benchkit.Find(id)
 		if !ok {
 			b.Fatalf("missing experiment %s", id)

@@ -10,6 +10,12 @@
 // Statements are terminated by ';'. Preload data with -demo (the
 // paper's Figure 2 points), -tpch SF (TPC-H-like tables), or
 // -checkin N (synthetic geo-social check-ins).
+//
+// Session settings tune the similarity executor:
+//
+//	sgb> SET algorithm = grid;      -- allpairs | bounds | rtree | grid
+//	sgb> SET parallelism = 4;       -- 0 = GOMAXPROCS (auto), 1 = sequential
+//	sgb> SET seed = 7;              -- JOIN-ANY arbitration seed
 package main
 
 import (
@@ -58,6 +64,7 @@ func main() {
 		fmt.Printf("tables: %s\n", strings.Join(tables, ", "))
 	}
 	fmt.Println(`type SQL ending with ';' — \q quits, \d lists tables`)
+	fmt.Println(`session settings: SET algorithm = allpairs|bounds|rtree|grid; SET parallelism = N; SET seed = N`)
 
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)

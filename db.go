@@ -3,6 +3,8 @@ package sgb
 import (
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 
 	"github.com/sgb-db/sgb/internal/plan"
 	"github.com/sgb-db/sgb/internal/sqlparser"
@@ -16,15 +18,21 @@ type Value = types.Value
 // DB is an embedded in-memory SQL engine with the SGB-extended GROUP BY
 // syntax. It plays the role of the paper's modified PostgreSQL: parser,
 // planner, and executor all understand DISTANCE-TO-ALL / DISTANCE-TO-ANY
-// grouping. A DB is safe for sequential use; guard concurrent access
-// externally.
+// grouping, and SET statements tune the similarity executor per
+// session (SET algorithm = grid, SET parallelism = 4, SET seed = 1).
+// A DB is safe for sequential use; guard concurrent access externally.
 type DB struct {
 	cat *storage.Catalog
+	// session holds the similarity-grouping defaults applied by Query
+	// and Exec; SET statements mutate it. QueryOpt bypasses it.
+	session QueryOptions
 }
 
-// Open creates an empty database.
+// Open creates an empty database. The session defaults to the ε-grid
+// strategy with automatic parallelism (workers = GOMAXPROCS on large
+// inputs).
 func Open() *DB {
-	return &DB{cat: storage.NewCatalog()}
+	return &DB{cat: storage.NewCatalog(), session: QueryOptions{Algorithm: GridIndex}}
 }
 
 // Rows is a fully materialized query result.
@@ -38,8 +46,14 @@ func (r *Rows) Len() int { return len(r.Data) }
 
 // QueryOptions tunes similarity group-by execution for a single query.
 type QueryOptions struct {
-	// Algorithm selects the SGB strategy (default OnTheFlyIndex).
+	// Algorithm selects the SGB strategy (the session default is
+	// GridIndex; queries grouping by more than 4 attributes fall back
+	// to the R-tree automatically).
 	Algorithm Algorithm
+	// Parallelism is the similarity pipeline's worker count: 0 picks
+	// GOMAXPROCS on large inputs, 1 forces sequential evaluation, ≥ 2
+	// forces that many workers. Results are identical at every setting.
+	Parallelism int
 	// Seed seeds ON-OVERLAP JOIN-ANY arbitration.
 	Seed int64
 	// Stats, when non-nil, accumulates SGB operator counters.
@@ -71,8 +85,11 @@ func (db *DB) Exec(sql string) (int, error) {
 	case *sqlparser.InsertStmt:
 		return db.execInsert(s)
 
+	case *sqlparser.SetStmt:
+		return 0, db.execSet(s)
+
 	case *sqlparser.SelectStmt:
-		rows, err := db.runSelect(s, QueryOptions{Algorithm: OnTheFlyIndex})
+		rows, err := db.runSelect(s, db.session)
 		if err != nil {
 			return 0, err
 		}
@@ -137,9 +154,48 @@ func evalConstExpr(e sqlparser.Expr) (types.Value, error) {
 	return cq, nil
 }
 
-// Query runs a SELECT with default options.
+// execSet applies a SET statement to the session options.
+func (db *DB) execSet(s *sqlparser.SetStmt) error {
+	val := strings.ToLower(s.Value)
+	switch strings.ToLower(s.Name) {
+	case "algorithm":
+		switch val {
+		case "allpairs", "all-pairs", "naive":
+			db.session.Algorithm = AllPairs
+		case "bounds", "boundscheck", "bounds-checking":
+			db.session.Algorithm = BoundsCheck
+		case "index", "rtree", "r-tree", "ontheflyindex":
+			db.session.Algorithm = OnTheFlyIndex
+		case "grid", "gridindex", "default":
+			db.session.Algorithm = GridIndex
+		default:
+			return fmt.Errorf("sgb: unknown algorithm %q (want allpairs, bounds, rtree, or grid)", s.Value)
+		}
+	case "parallelism":
+		n, err := strconv.Atoi(s.Value)
+		if err != nil || n < 0 {
+			return fmt.Errorf("sgb: parallelism must be a non-negative integer (0 = GOMAXPROCS), got %q", s.Value)
+		}
+		db.session.Parallelism = n
+	case "seed":
+		n, err := strconv.ParseInt(s.Value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("sgb: seed must be an integer, got %q", s.Value)
+		}
+		db.session.Seed = n
+	default:
+		return fmt.Errorf("sgb: unknown setting %q (want algorithm, parallelism, or seed)", s.Name)
+	}
+	return nil
+}
+
+// SessionOptions returns the current session defaults (as mutated by
+// SET statements).
+func (db *DB) SessionOptions() QueryOptions { return db.session }
+
+// Query runs a SELECT with the session's default options.
 func (db *DB) Query(sql string) (*Rows, error) {
-	return db.QueryOpt(sql, QueryOptions{Algorithm: OnTheFlyIndex})
+	return db.QueryOpt(sql, db.session)
 }
 
 // QueryOpt runs a SELECT with explicit similarity-grouping options.
@@ -154,6 +210,7 @@ func (db *DB) QueryOpt(sql string, opt QueryOptions) (*Rows, error) {
 func (db *DB) runSelect(sel *sqlparser.SelectStmt, opt QueryOptions) (*Rows, error) {
 	b := plan.NewBuilder(db.cat)
 	b.SGBAlgorithm = opt.Algorithm
+	b.SGBParallelism = opt.Parallelism
 	b.SGBSeed = opt.Seed
 	b.SGBStats = opt.Stats
 	cq, err := b.BuildSelect(sel)

@@ -2,6 +2,7 @@ package sgb
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -283,6 +284,47 @@ func TestQueryOptAlgorithms(t *testing.T) {
 		}
 		if alg == OnTheFlyIndex && st.IndexProbes == 0 {
 			t.Error("stats not collected through SQL layer")
+		}
+	}
+}
+
+func TestSetSessionSettings(t *testing.T) {
+	db := newGPSDB(t)
+	q := `SELECT count(*) FROM gps
+		GROUP BY lat, lon DISTANCE-TO-ALL LINF WITHIN 3 ON-OVERLAP ELIMINATE`
+	ref := sortedCounts(mustQuery(t, db, q))
+
+	// Every algorithm and parallelism setting must produce the same
+	// grouping through the SQL layer.
+	for _, set := range []string{
+		"SET algorithm = allpairs",
+		"SET algorithm = bounds",
+		"SET algorithm = rtree",
+		"SET algorithm = grid",
+		"SET parallelism = 1",
+		"SET parallelism = 4",
+		"SET parallelism TO 0",
+		"SET seed = 7",
+	} {
+		mustExec(t, db, set)
+		got := sortedCounts(mustQuery(t, db, q))
+		if fmt.Sprint(got) != fmt.Sprint(ref) {
+			t.Errorf("after %q: counts %v, want %v", set, got, ref)
+		}
+	}
+	if db.SessionOptions().Parallelism != 0 || db.SessionOptions().Seed != 7 {
+		t.Errorf("session options not retained: %+v", db.SessionOptions())
+	}
+
+	for _, bad := range []string{
+		"SET algorithm = quantum",
+		"SET parallelism = -2",
+		"SET parallelism = fast",
+		"SET seed = soon",
+		"SET nonsense = 1",
+	} {
+		if _, err := db.Exec(bad); err == nil {
+			t.Errorf("accepted invalid setting: %q", bad)
 		}
 	}
 }

@@ -112,9 +112,12 @@ func blobPoints(n, blobSize int, seed int64) []geom.Point {
 	return pts
 }
 
-// timeSGBAll measures one SGB-All evaluation.
+// timeSGBAll measures one SGB-All evaluation. Strategy-comparison
+// experiments pin Parallelism to 1 so each column measures the named
+// sequential strategy (the paper's operator is single-threaded); the
+// scaling experiment sweeps worker counts explicitly.
 func timeSGBAll(pts []geom.Point, alg core.Algorithm, ov core.Overlap, eps float64) (time.Duration, int, error) {
-	opt := core.Options{Metric: geom.L2, Eps: eps, Overlap: ov, Algorithm: alg, Seed: 1}
+	opt := core.Options{Metric: geom.L2, Eps: eps, Overlap: ov, Algorithm: alg, Seed: 1, Parallelism: 1}
 	start := time.Now()
 	res, err := core.SGBAll(pts, opt)
 	if err != nil {
@@ -123,9 +126,10 @@ func timeSGBAll(pts []geom.Point, alg core.Algorithm, ov core.Overlap, eps float
 	return time.Since(start), res.NumGroups(), nil
 }
 
-// timeSGBAny measures one SGB-Any evaluation.
+// timeSGBAny measures one SGB-Any evaluation (sequential; see
+// timeSGBAll).
 func timeSGBAny(pts []geom.Point, alg core.Algorithm, eps float64) (time.Duration, int, error) {
-	opt := core.Options{Metric: geom.L2, Eps: eps, Algorithm: alg, Seed: 1}
+	opt := core.Options{Metric: geom.L2, Eps: eps, Algorithm: alg, Seed: 1, Parallelism: 1}
 	start := time.Now()
 	res, err := core.SGBAny(pts, opt)
 	if err != nil {

@@ -11,8 +11,8 @@ import (
 // report for each figure and table of the paper.
 func TestEveryExperimentRuns(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 14 { // fig9a–d, fig10a–d, fig11a/b, fig12a/b, table1, table2
-		t.Fatalf("registered experiments = %d, want 14", len(exps))
+	if len(exps) != 15 { // fig9a–d, fig10a–d, fig11a/b, fig12a/b, table1, table2, scaling
+		t.Fatalf("registered experiments = %d, want 15", len(exps))
 	}
 	for _, e := range exps {
 		e := e

@@ -1,0 +1,84 @@
+package benchkit
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/sgb-db/sgb/internal/core"
+	"github.com/sgb-db/sgb/internal/geom"
+)
+
+// Beyond the paper: the parallel-scaling experiment for the partition
+// → shard-local evaluate → merge pipeline. The workload is the Fig9a
+// uniform sweep point (ε = 0.5, L2) so the series land next to the
+// Fig9/Fig10 reproductions; the parallel and sequential runs produce
+// identical groupings at every worker count, so the table also prints
+// the group count as a cross-check.
+
+var workerSweep = []int{1, 2, 4, 8}
+
+func init() {
+	register(Experiment{
+		ID:    "scaling",
+		Title: "parallel scaling, workers ∈ {1,2,4,8} (SGB-All JOIN-ANY and SGB-Any, ε-Grid)",
+		Expect: "speedup approaching the machine's core count for SGB-Any; " +
+			"SGB-All parallelizes its probe/refine distance work only, so it " +
+			"scales until the sequential arbitration loop dominates (Amdahl)",
+		Run: runScaling,
+	})
+}
+
+func runScaling(cfg Config) error {
+	e, _ := Find("scaling")
+	header(cfg, e)
+	n := cfg.scaled(8000)
+	pts := uniformPoints(n, 10, cfg.Seed+3)
+	const eps = 0.5
+	fmt.Fprintf(cfg.Out, "n = %d uniform points, ε = %.1f, L2, ε-Grid strategy\n\n", n, eps)
+
+	t := newTable(cfg.Out, "workers", "SGB-All(ms)", "All-speedup", "SGB-Any(ms)", "Any-speedup", "groups(All/Any)")
+	var baseAll, baseAny time.Duration
+	for _, w := range workerSweep {
+		all, gAll, err := timeParallel(pts, eps, w, false)
+		if err != nil {
+			return err
+		}
+		anyT, gAny, err := timeParallel(pts, eps, w, true)
+		if err != nil {
+			return err
+		}
+		if w == 1 {
+			baseAll, baseAny = all, anyT
+		}
+		t.row(w, ms(all), speedup(baseAll, all), ms(anyT), speedup(baseAny, anyT),
+			fmt.Sprintf("%d/%d", gAll, gAny))
+	}
+	t.flush()
+	return nil
+}
+
+// timeParallel measures one evaluation at an explicit worker count
+// (1 forces the sequential path, so the speedup column is against the
+// true sequential baseline, not a one-worker parallel run).
+func timeParallel(pts []geom.Point, eps float64, workers int, anySemantics bool) (time.Duration, int, error) {
+	opt := core.Options{
+		Metric:      geom.L2,
+		Eps:         eps,
+		Overlap:     core.JoinAny,
+		Algorithm:   core.GridIndex,
+		Seed:        1,
+		Parallelism: workers,
+	}
+	start := time.Now()
+	var res *core.Result
+	var err error
+	if anySemantics {
+		res, err = core.SGBAny(pts, opt)
+	} else {
+		res, err = core.SGBAll(pts, opt)
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	return time.Since(start), res.NumGroups(), nil
+}

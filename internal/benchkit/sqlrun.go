@@ -21,6 +21,7 @@ func runSQL(cat *storage.Catalog, sql string, alg core.Algorithm, seed int64) ([
 	}
 	b := plan.NewBuilder(cat)
 	b.SGBAlgorithm = alg
+	b.SGBParallelism = 1 // strategy comparisons measure the sequential operators
 	b.SGBSeed = seed
 	cq, err := b.BuildSelect(sel)
 	if err != nil {

@@ -37,13 +37,34 @@ func cross(a, b, c geom.Point) float64 {
 // Degenerate inputs (0, 1, 2 points, or all-collinear sets) yield hulls
 // with fewer than three vertices, which every query method handles.
 func Compute(pts []geom.Point) *Hull {
-	n := len(pts)
-	if n == 0 {
-		return &Hull{}
+	var sc Scratch
+	h := &Hull{}
+	sc.ComputeInto(h, pts)
+	return h
+}
+
+// Scratch holds the transient buffers of a hull computation — the
+// sorted point copy and the two monotone chains — so repeated rebuilds
+// (SGB-All recomputes a group's hull after every membership change
+// once the group outgrows the member-scan shortcut) stop allocating
+// after the buffers reach steady-state size. The zero value is ready
+// to use; a Scratch is not safe for concurrent use.
+type Scratch struct {
+	pts          []geom.Point
+	lower, upper []geom.Point
+}
+
+// ComputeInto rebuilds dst as the convex hull of pts, equivalent to
+// *dst = *Compute(pts) but reusing both sc's buffers and dst's vertex
+// storage. dst keeps views of the input points, exactly like Compute.
+func (sc *Scratch) ComputeInto(dst *Hull, pts []geom.Point) {
+	dst.vertices = dst.vertices[:0]
+	if len(pts) == 0 {
+		return
 	}
 	// Sort a copy lexicographically by (x, y).
-	sorted := make([]geom.Point, n)
-	copy(sorted, pts)
+	sorted := append(sc.pts[:0], pts...)
+	sc.pts = sorted[:0]
 	slices.SortFunc(sorted, func(a, b geom.Point) int {
 		if a[0] != b[0] {
 			return cmp.Compare(a[0], b[0])
@@ -58,23 +79,22 @@ func Compute(pts []geom.Point) *Hull {
 			uniq = append(uniq, p)
 		}
 	}
-	if len(uniq) == 1 {
-		return &Hull{vertices: []geom.Point{uniq[0]}}
-	}
-	if len(uniq) == 2 {
-		return &Hull{vertices: []geom.Point{uniq[0], uniq[1]}}
+	if len(uniq) <= 2 {
+		dst.vertices = append(dst.vertices, uniq...)
+		return
 	}
 
 	// Lower hull.
-	var lower []geom.Point
+	lower := sc.lower[:0]
 	for _, p := range uniq {
 		for len(lower) >= 2 && cross(lower[len(lower)-2], lower[len(lower)-1], p) <= 0 {
 			lower = lower[:len(lower)-1]
 		}
 		lower = append(lower, p)
 	}
+	sc.lower = lower[:0]
 	// Upper hull.
-	var upper []geom.Point
+	upper := sc.upper[:0]
 	for i := len(uniq) - 1; i >= 0; i-- {
 		p := uniq[i]
 		for len(upper) >= 2 && cross(upper[len(upper)-2], upper[len(upper)-1], p) <= 0 {
@@ -82,13 +102,16 @@ func Compute(pts []geom.Point) *Hull {
 		}
 		upper = append(upper, p)
 	}
+	sc.upper = upper[:0]
 	// Concatenate, dropping each chain's last point (duplicated ends).
-	hull := append(lower[:len(lower)-1], upper[:len(upper)-1]...)
+	hull := append(dst.vertices, lower[:len(lower)-1]...)
+	hull = append(hull, upper[:len(upper)-1]...)
 	if len(hull) > 2 && collinearLoop(hull) {
 		// All points collinear: keep the two extremes only.
-		hull = []geom.Point{hull[0], extreme(hull)}
+		e := extreme(hull)
+		hull = append(hull[:0], hull[0], e)
 	}
-	return &Hull{vertices: hull}
+	dst.vertices = hull
 }
 
 // collinearLoop reports whether every vertex triple is collinear.

@@ -201,3 +201,50 @@ func BenchmarkCompute1000(b *testing.B) {
 		Compute(input)
 	}
 }
+
+// TestScratchReuseMatchesCompute drives one Scratch and one Hull
+// through many rebuilds of varying size — the SGB-All group-rebuild
+// pattern — and checks every result against a fresh Compute.
+func TestScratchReuseMatchesCompute(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	var sc Scratch
+	reused := &Hull{}
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + r.Intn(40)
+		in := make([]geom.Point, n)
+		for i := range in {
+			// Snapped coordinates exercise duplicates and collinear runs.
+			in[i] = geom.Point{float64(r.Intn(8)), float64(r.Intn(8))}
+		}
+		want := Compute(in)
+		sc.ComputeInto(reused, in)
+		if reused.Len() != want.Len() {
+			t.Fatalf("trial %d: %d vertices, want %d", trial, reused.Len(), want.Len())
+		}
+		for i, v := range reused.Vertices() {
+			if !v.Equal(want.Vertices()[i]) {
+				t.Fatalf("trial %d vertex %d: %v, want %v", trial, i, v, want.Vertices()[i])
+			}
+		}
+	}
+}
+
+// TestScratchAllocs verifies rebuilds stop allocating once the buffers
+// have grown (the satellite's point: large-group hull rebuilds were a
+// per-rebuild allocation source).
+func TestScratchAllocs(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	in := make([]geom.Point, 200)
+	for i := range in {
+		in[i] = geom.Point{r.Float64() * 10, r.Float64() * 10}
+	}
+	var sc Scratch
+	h := &Hull{}
+	sc.ComputeInto(h, in) // warm the buffers
+	allocs := testing.AllocsPerRun(20, func() {
+		sc.ComputeInto(h, in)
+	})
+	if allocs > 1 { // SortFunc's closure may escape on some toolchains
+		t.Fatalf("steady-state rebuild allocates %.0f times per run", allocs)
+	}
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"slices"
+	"sync"
+
+	"github.com/sgb-db/sgb/internal/geom"
+	"github.com/sgb-db/sgb/internal/grid"
+)
+
+// Parallel SGB-All splits the operator into the pipeline's two halves:
+//
+//	evaluate — the candidate-probe/refine phase. All of the operator's
+//	  distance work asks one static question: which points are within ε
+//	  of point i? That is the ε-adjacency of the input, independent of
+//	  any grouping decision, so worker goroutines precompute it over
+//	  chunks of the input (each probing a shared read-only ε-grid).
+//	merge — the paper's arbitration loop, kept strictly sequential in
+//	  arrival order. With adjacency in hand, FindCloseGroups degrades to
+//	  set counting: a live group is a candidate iff every member is a
+//	  neighbor of pi, and an overlap group iff at least one is.
+//
+// Because the counting reproduces the exact candidate and overlap sets
+// of Procedures 4–6 (in the same group-creation order), every
+// ON-OVERLAP semantics — including the seeded JOIN-ANY arbitration —
+// is bit-identical to the sequential strategies.
+
+// adjacency is the ε-neighbor lists of the input in CSR layout: point
+// i's neighbors are ids[off[i]:off[i+1]].
+type adjacency struct {
+	off []int
+	ids []int32
+}
+
+func (a *adjacency) neighbors(i int) []int32 { return a.ids[a.off[i]:a.off[i+1]] }
+
+// buildAdjacency computes the ε-adjacency with the given worker count.
+// Workers own contiguous point ranges and probe a shared, read-only
+// ε-grid (or fall back to a chunked all-pairs scan above
+// grid.MaxDims); every candidate is verified by an exact distance
+// test, so the lists are exact under both metrics.
+//
+// With half set, only neighbors j < i are stored: under JOIN-ANY and
+// ELIMINATE there is a single arbitration pass in input order, so when
+// pi is probed every placed point has a smaller index — the forward
+// half of the lists would never be consulted. FORM-NEW-GROUP's
+// recursive stages re-process deferred points out of index order and
+// need the full lists.
+//
+// The CSR is Θ(Σ ε-degree) memory — up to Θ(n²) on dense or large-ε
+// inputs where the sequential path needs only O(n). Under automatic
+// parallelism (Parallelism = 0) a sampled degree estimate guards the
+// build: when the projected edge count exceeds adjEdgeBudget,
+// buildAdjacency returns nil and the caller stays sequential. An
+// explicit Parallelism ≥ 2 is taken as informed consent and skips the
+// guard.
+func buildAdjacency(ps *geom.PointSet, opt Options, workers int, half bool) *adjacency {
+	n := ps.Len()
+	metric, eps := opt.Metric, opt.Eps
+	// An explicit AllPairs request keeps its naive evaluation shape —
+	// every pair tested, just chunked across workers — so a
+	// parallelized baseline still measures the baseline. Every other
+	// strategy probes the shared grid (when dimensionality allows).
+	var tab *grid.Table
+	if opt.Algorithm != AllPairs && ps.Dims() <= grid.MaxDims {
+		tab = grid.New(ps.Dims(), eps)
+		for i := 0; i < n; i++ {
+			tab.Add(tab.CellOf(ps.At(i)), int32(i))
+		}
+	}
+	if opt.Parallelism == 0 && !adjacencyFits(ps, opt, tab) {
+		return nil
+	}
+
+	type chunk struct {
+		lo, hi int
+		ids    []int32
+		counts []int32
+		stats  Stats
+	}
+	chunks := make([]chunk, 0, workers)
+	for w := 0; w < workers; w++ {
+		lo, hi := n*w/workers, n*(w+1)/workers
+		if lo < hi {
+			chunks = append(chunks, chunk{lo: lo, hi: hi})
+		}
+	}
+	var wg sync.WaitGroup
+	for ci := range chunks {
+		wg.Add(1)
+		go func(c *chunk) {
+			defer wg.Done()
+			var buf []int32
+			for i := c.lo; i < c.hi; i++ {
+				p := ps.At(i)
+				start := len(c.ids)
+				if tab != nil {
+					c.stats.addProbe(1)
+					lo, hi := tab.RangeOfBox(p, eps)
+					buf = tab.Collect(lo, hi, buf[:0])
+					for _, j := range buf {
+						if int(j) == i || (half && int(j) > i) {
+							continue
+						}
+						c.stats.addDist(1)
+						if metric.Within(p, ps.At(int(j)), eps) {
+							c.ids = append(c.ids, j)
+						}
+					}
+				} else {
+					hi := n
+					if half {
+						hi = i
+					}
+					for j := 0; j < hi; j++ {
+						if j == i {
+							continue
+						}
+						c.stats.addDist(1)
+						if metric.Within(p, ps.At(j), eps) {
+							c.ids = append(c.ids, int32(j))
+						}
+					}
+				}
+				c.counts = append(c.counts, int32(len(c.ids)-start))
+			}
+		}(&chunks[ci])
+	}
+	wg.Wait()
+
+	adj := &adjacency{off: make([]int, n+1)}
+	total := 0
+	for ci := range chunks {
+		total += len(chunks[ci].ids)
+		opt.Stats.merge(&chunks[ci].stats)
+	}
+	adj.ids = make([]int32, 0, total)
+	pos := 0
+	for ci := range chunks {
+		c := &chunks[ci]
+		for k, cnt := range c.counts {
+			adj.off[c.lo+k] = pos
+			pos += int(cnt)
+		}
+		adj.ids = append(adj.ids, c.ids...)
+	}
+	adj.off[n] = pos
+	return adj
+}
+
+// adjEdgeBudget caps the adjacency CSR under automatic parallelism:
+// 1<<26 int32 neighbor ids ≈ 256 MB. Beyond it the sequential finder's
+// O(n) working set is the safer default.
+const adjEdgeBudget = 1 << 26
+
+// adjacencyFits estimates the total ε-degree by exactly probing a
+// small evenly spaced sample of points against the prebuilt grid and
+// extrapolating. A few hundred probes — noise next to the build
+// itself.
+func adjacencyFits(ps *geom.PointSet, opt Options, tab *grid.Table) bool {
+	n := ps.Len()
+	sample := 512
+	if sample > n {
+		sample = n
+	}
+	metric, eps := opt.Metric, opt.Eps
+	var buf []int32
+	var degs int64
+	for s := 0; s < sample; s++ {
+		i := s * n / sample
+		p := ps.At(i)
+		if tab != nil {
+			lo, hi := tab.RangeOfBox(p, eps)
+			buf = tab.Collect(lo, hi, buf[:0])
+			for _, j := range buf {
+				if int(j) != i && metric.Within(p, ps.At(int(j)), eps) {
+					degs++
+				}
+			}
+		} else {
+			for j := 0; j < n; j++ {
+				if j != i && ps.Within(metric, i, j, eps) {
+					degs++
+				}
+			}
+		}
+	}
+	// ×2 safety factor on the extrapolation: sampled degrees undercount
+	// whenever the sample misses the dense clusters.
+	return 2*degs*int64(n)/int64(sample) <= adjEdgeBudget
+}
+
+// adjFinder is the FindCloseGroups over precomputed ε-adjacency: it
+// counts, per live group, how many members are neighbors of pi. A full
+// count is a candidate (every member within ε — the distance-to-all
+// predicate, already refined exactly during the build), a partial
+// count an overlap group. No distances are computed on the sequential
+// path.
+type adjFinder struct {
+	adj *adjacency
+
+	// Per-group neighbor counters, epoch-guarded so a probe touches
+	// only the groups its neighbors belong to.
+	cnt   []int32
+	mark  []uint32
+	epoch uint32
+
+	gids       []int32
+	cands, ovs []*group
+}
+
+func newAdjFinder(adj *adjacency) *adjFinder { return &adjFinder{adj: adj} }
+
+func (f *adjFinder) findCloseGroups(st *sgbAllState, pi int) (candidates, overlaps []*group) {
+	// No probe counted here: the only index probe for pi already
+	// happened in buildAdjacency; this phase is pure counting.
+	needOverlap := st.opt.Overlap != JoinAny
+	if n := len(st.groups); n > len(f.cnt) {
+		f.cnt = append(f.cnt, make([]int32, n-len(f.cnt))...)
+		f.mark = append(f.mark, make([]uint32, n-len(f.mark))...)
+	}
+	f.epoch++
+	if f.epoch == 0 { // wrapped: invalidate stale marks
+		clear(f.mark)
+		f.epoch = 1
+	}
+	f.gids = f.gids[:0]
+	for _, j := range f.adj.neighbors(pi) {
+		gid := st.pointGroup[j]
+		if gid < 0 || int(gid) < st.stageFloor {
+			continue
+		}
+		if f.mark[gid] != f.epoch {
+			f.mark[gid] = f.epoch
+			f.cnt[gid] = 0
+			f.gids = append(f.gids, gid)
+		}
+		f.cnt[gid]++
+	}
+	// Group-creation order, matching every other finder, so JOIN-ANY
+	// arbitration consumes the PRNG identically.
+	slices.Sort(f.gids)
+	f.cands, f.ovs = f.cands[:0], f.ovs[:0]
+	for _, gid := range f.gids {
+		g := st.groups[gid]
+		if g == nil {
+			continue
+		}
+		if int(f.cnt[gid]) == len(g.members) {
+			f.cands = append(f.cands, g)
+		} else if needOverlap {
+			f.ovs = append(f.ovs, g)
+		}
+	}
+	return f.cands, f.ovs
+}
+
+// The adjacency is static and groups are tracked through
+// st.pointGroup, so group mutations need no auxiliary maintenance.
+func (f *adjFinder) groupCreated(st *sgbAllState, g *group) {}
+func (f *adjFinder) groupChanged(st *sgbAllState, g *group) {}
+func (f *adjFinder) groupRemoved(st *sgbAllState, g *group) {}
+func (f *adjFinder) stageReset(st *sgbAllState)             {}

@@ -28,6 +28,8 @@ import (
 	"math"
 
 	"github.com/sgb-db/sgb/internal/geom"
+	"github.com/sgb-db/sgb/internal/grid"
+	"github.com/sgb-db/sgb/internal/partition"
 )
 
 // Overlap selects the ON-OVERLAP arbitration semantics of SGB-All
@@ -117,6 +119,21 @@ type Options struct {
 	// Stats, when non-nil, accumulates operation counts for the run.
 	Stats *Stats
 
+	// Parallelism selects the worker count of the partition /
+	// shard-local evaluate / merge pipeline. 0 (the default) means
+	// GOMAXPROCS, engaged only for the GridIndex strategy (within its
+	// dimensionality range) and only once the input is large enough to
+	// amortize the sharding overhead — explicitly selected comparison
+	// strategies (All-Pairs, Bounds-Checking, R-tree) keep their
+	// sequential evaluation shape so the paper's strategy experiments
+	// measure what they name. 1 forces the sequential path; any value
+	// ≥ 2 forces that many workers for any strategy and input size.
+	// Negative values are rejected by Validate. Groupings are identical
+	// at every worker count: SGB-Any components are order-independent,
+	// and parallel SGB-All only precomputes the probe/refine distance
+	// work, keeping the paper's sequential arbitration order.
+	Parallelism int
+
 	// IndexHysteresis tunes when the on-the-fly index refreshes a
 	// group's (shrinking) ε-All rectangle: the stale entry is kept
 	// while its area is at most this multiple of the true rectangle's
@@ -147,7 +164,38 @@ func (o Options) Validate() error {
 	default:
 		return errors.New("core: unknown algorithm")
 	}
+	if o.Parallelism < 0 {
+		return errors.New("core: Parallelism must be >= 0 (0 means GOMAXPROCS)")
+	}
 	return nil
+}
+
+// parallelThreshold is the input size below which Parallelism = 0
+// (auto) stays sequential: sharding a few thousand points costs more
+// than it saves. An explicit Parallelism ≥ 2 bypasses the threshold,
+// which is what the equivalence tests use to exercise the parallel
+// pipeline on small inputs.
+const parallelThreshold = 4096
+
+// workers resolves the effective worker count for an input of n points
+// of dimensionality dims. Auto mode (Parallelism = 0) engages only
+// for GridIndex within the grid's dimensionality range: requesting
+// All-Pairs, Bounds-Checking, or the R-tree by name is a statement
+// about which evaluation shape to run (the strategy-comparison
+// experiments depend on it), so those stay sequential unless the
+// caller explicitly asks for workers.
+func (o Options) workers(n, dims int) int {
+	switch {
+	case o.Parallelism == 1 || n < 2:
+		return 1
+	case o.Parallelism == 0 && (n < parallelThreshold || o.Algorithm != GridIndex || dims > grid.MaxDims):
+		return 1
+	}
+	w := partition.Workers(o.Parallelism)
+	if w > n {
+		w = n
+	}
+	return w
 }
 
 // Stats counts the primitive operations a run performed; the Table 1
@@ -204,6 +252,25 @@ func (s *Stats) addMerge(n int64) {
 func (s *Stats) noteDepth(d int) {
 	if s != nil && d > s.RecursionDepth {
 		s.RecursionDepth = d
+	}
+}
+
+// merge folds a worker-private Stats into s. Parallel stages hand each
+// worker its own counter block so the hot path never shares cache
+// lines; the coordinator merges after the workers join.
+func (s *Stats) merge(o *Stats) {
+	if s == nil || o == nil {
+		return
+	}
+	s.DistanceComputations += o.DistanceComputations
+	s.RectTests += o.RectTests
+	s.HullTests += o.HullTests
+	s.IndexProbes += o.IndexProbes
+	s.IndexUpdates += o.IndexUpdates
+	s.GroupsCreated += o.GroupsCreated
+	s.GroupMerges += o.GroupMerges
+	if o.RecursionDepth > s.RecursionDepth {
+		s.RecursionDepth = o.RecursionDepth
 	}
 }
 

@@ -67,7 +67,16 @@ type sgbAllState struct {
 	eliminated []int // points dropped by ELIMINATE
 	deferred   []int // S′: points deferred by FORM-NEW-GROUP
 
-	hullPts []geom.Point // scratch for convex-hull rebuilds
+	// pointGroup maps each placed input index to the id of the group
+	// currently holding it (-1 while unplaced, eliminated, or
+	// deferred). The adjacency finder of the parallel pipeline resolves
+	// neighbor points to groups through it; maintenance is one store
+	// per placement, so the sequential strategies pay nothing
+	// measurable for it.
+	pointGroup []int32
+
+	hullPts     []geom.Point       // scratch member-point views for hull rebuilds
+	hullScratch convexhull.Scratch // reusable sort/chain buffers for hull rebuilds
 }
 
 // finder abstracts FindCloseGroups over the strategies.
@@ -103,6 +112,7 @@ func (st *sgbAllState) newGroupFor(pi int) *group {
 	}
 	g.hullDirty = true
 	st.groups = append(st.groups, g)
+	st.pointGroup[pi] = int32(g.id)
 	st.opt.Stats.addCreated(1)
 	st.finder.groupCreated(st, g)
 	return g
@@ -115,6 +125,7 @@ func (st *sgbAllState) newGroupFor(pi int) *group {
 func (st *sgbAllState) insert(pi int, g *group) {
 	p := st.points.At(pi)
 	g.members = append(g.members, pi)
+	st.pointGroup[pi] = int32(g.id)
 	g.epsRect.ShrinkToEpsBox(p, st.opt.Eps)
 	g.mbr.ExtendPoint(p)
 	// The cached convex hull stays valid when the new member lies
@@ -137,6 +148,8 @@ func (st *sgbAllState) removeMembers(g *group, victims map[int]bool) {
 	for _, m := range g.members {
 		if !victims[m] {
 			kept = append(kept, m)
+		} else {
+			st.pointGroup[m] = -1
 		}
 	}
 	g.members = kept
@@ -166,7 +179,13 @@ func (st *sgbAllState) hullOf(g *group) *convexhull.Hull {
 			pts = append(pts, st.points.At(m))
 		}
 		st.hullPts = pts
-		g.hull = convexhull.Compute(pts)
+		if g.hull == nil {
+			g.hull = &convexhull.Hull{}
+		}
+		// Rebuild in place: the group's vertex storage and the state's
+		// sort/chain scratch are both reused, so large-group rebuilds
+		// stop allocating once the buffers have grown.
+		st.hullScratch.ComputeInto(g.hull, pts)
 		g.hullDirty = false
 	}
 	return g.hull

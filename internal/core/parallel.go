@@ -1,0 +1,140 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/sgb-db/sgb/internal/geom"
+	"github.com/sgb-db/sgb/internal/grid"
+	"github.com/sgb-db/sgb/internal/partition"
+	"github.com/sgb-db/sgb/internal/unionfind"
+)
+
+// This file is the parallel arm of the evaluation pipeline:
+//
+//	partition  — stripe the input into ε-aligned slabs (internal/partition)
+//	evaluate   — per-shard SGB-Any runs on worker goroutines, each into
+//	             a private Union-Find over the shard's sub-PointSet
+//	boundary   — per-cut band probes emitting cross-shard within-ε
+//	             edges, also on workers
+//	merge      — a single-threaded Union-Find reduction folding shard
+//	             partitions and boundary edges into the global forest
+//
+// SGB-Any's connected-component semantics are order-independent, so
+// the sharded evaluation is exact: every ε-edge of the similarity
+// graph is either intra-shard (found by the shard-local run) or spans
+// one cut between adjacent slabs (found by the boundary probe).
+
+// sgbAnyParallel runs the sharded SGB-Any pipeline with the given
+// worker count. It reports false when the input cannot be split into
+// at least two ε-aligned slabs (the caller then evaluates
+// sequentially).
+func sgbAnyParallel(ps *geom.PointSet, opt Options, uf *unionfind.UF, workers int) bool {
+	plan := partition.Split(ps, opt.Eps, workers)
+	if plan == nil {
+		return false
+	}
+
+	type shardResult struct {
+		uf    *unionfind.UF
+		stats Stats
+	}
+	shardRes := make([]shardResult, len(plan.Shards))
+	boundEdges := make([][]unionfind.Edge, len(plan.Bounds))
+	boundStats := make([]Stats, len(plan.Bounds))
+
+	// Evaluate and boundary stages share the worker pool: both are
+	// read-only over the input and write only worker-private state.
+	var wg sync.WaitGroup
+	for si := range plan.Shards {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			sh := &plan.Shards[si]
+			local := opt
+			local.Stats = &shardRes[si].stats
+			shardRes[si].uf = unionfind.New(sh.Points.Len())
+			sgbAnyLocal(sh.Points, local, shardRes[si].uf)
+		}(si)
+	}
+	for bi := range plan.Bounds {
+		wg.Add(1)
+		go func(bi int) {
+			defer wg.Done()
+			boundEdges[bi] = boundaryEdges(ps, opt, plan.Bounds[bi], &boundStats[bi])
+		}(bi)
+	}
+	wg.Wait()
+
+	// Merge: fold shard partitions and boundary edges into the shared
+	// forest. Union-Find merging is order-independent, so the final
+	// components are identical to a sequential run.
+	for si := range plan.Shards {
+		uf.Absorb(shardRes[si].uf, plan.Shards[si].Global)
+		opt.Stats.merge(&shardRes[si].stats)
+	}
+	for bi := range plan.Bounds {
+		opt.Stats.addMerge(int64(uf.UnionEdges(boundEdges[bi])))
+		opt.Stats.merge(&boundStats[bi])
+	}
+	return true
+}
+
+// sgbAnyLocal dispatches one SGB-Any evaluation over a (sub-)PointSet
+// into uf — the shard-local evaluate stage, shared with the sequential
+// path in sgbAnySet.
+func sgbAnyLocal(ps *geom.PointSet, opt Options, uf *unionfind.UF) {
+	switch opt.Algorithm {
+	case AllPairs:
+		sgbAnyAllPairs(ps, opt, uf)
+	case OnTheFlyIndex:
+		sgbAnyIndexed(ps, opt, uf)
+	case GridIndex:
+		if ps.Dims() > grid.MaxDims {
+			sgbAnyIndexed(ps, opt, uf) // see newFinder: grid keys cap at MaxDims
+		} else {
+			sgbAnyGrid(ps, opt, uf)
+		}
+	}
+}
+
+// boundaryEdges emits the within-ε pairs crossing one cut: left-band
+// points are indexed in an ε-grid (or scanned directly above
+// grid.MaxDims), right-band points probe it. Bands hold only the
+// points of the two cells touching the cut, so this is a sliver of the
+// input.
+func boundaryEdges(ps *geom.PointSet, opt Options, b partition.Boundary, stats *Stats) []unionfind.Edge {
+	if len(b.Left) == 0 || len(b.Right) == 0 {
+		return nil
+	}
+	metric, eps := opt.Metric, opt.Eps
+	var edges []unionfind.Edge
+	if ps.Dims() > grid.MaxDims {
+		for _, r := range b.Right {
+			for _, l := range b.Left {
+				stats.addDist(1)
+				if ps.Within(metric, int(r), int(l), eps) {
+					edges = append(edges, unionfind.Edge{A: r, B: l})
+				}
+			}
+		}
+		return edges
+	}
+	tab := grid.New(ps.Dims(), eps)
+	for _, l := range b.Left {
+		tab.Add(tab.CellOf(ps.At(int(l))), l)
+	}
+	var buf []int32
+	for _, r := range b.Right {
+		p := ps.At(int(r))
+		stats.addProbe(1)
+		lo, hi := tab.RangeOfBox(p, eps)
+		buf = tab.Collect(lo, hi, buf[:0])
+		for _, l := range buf {
+			stats.addDist(1)
+			if metric.Within(p, ps.At(int(l)), eps) {
+				edges = append(edges, unionfind.Edge{A: r, B: l})
+			}
+		}
+	}
+	return edges
+}

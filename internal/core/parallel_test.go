@@ -1,0 +1,253 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/sgb-db/sgb/internal/geom"
+	"github.com/sgb-db/sgb/internal/grid"
+)
+
+// The randomized parallel↔sequential equivalence suite: the parallel
+// pipeline must produce member-for-member identical groupings at every
+// worker count — SGB-Any under every algorithm, SGB-All under all
+// three ON-OVERLAP semantics (JOIN-ANY with equal seeds) — across
+// {L2, L∞} × d ∈ {1, 2, 3}.
+
+func randTestPoints(r *rand.Rand, n, d int, span float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, d)
+		for j := range p {
+			p[j] = r.Float64() * span
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func trialsFor(t *testing.T) int {
+	if testing.Short() {
+		return 1
+	}
+	return 3
+}
+
+func TestParallelAnyEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, d := range []int{1, 2, 3} {
+		for _, m := range []geom.Metric{geom.L2, geom.LInf} {
+			for trial := 0; trial < trialsFor(t); trial++ {
+				n := 200 + r.Intn(300)
+				pts := randTestPoints(r, n, d, 7)
+				eps := 0.1 + r.Float64()*0.4
+				seq, err := SGBAny(pts, Options{Metric: m, Eps: eps, Algorithm: GridIndex, Parallelism: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, alg := range []Algorithm{AllPairs, OnTheFlyIndex, GridIndex} {
+					for _, workers := range []int{2, 3, 8} {
+						st := &Stats{}
+						opt := Options{Metric: m, Eps: eps, Algorithm: alg, Parallelism: workers, Stats: st}
+						got, err := SGBAny(pts, opt)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !reflect.DeepEqual(got.Groups, seq.Groups) {
+							t.Fatalf("d=%d metric=%v alg=%v workers=%d eps=%.3f: parallel grouping differs from sequential (%d vs %d groups)",
+								d, m, alg, workers, eps, len(got.Groups), len(seq.Groups))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestParallelAllEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, d := range []int{1, 2, 3} {
+		for _, m := range []geom.Metric{geom.L2, geom.LInf} {
+			for _, ov := range []Overlap{JoinAny, Eliminate, FormNewGroup} {
+				for trial := 0; trial < trialsFor(t); trial++ {
+					n := 150 + r.Intn(250)
+					pts := randTestPoints(r, n, d, 6)
+					eps := 0.15 + r.Float64()*0.5
+					seed := r.Int63()
+					base := Options{Metric: m, Eps: eps, Overlap: ov, Seed: seed}
+					for _, alg := range []Algorithm{GridIndex, OnTheFlyIndex} {
+						seqOpt := base
+						seqOpt.Algorithm = alg
+						seqOpt.Parallelism = 1
+						seq, err := SGBAll(pts, seqOpt)
+						if err != nil {
+							t.Fatal(err)
+						}
+						for _, workers := range []int{2, 5} {
+							parOpt := base
+							parOpt.Algorithm = alg
+							parOpt.Parallelism = workers
+							got, err := SGBAll(pts, parOpt)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if !reflect.DeepEqual(got.Groups, seq.Groups) {
+								t.Fatalf("d=%d metric=%v overlap=%v alg=%v workers=%d eps=%.3f seed=%d: groups differ",
+									d, m, ov, alg, workers, eps, seed)
+							}
+							if !reflect.DeepEqual(got.Eliminated, seq.Eliminated) {
+								t.Fatalf("d=%d metric=%v overlap=%v alg=%v workers=%d: eliminated sets differ",
+									d, m, ov, alg, workers)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelAnyMatchesComponents pins the parallel pipeline to the
+// brute-force connected-components reference, not just to the
+// sequential operator.
+func TestParallelAnyMatchesComponents(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	pts := randTestPoints(r, 400, 2, 6)
+	const eps = 0.3
+	want := ConnectedComponents(pts, geom.L2, eps)
+	got, err := SGBAny(pts, Options{Metric: geom.L2, Eps: eps, Algorithm: GridIndex, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameGrouping(got.Groups, want) {
+		t.Fatalf("parallel SGB-Any does not match connected components: %d vs %d groups", len(got.Groups), len(want))
+	}
+}
+
+// TestParallelCliquesValid sanity-checks the parallel SGB-All output
+// invariants directly (clique property, full accounting).
+func TestParallelCliquesValid(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	pts := randTestPoints(r, 300, 2, 5)
+	for _, ov := range []Overlap{JoinAny, Eliminate, FormNewGroup} {
+		res, err := SGBAll(pts, Options{Metric: geom.L2, Eps: 0.4, Overlap: ov, Algorithm: GridIndex, Parallelism: 3, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckCliques(pts, geom.L2, 0.4, res); err != nil {
+			t.Fatalf("overlap=%v: %v", ov, err)
+		}
+	}
+}
+
+// TestAdjacencyBudget pins the auto-parallelism memory guard: a dense
+// input whose ε-adjacency would be quadratic must not fit, and the
+// operator must still answer correctly through the sequential
+// fallback; sparse inputs fit.
+func TestAdjacencyBudget(t *testing.T) {
+	n := 10000
+	dense := geom.NewPointSetCap(2, n)
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < n; i++ {
+		p := dense.Extend()
+		p[0], p[1] = r.Float64()*0.1, r.Float64()*0.1
+	}
+	opt := Options{Metric: geom.L2, Eps: 1, Algorithm: GridIndex}
+	tab := grid.New(2, opt.Eps)
+	for i := 0; i < n; i++ {
+		tab.Add(tab.CellOf(dense.At(i)), int32(i))
+	}
+	if adjacencyFits(dense, opt, tab) {
+		t.Fatal("fully connected 10k-point adjacency (~100M edges) must exceed the budget")
+	}
+	if adj := buildAdjacency(dense, opt, 2, true); adj != nil {
+		t.Fatal("auto build must refuse over-budget adjacency")
+	}
+	// Explicit parallelism skips the guard.
+	expl := opt
+	expl.Parallelism = 2
+	if adj := buildAdjacency(dense, expl, 2, true); adj == nil {
+		t.Fatal("explicit parallelism must honor the request")
+	}
+
+	sparse := geom.NewPointSetCap(2, n)
+	for i := 0; i < n; i++ {
+		p := sparse.Extend()
+		p[0], p[1] = r.Float64()*100, r.Float64()*100
+	}
+	tab2 := grid.New(2, opt.Eps)
+	for i := 0; i < n; i++ {
+		tab2.Add(tab2.CellOf(sparse.At(i)), int32(i))
+	}
+	if !adjacencyFits(sparse, opt, tab2) {
+		t.Fatal("sparse adjacency should fit the budget")
+	}
+}
+
+func TestValidateParallelism(t *testing.T) {
+	base := Options{Metric: geom.L2, Eps: 1}
+	for _, p := range []int{0, 1, 8} {
+		opt := base
+		opt.Parallelism = p
+		if err := opt.Validate(); err != nil {
+			t.Fatalf("Parallelism=%d should validate: %v", p, err)
+		}
+	}
+	opt := base
+	opt.Parallelism = -1
+	if err := opt.Validate(); err == nil {
+		t.Fatal("Parallelism=-1 must be rejected")
+	}
+}
+
+// TestParallelismAutoThreshold verifies the auto setting stays
+// sequential below the input-size threshold, for explicitly selected
+// comparison strategies, and above the grid's dimensionality cap —
+// and that explicit worker counts always engage.
+func TestParallelismAutoThreshold(t *testing.T) {
+	opt := Options{Metric: geom.L2, Eps: 1, Algorithm: GridIndex}
+	if w := opt.workers(parallelThreshold-1, 2); w != 1 {
+		t.Fatalf("auto below threshold: got %d workers, want 1", w)
+	}
+	if w := opt.workers(1<<20, 5); w != 1 {
+		t.Fatalf("auto above grid dims: got %d workers, want 1", w)
+	}
+	for _, alg := range []Algorithm{AllPairs, BoundsCheck, OnTheFlyIndex} {
+		o := opt
+		o.Algorithm = alg
+		if w := o.workers(1<<20, 2); w != 1 {
+			t.Fatalf("auto must not override explicit %v: got %d workers", alg, w)
+		}
+	}
+	opt.Parallelism = 2
+	if w := opt.workers(100, 2); w != 2 {
+		t.Fatalf("explicit parallelism on small input: got %d workers, want 2", w)
+	}
+	opt.Algorithm = AllPairs
+	if w := opt.workers(100, 2); w != 2 {
+		t.Fatalf("explicit parallelism must engage for any algorithm, got %d", w)
+	}
+	opt.Parallelism = 1
+	opt.Algorithm = GridIndex
+	if w := opt.workers(1<<20, 2); w != 1 {
+		t.Fatalf("Parallelism=1 must force sequential, got %d", w)
+	}
+}
+
+// TestParallelStatsProbesNotInflated pins the probe accounting of the
+// parallel SGB-All path: exactly one index probe per input point (from
+// the adjacency build), matching the sequential path's count.
+func TestParallelStatsProbesNotInflated(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	pts := randTestPoints(r, 500, 2, 6)
+	st := &Stats{}
+	_, err := SGBAll(pts, Options{Metric: geom.L2, Eps: 0.4, Overlap: JoinAny,
+		Algorithm: GridIndex, Parallelism: 3, Seed: 1, Stats: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IndexProbes != int64(len(pts)) {
+		t.Fatalf("parallel SGB-All probes = %d, want %d (one per point)", st.IndexProbes, len(pts))
+	}
+}

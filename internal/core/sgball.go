@@ -38,12 +38,31 @@ func sgbAllSet(ps *geom.PointSet, opt Options) (*Result, error) {
 	}
 
 	st := &sgbAllState{
-		points: ps,
-		opt:    opt,
-		dims:   ps.Dims(),
-		rand:   newRNG(opt.Seed),
+		points:     ps,
+		opt:        opt,
+		dims:       ps.Dims(),
+		rand:       newRNG(opt.Seed),
+		pointGroup: make([]int32, ps.Len()),
 	}
-	st.finder = newFinder(st)
+	for i := range st.pointGroup {
+		st.pointGroup[i] = -1
+	}
+	// Pipeline dispatch: with more than one worker the candidate-probe/
+	// refine distance work is precomputed as ε-adjacency on worker
+	// goroutines, and the arbitration loop below runs over the
+	// adjacency finder — same sequential order, same groups, for every
+	// ON-OVERLAP semantics (see adjfinder.go). Otherwise (or when the
+	// auto mode's adjacency memory budget says no) the strategy
+	// selected by opt.Algorithm probes incrementally.
+	st.finder = nil
+	if w := opt.workers(ps.Len(), ps.Dims()); w > 1 {
+		if adj := buildAdjacency(ps, opt, w, opt.Overlap != FormNewGroup); adj != nil {
+			st.finder = newAdjFinder(adj)
+		}
+	}
+	if st.finder == nil {
+		st.finder = newFinder(st)
+	}
 
 	order := make([]int, ps.Len())
 	for i := range order {

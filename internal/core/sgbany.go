@@ -49,18 +49,13 @@ func sgbAnySet(ps *geom.PointSet, opt Options) (*Result, error) {
 		return res, nil
 	}
 
+	// Pipeline dispatch: with more than one worker the evaluation runs
+	// as partition → shard-local evaluate → Union-Find merge (see
+	// parallel.go); otherwise (or when the input spans too few ε-cells
+	// to cut) the whole input is one shard evaluated inline.
 	uf := unionfind.New(ps.Len())
-	switch opt.Algorithm {
-	case AllPairs:
-		sgbAnyAllPairs(ps, opt, uf)
-	case OnTheFlyIndex:
-		sgbAnyIndexed(ps, opt, uf)
-	case GridIndex:
-		if ps.Dims() > grid.MaxDims {
-			sgbAnyIndexed(ps, opt, uf) // see newFinder: grid keys cap at MaxDims
-		} else {
-			sgbAnyGrid(ps, opt, uf)
-		}
+	if w := opt.workers(ps.Len(), ps.Dims()); w < 2 || !sgbAnyParallel(ps, opt, uf, w) {
+		sgbAnyLocal(ps, opt, uf)
 	}
 	res.Groups = groupsFromUF(uf, ps.Len())
 	return res, nil

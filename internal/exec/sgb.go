@@ -16,6 +16,12 @@ import (
 // SGB-Any from internal/core, and then folds the configured aggregates
 // over each output group. Output rows carry the aggregate results in
 // spec order.
+//
+// Opt.Parallelism (threaded down from the planner's SGBParallelism /
+// the engine's SET parallelism session setting) selects the worker
+// count of core's partition → shard-local evaluate → merge pipeline;
+// the node's own plumbing is oblivious to it, and output is identical
+// at every setting.
 type SGB struct {
 	Input Operator
 	// GroupExprs are the d grouping-attribute expressions (numeric).

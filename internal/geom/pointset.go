@@ -129,6 +129,19 @@ func (s *PointSet) Extend() Point {
 	return s.data[n : n+s.dims : n+s.dims]
 }
 
+// Gather returns a compact PointSet holding the points at the given
+// indices, in index order — the sub-PointSet materialization the
+// partition stage of the parallel pipeline hands each shard. The
+// result owns its buffer; mutating the source afterwards does not
+// affect it.
+func (s *PointSet) Gather(indices []int32) *PointSet {
+	out := NewPointSetCap(s.dims, len(indices))
+	for _, i := range indices {
+		out.data = append(out.data, s.At(int(i))...)
+	}
+	return out
+}
+
 // Points materializes the set as a []Point of zero-copy views.
 func (s *PointSet) Points() []Point {
 	out := make([]Point, s.Len())

@@ -188,3 +188,27 @@ func TestEpsBoxIntoAndShrink(t *testing.T) {
 		t.Fatalf("ShrinkToEpsBox = %v, want %v", r, want)
 	}
 }
+
+func TestGather(t *testing.T) {
+	ps := NewPointSet(2)
+	for i := 0; i < 5; i++ {
+		ps.AppendPoint(Point{float64(i), float64(i) * 10})
+	}
+	sub := ps.Gather([]int32{4, 0, 2})
+	if sub.Len() != 3 || sub.Dims() != 2 {
+		t.Fatalf("gathered %d points of dim %d", sub.Len(), sub.Dims())
+	}
+	for k, want := range []int{4, 0, 2} {
+		if !sub.At(k).Equal(ps.At(want)) {
+			t.Fatalf("gathered point %d = %v, want copy of %v", k, sub.At(k), ps.At(want))
+		}
+	}
+	// The gather owns its storage: mutating the source must not leak in.
+	ps.At(4)[0] = -99
+	if sub.At(0)[0] == -99 {
+		t.Fatal("Gather aliases the source buffer")
+	}
+	if empty := ps.Gather(nil); empty.Len() != 0 {
+		t.Fatal("empty gather should have no points")
+	}
+}

@@ -1,0 +1,161 @@
+// Package partition implements the spatial sharding stage of the
+// parallel similarity group-by pipeline: partition → shard-local
+// evaluate → merge. Points are split into contiguous stripes of
+// ε-sized grid cells along one axis, so every shard occupies a slab of
+// space at least ε wide. Two points in different shards can then be
+// within ε of each other only when (a) the shards are adjacent and
+// (b) both points fall in the two boundary cells touching the cut — the
+// ε-bands the merge stage probes. This makes shard-local evaluation
+// plus a boundary merge exact for connected-component (SGB-Any)
+// semantics: every ε-edge of the similarity graph is either
+// intra-shard or a band-to-band edge across one cut.
+//
+// The package is deliberately independent of the operator core: it
+// knows points, ε, and a shard count, and returns compact sub-PointSets
+// plus the local→global index maps and the boundary bands. The core
+// supplies the shard-local algorithm and the Union-Find reduction.
+package partition
+
+import (
+	"math"
+	"runtime"
+	"slices"
+	"sort"
+
+	"github.com/sgb-db/sgb/internal/geom"
+)
+
+// Shard is one slab of the input: a compact PointSet holding the
+// shard's points (gathered in ascending global order) plus the mapping
+// from local index to global input index.
+type Shard struct {
+	Points *geom.PointSet
+	// Global maps local point index → global input index. It is
+	// ascending, so shard-local evaluation order matches global input
+	// order restricted to the shard.
+	Global []int32
+}
+
+// Boundary is the ε-band pair around one cut between adjacent shards:
+// Left holds the global ids of points in the last cell of the lower
+// shard, Right those in the first cell of the upper shard. Every
+// cross-shard within-ε pair has its endpoints in these two bands.
+type Boundary struct {
+	Left, Right []int32
+}
+
+// Plan is a complete spatial partitioning of a PointSet.
+type Plan struct {
+	// Axis is the stripe axis (the dimension with the widest extent in
+	// cells, so cuts have the most room).
+	Axis int
+	// Shards holds the slabs in ascending coordinate order.
+	Shards []Shard
+	// Bounds[i] is the band pair between Shards[i] and Shards[i+1].
+	Bounds []Boundary
+}
+
+// Workers resolves a Parallelism setting: 0 means GOMAXPROCS, any
+// other value is returned as-is (callers validate non-negativity).
+func Workers(parallelism int) int {
+	if parallelism == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return parallelism
+}
+
+// Split partitions ps into up to k stripes of ε-cells along the widest
+// axis, cutting at point-count quantiles so shards stay balanced under
+// skew. It returns nil when no exact partitioning into at least two
+// shards exists — fewer than two occupied cells along every axis, k < 2,
+// or an empty input — in which case the caller should evaluate
+// sequentially.
+func Split(ps *geom.PointSet, eps float64, k int) *Plan {
+	n := ps.Len()
+	if n == 0 || k < 2 || !(eps > 0) {
+		return nil
+	}
+	dims := ps.Dims()
+	inv := 1 / eps
+
+	// Pick the stripe axis: widest extent in cells.
+	axis, bestSpan := -1, int64(0)
+	for d := 0; d < dims; d++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < n; i++ {
+			v := ps.At(i)[d]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		span := cellOf(hi, inv) - cellOf(lo, inv)
+		if span > bestSpan || axis < 0 {
+			axis, bestSpan = d, span
+		}
+	}
+	if bestSpan < 1 {
+		// Every point shares one cell on every axis: nothing to cut.
+		return nil
+	}
+
+	// Per-point stripe cell, plus a sorted copy for quantile cuts.
+	cells := make([]int64, n)
+	for i := 0; i < n; i++ {
+		cells[i] = cellOf(ps.At(i)[axis], inv)
+	}
+	sorted := append([]int64(nil), cells...)
+	slices.Sort(sorted)
+
+	// Cuts are "last cell of shard s": strictly increasing, below the
+	// global maximum (so every shard keeps at least one cell).
+	var cuts []int64
+	for s := 1; s < k; s++ {
+		c := sorted[s*n/k]
+		if c >= sorted[n-1] {
+			break
+		}
+		if len(cuts) > 0 && c <= cuts[len(cuts)-1] {
+			continue
+		}
+		cuts = append(cuts, c)
+	}
+	if len(cuts) == 0 {
+		return nil
+	}
+
+	nShards := len(cuts) + 1
+	shardOf := func(c int64) int {
+		// First shard whose cut is ≥ c; the last shard is unbounded.
+		return sort.Search(len(cuts), func(i int) bool { return cuts[i] >= c })
+	}
+
+	plan := &Plan{Axis: axis, Shards: make([]Shard, nShards), Bounds: make([]Boundary, len(cuts))}
+	for i := 0; i < n; i++ {
+		c := cells[i]
+		s := shardOf(c)
+		sh := &plan.Shards[s]
+		sh.Global = append(sh.Global, int32(i))
+		// Band membership: the last cell of shard s feeds Bounds[s].Left,
+		// the cell just above cut s-1 feeds Bounds[s-1].Right.
+		if s < len(cuts) && c == cuts[s] {
+			plan.Bounds[s].Left = append(plan.Bounds[s].Left, int32(i))
+		}
+		if s > 0 && c == cuts[s-1]+1 {
+			plan.Bounds[s-1].Right = append(plan.Bounds[s-1].Right, int32(i))
+		}
+	}
+	for s := range plan.Shards {
+		plan.Shards[s].Points = ps.Gather(plan.Shards[s].Global)
+	}
+	return plan
+}
+
+// cellOf quantizes one coordinate to its ε-cell index (the same
+// floor(x/ε) arithmetic as internal/grid, inlined here so the package
+// supports any dimensionality, not just grid.MaxDims).
+func cellOf(x, inv float64) int64 {
+	return int64(math.Floor(x * inv))
+}

@@ -1,0 +1,150 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/sgb-db/sgb/internal/geom"
+)
+
+func randSet(r *rand.Rand, n, d int, span float64) *geom.PointSet {
+	ps := geom.NewPointSetCap(d, n)
+	for i := 0; i < n; i++ {
+		p := ps.Extend()
+		for j := range p {
+			p[j] = r.Float64() * span
+		}
+	}
+	return ps
+}
+
+// TestSplitPartitionsInput checks the structural invariants: every
+// input index lands in exactly one shard, shard Global maps are
+// ascending, shard points match their sources, and shards are
+// non-empty.
+func TestSplitPartitionsInput(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, d := range []int{1, 2, 3, 5} {
+		for _, k := range []int{2, 4, 8} {
+			ps := randSet(r, 500, d, 10)
+			plan := Split(ps, 0.5, k)
+			if plan == nil {
+				t.Fatalf("d=%d k=%d: expected a plan for a 20-cell-wide input", d, k)
+			}
+			if len(plan.Shards) < 2 || len(plan.Shards) > k {
+				t.Fatalf("d=%d k=%d: got %d shards", d, k, len(plan.Shards))
+			}
+			if len(plan.Bounds) != len(plan.Shards)-1 {
+				t.Fatalf("want %d boundaries, got %d", len(plan.Shards)-1, len(plan.Bounds))
+			}
+			seen := make([]bool, ps.Len())
+			for si, sh := range plan.Shards {
+				if sh.Points.Len() == 0 {
+					t.Fatalf("shard %d is empty", si)
+				}
+				if sh.Points.Len() != len(sh.Global) {
+					t.Fatalf("shard %d: %d points vs %d global ids", si, sh.Points.Len(), len(sh.Global))
+				}
+				prev := int32(-1)
+				for li, gi := range sh.Global {
+					if gi <= prev {
+						t.Fatalf("shard %d: Global not ascending", si)
+					}
+					prev = gi
+					if seen[gi] {
+						t.Fatalf("point %d assigned twice", gi)
+					}
+					seen[gi] = true
+					if !sh.Points.At(li).Equal(ps.At(int(gi))) {
+						t.Fatalf("shard %d local %d: gathered point differs from source %d", si, li, gi)
+					}
+				}
+			}
+			for i, ok := range seen {
+				if !ok {
+					t.Fatalf("point %d assigned to no shard", i)
+				}
+			}
+		}
+	}
+}
+
+// TestSplitBoundariesAreExact is the correctness core: every
+// cross-shard within-ε pair must have both endpoints in the boundary
+// bands of the cut between their (necessarily adjacent) shards.
+func TestSplitBoundariesAreExact(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, m := range []geom.Metric{geom.L2, geom.LInf} {
+		for trial := 0; trial < 5; trial++ {
+			eps := 0.2 + r.Float64()*0.5
+			ps := randSet(r, 400, 2, 8)
+			plan := Split(ps, eps, 4)
+			if plan == nil {
+				t.Fatal("expected a plan")
+			}
+			shardOf := make([]int, ps.Len())
+			for si, sh := range plan.Shards {
+				for _, gi := range sh.Global {
+					shardOf[gi] = si
+				}
+			}
+			inBand := make([]map[int32]bool, len(plan.Bounds))
+			for bi, b := range plan.Bounds {
+				inBand[bi] = make(map[int32]bool)
+				for _, l := range b.Left {
+					inBand[bi][l] = true
+				}
+				for _, r := range b.Right {
+					inBand[bi][r] = true
+				}
+			}
+			for i := 0; i < ps.Len(); i++ {
+				for j := i + 1; j < ps.Len(); j++ {
+					if !ps.Within(m, i, j, eps) || shardOf[i] == shardOf[j] {
+						continue
+					}
+					lo, hi := shardOf[i], shardOf[j]
+					if lo > hi {
+						lo, hi = hi, lo
+					}
+					if hi != lo+1 {
+						t.Fatalf("within-ε pair (%d,%d) spans non-adjacent shards %d and %d", i, j, lo, hi)
+					}
+					if !inBand[lo][int32(i)] || !inBand[lo][int32(j)] {
+						t.Fatalf("cross pair (%d,%d) not covered by boundary %d bands", i, j, lo)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSplitDegenerate(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	if Split(geom.NewPointSet(2), 1, 4) != nil {
+		t.Fatal("empty input must not split")
+	}
+	ps := randSet(r, 100, 2, 10)
+	if Split(ps, 1, 1) != nil {
+		t.Fatal("k=1 must not split")
+	}
+	// ε larger than the whole extent: one occupied cell per axis.
+	tight := geom.NewPointSetCap(2, 10)
+	for i := 0; i < 10; i++ {
+		p := tight.Extend()
+		p[0] = 0.1 + 0.05*float64(i)
+		p[1] = 0.2
+	}
+	if Split(tight, 100, 4) != nil {
+		t.Fatal("single-cell input must not split")
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(0) < 1 {
+		t.Fatal("Workers(0) must resolve GOMAXPROCS")
+	}
+	if Workers(5) != 5 {
+		t.Fatal("explicit worker counts pass through")
+	}
+}

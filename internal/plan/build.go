@@ -6,6 +6,7 @@ import (
 	"github.com/sgb-db/sgb/internal/core"
 	"github.com/sgb-db/sgb/internal/exec"
 	"github.com/sgb-db/sgb/internal/geom"
+	"github.com/sgb-db/sgb/internal/grid"
 	"github.com/sgb-db/sgb/internal/sqlparser"
 	"github.com/sgb-db/sgb/internal/storage"
 	"github.com/sgb-db/sgb/internal/types"
@@ -21,19 +22,26 @@ type CompiledQuery struct {
 type Builder struct {
 	Catalog *storage.Catalog
 	// SGBAlgorithm selects the evaluation strategy for similarity
-	// group-by nodes (default OnTheFlyIndex — the plan the paper's
-	// modified optimizer chooses). Benchmarks override it to compare
-	// All-Pairs and Bounds-Checking.
+	// group-by nodes. The planner default is GridIndex — the fastest
+	// strategy on the paper's low-dimensional workloads — with an
+	// automatic fall-back to the R-tree (OnTheFlyIndex) when the query
+	// groups by more than grid.MaxDims attributes. Benchmarks override
+	// it to compare All-Pairs and Bounds-Checking.
 	SGBAlgorithm core.Algorithm
+	// SGBParallelism is the worker count of the similarity group-by
+	// pipeline: 0 (the planner default) lets the operator pick
+	// GOMAXPROCS workers on large inputs, 1 forces sequential
+	// evaluation, ≥ 2 forces that many workers.
+	SGBParallelism int
 	// SGBSeed seeds JOIN-ANY arbitration.
 	SGBSeed int64
 	// SGBStats, when non-nil, accumulates operator statistics.
 	SGBStats *core.Stats
 }
 
-// NewBuilder returns a Builder with the default (indexed) SGB strategy.
+// NewBuilder returns a Builder with the default (ε-grid) SGB strategy.
 func NewBuilder(cat *storage.Catalog) *Builder {
-	return &Builder{Catalog: cat, SGBAlgorithm: core.OnTheFlyIndex}
+	return &Builder{Catalog: cat, SGBAlgorithm: core.GridIndex}
 }
 
 // BuildSelect compiles a SELECT into an operator tree.
@@ -414,10 +422,17 @@ func (b *Builder) planSimilarityGroupBy(sel *sqlparser.SelectStmt, in plannedInp
 	}
 
 	opt := core.Options{
-		Eps:       eps,
-		Algorithm: b.SGBAlgorithm,
-		Seed:      b.SGBSeed,
-		Stats:     b.SGBStats,
+		Eps:         eps,
+		Algorithm:   b.SGBAlgorithm,
+		Parallelism: b.SGBParallelism,
+		Seed:        b.SGBSeed,
+		Stats:       b.SGBStats,
+	}
+	if opt.Algorithm == core.GridIndex && len(gb.Exprs) > grid.MaxDims {
+		// Grid cell keys are fixed-size arrays capped at grid.MaxDims
+		// dimensions; above that the planner selects the R-tree plan
+		// directly instead of relying on the operator-level fallback.
+		opt.Algorithm = core.OnTheFlyIndex
 	}
 	switch sim.Metric {
 	case sqlparser.MetricL2:

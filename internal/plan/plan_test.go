@@ -203,6 +203,47 @@ func TestBuilderAlgorithmOverride(t *testing.T) {
 	}
 }
 
+func TestBuilderDefaultsAndHighDimFallback(t *testing.T) {
+	cat := testCatalog(t)
+	if b := NewBuilder(cat); b.SGBAlgorithm != core.GridIndex {
+		t.Fatalf("planner default algorithm = %v, want GridIndex", b.SGBAlgorithm)
+	}
+	// Five grouping attributes exceed the grid's dimensionality cap;
+	// the planner must fall back to the R-tree plan and still execute.
+	wide := storage.NewTable("p5", storage.Schema{
+		{Name: "a", Type: types.KindFloat},
+		{Name: "b", Type: types.KindFloat},
+		{Name: "c", Type: types.KindFloat},
+		{Name: "d", Type: types.KindFloat},
+		{Name: "e", Type: types.KindFloat},
+	})
+	for i := 0; i < 40; i++ {
+		f := types.Float(float64(i % 6))
+		wide.MustInsert(types.Row{f, f, f, f, f})
+	}
+	if err := cat.Create(wide); err != nil {
+		t.Fatal(err)
+	}
+	sel, err := sqlparser.ParseSelect(`SELECT count(*) FROM p5
+		GROUP BY a, b, c, d, e DISTANCE-TO-ANY L2 WITHIN 0.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(cat)
+	b.SGBParallelism = 3 // threads through to core.Options
+	cq, err := b.BuildSelect(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Execute(cq)
+	if err != nil {
+		t.Fatalf("5-d similarity grouping: %v", err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d groups, want 6", len(rows))
+	}
+}
+
 func TestOrderByOrdinalAndAlias(t *testing.T) {
 	cat := testCatalog(t)
 	rows, _ := runQuery(t, cat, "SELECT name, bal AS b FROM users ORDER BY 2 DESC")

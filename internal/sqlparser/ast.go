@@ -135,6 +135,16 @@ type DropTableStmt struct{ Name string }
 
 func (*DropTableStmt) stmt() {}
 
+// SetStmt is SET name = value (also SET name TO value): a session
+// setting such as ALGORITHM or PARALLELISM. Value keeps the raw token
+// text ("grid", "4", "-1"); the engine interprets it per setting.
+type SetStmt struct {
+	Name  string
+	Value string
+}
+
+func (*SetStmt) stmt() {}
+
 // Expr is a SQL expression node.
 type Expr interface {
 	expr()

@@ -95,9 +95,56 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseInsert()
 	case p.atKeyword("DROP"):
 		return p.parseDropTable()
+	case p.atIdentWord("SET"):
+		// SET is deliberately NOT a reserved word — existing schemas may
+		// use "set" (or "to") as column or table names. No other
+		// statement form begins with a bare identifier, so dispatching
+		// on the leading word is unambiguous.
+		return p.parseSet()
 	default:
-		return nil, p.errorf("expected SELECT, CREATE, INSERT, or DROP, found %q", p.peek().Text)
+		return nil, p.errorf("expected SELECT, CREATE, INSERT, DROP, or SET, found %q", p.peek().Text)
 	}
+}
+
+// atIdentWord reports whether the current token is an identifier
+// spelling word (case-insensitive).
+func (p *parser) atIdentWord(word string) bool {
+	t := p.peek()
+	return t.Kind == TokIdent && strings.EqualFold(t.Text, word)
+}
+
+// parseSet parses SET name = value (or SET name TO value). The value
+// is a single identifier, keyword, number (optionally negated), or
+// string token, captured as raw text for the engine to interpret.
+func (p *parser) parseSet() (*SetStmt, error) {
+	p.next() // the SET word, verified by the caller
+	name := p.peek()
+	if name.Kind != TokIdent && name.Kind != TokKeyword {
+		return nil, p.errorf("expected a setting name after SET, found %q", name.Text)
+	}
+	p.next()
+	if !p.accept(TokSymbol, "=") {
+		if !p.atIdentWord("TO") {
+			return nil, p.errorf("expected '=' or TO after SET %s", name.Text)
+		}
+		p.next()
+	}
+	neg := p.accept(TokSymbol, "-")
+	val := p.peek()
+	switch val.Kind {
+	case TokIdent, TokKeyword, TokNumber, TokString:
+		p.next()
+	default:
+		return nil, p.errorf("expected a value for SET %s, found %q", name.Text, val.Text)
+	}
+	text := val.Text
+	if neg {
+		if val.Kind != TokNumber {
+			return nil, p.errorf("unexpected '-' before SET value %q", val.Text)
+		}
+		text = "-" + text
+	}
+	return &SetStmt{Name: name.Text, Value: text}, nil
 }
 
 func (p *parser) parseSelect() (*SelectStmt, error) {

@@ -286,6 +286,48 @@ func TestComments(t *testing.T) {
 	}
 }
 
+func TestSetStatement(t *testing.T) {
+	cases := []struct {
+		src, name, value string
+	}{
+		{"SET algorithm = grid", "algorithm", "grid"},
+		{"SET ALGORITHM TO rtree;", "ALGORITHM", "rtree"},
+		{"SET parallelism = 4", "parallelism", "4"},
+		{"SET parallelism = 0", "parallelism", "0"},
+		{"SET seed = -3", "seed", "-3"},
+		{"SET whatever = 'text'", "whatever", "text"},
+	}
+	for _, c := range cases {
+		stmt, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		set, ok := stmt.(*SetStmt)
+		if !ok {
+			t.Fatalf("%q: got %T, want *SetStmt", c.src, stmt)
+		}
+		if set.Name != c.name || set.Value != c.value {
+			t.Errorf("%q: got (%q, %q), want (%q, %q)", c.src, set.Name, set.Value, c.name, c.value)
+		}
+	}
+	for _, bad := range []string{"SET", "SET x", "SET x =", "SET = 3", "SET x - 3", "SET x = -foo"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("accepted invalid SET: %q", bad)
+		}
+	}
+	// SET and TO are not reserved: schemas using them as identifiers
+	// must keep parsing.
+	for _, ok := range []string{
+		"SELECT set, to FROM flights",
+		"CREATE TABLE flights (origin FLOAT, to FLOAT)",
+		"SELECT a FROM set",
+	} {
+		if _, err := Parse(ok); err != nil {
+			t.Errorf("%q: %v", ok, err)
+		}
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	bad := []string{
 		"",

@@ -84,6 +84,40 @@ func (u *UF) Union(x, y int) int {
 // Same reports whether x and y are in the same set.
 func (u *UF) Same(x, y int) bool { return u.Find(x) == u.Find(y) }
 
+// Edge is one union request (a within-ε pair) produced by a parallel
+// evaluation stage; batches of edges are applied to a shared forest by
+// UnionEdges during the single-threaded merge.
+type Edge struct{ A, B int32 }
+
+// UnionEdges applies a batch of edges and returns how many actually
+// merged two distinct sets. The forest is not safe for concurrent
+// mutation — parallel producers emit Edge batches and one goroutine
+// reduces them here.
+func (u *UF) UnionEdges(edges []Edge) int {
+	merged := 0
+	for _, e := range edges {
+		a, b := int(e.A), int(e.B)
+		if u.Find(a) != u.Find(b) {
+			u.Union(a, b)
+			merged++
+		}
+	}
+	return merged
+}
+
+// Absorb merges another forest's partition into u through an index map:
+// local element i of o corresponds to global element global[i] of u.
+// Used by the shard-local evaluate stage — each worker builds a private
+// forest over its shard, and the merge stage folds the shard partitions
+// into the global one.
+func (u *UF) Absorb(o *UF, global []int32) {
+	for i := range global {
+		if r := o.Find(i); r != i {
+			u.Union(int(global[i]), int(global[r]))
+		}
+	}
+}
+
 // Sets returns the current partition as a map from root id to the
 // sorted-by-insertion slice of member ids. Intended for result
 // extraction and tests; O(n).

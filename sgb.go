@@ -18,10 +18,18 @@
 //     ON-OVERLAP JOIN-ANY
 //
 // Four evaluation strategies are provided: the paper's naive All-Pairs
-// baseline, Bounds-Checking with ε-All bounding rectangles, and the
-// on-the-fly R-tree index (the default), plus a uniform ε-grid index
-// (GridIndex) that outperforms the R-tree on the paper's
+// baseline, Bounds-Checking with ε-All bounding rectangles, the
+// on-the-fly R-tree index, and a uniform ε-grid index (GridIndex, the
+// SQL engine's default) that outperforms the R-tree on the paper's
 // low-dimensional workloads.
+//
+// Evaluation runs as a partition → shard-local evaluate → merge
+// pipeline when Options.Parallelism (or the SQL session's SET
+// parallelism) selects more than one worker: SGB-Any shards spatially
+// and merges components through a Union-Find reduction, SGB-All
+// precomputes its candidate-probe/refine distance work on workers
+// while keeping the paper's sequential arbitration order. Groupings
+// are identical at every worker count.
 package sgb
 
 import (

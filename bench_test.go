@@ -12,6 +12,7 @@ package sgb_test
 import (
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -166,6 +167,105 @@ func BenchmarkParallel(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkIncremental — appending a fixed-size batch (256 points) to
+// an Incremental handle preloaded with base points, against the
+// one-shot cost of regrouping the whole set. Point density is held
+// constant across bases (the domain area scales with base), so each
+// appended point does the same local probe work at every base — the
+// incremental series should stay (near-)flat as base grows, showing
+// per-append cost proportional to the batch size rather than the
+// accumulated dataset, while the one-shot series grows with base. The
+// handle is rebuilt outside the timer whenever appends have grown it
+// past 1.5× base, so every measured append runs against a retained
+// set of ≈base points.
+func BenchmarkIncremental(b *testing.B) {
+	const batch = 256
+	// span keeps density at the Fig9a workload's level (2000 points
+	// over a 10×10 square) as base grows.
+	span := func(base int) float64 { return 10 * math.Sqrt(float64(base)/2000) }
+	points := func(seed int64, n int, span float64) *sgb.PointSet {
+		r := rand.New(rand.NewSource(seed))
+		ps := sgb.NewPointSet(2)
+		for j := 0; j < n; j++ {
+			p := ps.Extend()
+			p[0], p[1] = r.Float64()*span, r.Float64()*span
+		}
+		return ps
+	}
+	// A pool of pre-built random batches, cycled through so appends
+	// never re-insert identical coordinates.
+	newBatches := func(seed int64, span float64) []*sgb.PointSet {
+		pool := make([]*sgb.PointSet, 16)
+		for i := range pool {
+			pool[i] = points(seed+int64(i), batch, span)
+		}
+		return pool
+	}
+	semantics := []struct {
+		name string
+		mk   func(sgb.Options) (*sgb.Incremental, error)
+		opt  sgb.Options
+	}{
+		{"Any", sgb.NewIncrementalAny,
+			sgb.Options{Metric: sgb.L2, Eps: 0.5, Algorithm: sgb.GridIndex}},
+		{"All", sgb.NewIncrementalAll,
+			sgb.Options{Metric: sgb.L2, Eps: 0.5, Overlap: sgb.JoinAny, Algorithm: sgb.GridIndex, Seed: 1}},
+	}
+	for _, sem := range semantics {
+		for _, base := range []int{2000, 8000, 32000} {
+			basePts := points(11, base, span(base))
+			b.Run(fmt.Sprintf("%s/Append/base=%d", sem.name, base), func(b *testing.B) {
+				pool := newBatches(int64(base), span(base))
+				var inc *sgb.Incremental
+				reload := func() {
+					var err error
+					if inc, err = sem.mk(sem.opt); err != nil {
+						b.Fatal(err)
+					}
+					if err := inc.AppendSet(basePts); err != nil {
+						b.Fatal(err)
+					}
+				}
+				reload()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if inc.Len() > base+base/2 {
+						b.StopTimer()
+						reload()
+						b.StartTimer()
+					}
+					if err := inc.AppendSet(pool[i%len(pool)]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("%s/Oneshot/base=%d", sem.name, base), func(b *testing.B) {
+				// The cost incremental maintenance replaces: regroup
+				// base+batch points from scratch.
+				full := sgb.NewPointSet(2)
+				full.AppendSet(basePts)
+				full.AppendSet(points(int64(base), batch, span(base)))
+				opt := sem.opt
+				opt.Parallelism = 1
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var err error
+					if sem.name == "Any" {
+						_, err = sgb.GroupByAnySet(full, opt)
+					} else {
+						_, err = sgb.GroupByAllSet(full, opt)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

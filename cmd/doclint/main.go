@@ -1,0 +1,187 @@
+// Command doclint enforces the repository's documentation coverage —
+// the local equivalent of revive's exported / package-comments rules,
+// implemented on go/ast so CI needs no extra module downloads:
+//
+//   - every package must carry a package comment (by convention in its
+//     doc.go, but any file's works);
+//   - every exported top-level type, function, and method (on an
+//     exported receiver) must have a doc comment;
+//   - every exported const/var must be documented on its spec or on
+//     its enclosing declaration group.
+//
+// Test files are exempt, as are main packages' sole main functions
+// (the package comment is the command's documentation).
+//
+// Usage: go run ./cmd/doclint [dir ...] — directories are walked
+// recursively; with no arguments the current directory tree is
+// checked. Exits non-zero listing every violation.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var dirs []string
+	seen := map[string]bool{}
+	for _, root := range roots {
+		// Accept "./..." spelling for familiarity; the walk is always
+		// recursive either way.
+		root = strings.TrimSuffix(strings.TrimSuffix(root, "..."), string(filepath.Separator))
+		if root == "" {
+			root = "."
+		}
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if name != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+				dir := filepath.Dir(path)
+				if !seen[dir] {
+					seen[dir] = true
+					dirs = append(dirs, dir)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			os.Exit(2)
+		}
+	}
+	sort.Strings(dirs)
+
+	var problems []string
+	for _, dir := range dirs {
+		problems = append(problems, lintDir(dir)...)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		fmt.Printf("doclint: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// lintDir checks one directory's (non-test) package.
+func lintDir(dir string) []string {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: parse: %v", dir, err)}
+	}
+	var problems []string
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			problems = append(problems, fmt.Sprintf("%s: package %s has no package comment", dir, name))
+		}
+		for fileName, f := range pkg.Files {
+			problems = append(problems, lintFile(fset, fileName, f, name == "main")...)
+		}
+	}
+	sort.Strings(problems)
+	return problems
+}
+
+// lintFile checks one file's exported top-level declarations.
+func lintFile(fset *token.FileSet, name string, f *ast.File, isMain bool) []string {
+	var problems []string
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, fmt.Sprintf(format, args...)))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || (isMain && d.Name.Name == "main") {
+				continue
+			}
+			if recv := receiverType(d); recv != "" && !ast.IsExported(recv) {
+				continue // method on an unexported type
+			}
+			if d.Doc == nil {
+				report(d.Pos(), "exported %s %s has no doc comment", funcKind(d), d.Name.Name)
+			}
+		case *ast.GenDecl:
+			switch d.Tok {
+			case token.TYPE:
+				for _, spec := range d.Specs {
+					ts := spec.(*ast.TypeSpec)
+					if ts.Name.IsExported() && d.Doc == nil && ts.Doc == nil {
+						report(ts.Pos(), "exported type %s has no doc comment", ts.Name.Name)
+					}
+				}
+			case token.CONST, token.VAR:
+				for _, spec := range d.Specs {
+					vs := spec.(*ast.ValueSpec)
+					for _, n := range vs.Names {
+						// A doc comment on the group, the spec, or a
+						// trailing line comment all count (grouped
+						// enum blocks are idiomatic).
+						if n.IsExported() && d.Doc == nil && vs.Doc == nil && vs.Comment == nil {
+							report(n.Pos(), "exported %s %s has no doc comment", d.Tok, n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// receiverType names the receiver's base type ("" for plain funcs).
+func receiverType(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// funcKind distinguishes methods from functions in reports.
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}

@@ -16,6 +16,9 @@
 //	sgb> SET algorithm = grid;      -- allpairs | bounds | rtree | grid
 //	sgb> SET parallelism = 4;       -- 0 = GOMAXPROCS (auto), 1 = sequential
 //	sgb> SET seed = 7;              -- JOIN-ANY arbitration seed
+//	sgb> SET incremental = on;      -- maintain SGB groupings across INSERTs
+//
+// See docs/sql.md for the full dialect reference.
 package main
 
 import (
@@ -64,7 +67,7 @@ func main() {
 		fmt.Printf("tables: %s\n", strings.Join(tables, ", "))
 	}
 	fmt.Println(`type SQL ending with ';' — \q quits, \d lists tables`)
-	fmt.Println(`session settings: SET algorithm = allpairs|bounds|rtree|grid; SET parallelism = N; SET seed = N`)
+	fmt.Println(`session settings: SET algorithm = allpairs|bounds|rtree|grid; SET parallelism = N; SET seed = N; SET incremental = on|off`)
 
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)

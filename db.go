@@ -6,6 +6,10 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/sgb-db/sgb/internal/core"
+	"github.com/sgb-db/sgb/internal/exec"
+	"github.com/sgb-db/sgb/internal/geom"
+	"github.com/sgb-db/sgb/internal/incr"
 	"github.com/sgb-db/sgb/internal/plan"
 	"github.com/sgb-db/sgb/internal/sqlparser"
 	"github.com/sgb-db/sgb/internal/storage"
@@ -26,13 +30,39 @@ type DB struct {
 	// session holds the similarity-grouping defaults applied by Query
 	// and Exec; SET statements mutate it. QueryOpt bypasses it.
 	session QueryOptions
+	// incrCache holds cached incremental grouping state for the SET
+	// incremental maintenance path: a similarity group-by over a bare
+	// table scan appends only the rows inserted since the previous
+	// query instead of regrouping from scratch. Entries are keyed by
+	// lower-cased table name plus a fingerprint of the query's
+	// resolved grouping configuration, so distinct similarity queries
+	// over one table maintain independent states instead of evicting
+	// each other. Entries are dropped with their table.
+	incrCache map[incrKey]*incrEntry
+}
+
+// incrKey addresses one cached incremental grouping state.
+type incrKey struct {
+	table       string // lower-cased table name
+	fingerprint string // semantics, options, and grouping exprs
+}
+
+// incrEntry is one cached incremental grouping state.
+type incrEntry struct {
+	table    *storage.Table // identity guard against DROP + re-CREATE
+	inc      *incr.Incremental
+	consumed int // how many of the table's rows the state has absorbed
 }
 
 // Open creates an empty database. The session defaults to the ε-grid
 // strategy with automatic parallelism (workers = GOMAXPROCS on large
-// inputs).
+// inputs) and one-shot (non-incremental) grouping; see SET incremental.
 func Open() *DB {
-	return &DB{cat: storage.NewCatalog(), session: QueryOptions{Algorithm: GridIndex}}
+	return &DB{
+		cat:       storage.NewCatalog(),
+		session:   QueryOptions{Algorithm: GridIndex},
+		incrCache: make(map[incrKey]*incrEntry),
+	}
 }
 
 // Rows is a fully materialized query result.
@@ -56,8 +86,17 @@ type QueryOptions struct {
 	Parallelism int
 	// Seed seeds ON-OVERLAP JOIN-ANY arbitration.
 	Seed int64
-	// Stats, when non-nil, accumulates SGB operator counters.
+	// Stats, when non-nil, accumulates SGB operator counters. Ignored
+	// on the incremental maintenance path (cached state outlives any
+	// single query's counter block).
 	Stats *Stats
+	// Incremental enables incremental group maintenance (SET
+	// incremental = on): similarity group-by queries over a bare
+	// single-table scan reuse cached grouping state — one entry per
+	// (table, grouping configuration) — so a query after INSERTs
+	// appends only the new rows. Results are identical to a
+	// from-scratch evaluation.
+	Incremental bool
 }
 
 // Exec runs a DDL/DML statement (CREATE TABLE, INSERT, DROP TABLE) or a
@@ -80,7 +119,19 @@ func (db *DB) Exec(sql string) (int, error) {
 		return 0, nil
 
 	case *sqlparser.DropTableStmt:
-		return 0, db.cat.Drop(s.Name)
+		if err := db.cat.Drop(s.Name); err != nil {
+			return 0, err
+		}
+		// A re-created table of the same name must not inherit the old
+		// table's grouping state (the entry's table-identity guard
+		// would catch it too; dropping eagerly frees the memory now).
+		name := strings.ToLower(s.Name)
+		for k := range db.incrCache {
+			if k.table == name {
+				delete(db.incrCache, k)
+			}
+		}
+		return 0, nil
 
 	case *sqlparser.InsertStmt:
 		return db.execInsert(s)
@@ -183,8 +234,20 @@ func (db *DB) execSet(s *sqlparser.SetStmt) error {
 			return fmt.Errorf("sgb: seed must be an integer, got %q", s.Value)
 		}
 		db.session.Seed = n
+	case "incremental":
+		switch val {
+		case "on", "true", "1":
+			db.session.Incremental = true
+		case "off", "false", "0":
+			db.session.Incremental = false
+			// Stale state would keep consuming memory and could only go
+			// staler; turning the feature off clears it.
+			clear(db.incrCache)
+		default:
+			return fmt.Errorf("sgb: incremental must be on or off, got %q", s.Value)
+		}
 	default:
-		return fmt.Errorf("sgb: unknown setting %q (want algorithm, parallelism, or seed)", s.Name)
+		return fmt.Errorf("sgb: unknown setting %q (want algorithm, parallelism, seed, or incremental)", s.Name)
 	}
 	return nil
 }
@@ -213,6 +276,9 @@ func (db *DB) runSelect(sel *sqlparser.SelectStmt, opt QueryOptions) (*Rows, err
 	b.SGBParallelism = opt.Parallelism
 	b.SGBSeed = opt.Seed
 	b.SGBStats = opt.Stats
+	if opt.Incremental {
+		b.SGBIncr = db.sgbIncrGroupFunc
+	}
 	cq, err := b.BuildSelect(sel)
 	if err != nil {
 		return nil, err
@@ -222,6 +288,56 @@ func (db *DB) runSelect(sel *sqlparser.SelectStmt, opt QueryOptions) (*Rows, err
 		return nil, err
 	}
 	return &Rows{Columns: cq.Columns, Data: data}, nil
+}
+
+// sgbIncrGroupFunc implements plan.Builder.SGBIncr: it returns the
+// grouping closure the SGB executor node calls with the query's
+// materialized points. The closure finds (or creates) the cached
+// incremental state for this (table, grouping configuration) pair and
+// appends only the points beyond what the state has already absorbed.
+// Soundness rests on three facts: the planner installs the hook only
+// for bare single-table scans, the storage layer is append-only, and
+// the cache key covers the table identity, the grouping expressions,
+// and every resolved option that can influence the grouping.
+func (db *DB) sgbIncrGroupFunc(table, exprKey string, anySem bool, opt core.Options) exec.GroupFunc {
+	// Cached state outlives any single query, so per-query knobs that
+	// cannot change the grouping are normalized out of both the handle
+	// and the fingerprint: appends run sequentially (Parallelism), and
+	// a query's Stats block is not retained.
+	opt.Stats = nil
+	opt.Parallelism = 0
+	key := incrKey{
+		table: strings.ToLower(table),
+		fingerprint: fmt.Sprintf("any=%t|metric=%v|eps=%v|overlap=%d|algo=%d|seed=%d|hyst=%v|nohull=%t|by=%s",
+			anySem, opt.Metric, opt.Eps, opt.Overlap, opt.Algorithm, opt.Seed,
+			opt.IndexHysteresis, opt.NoHullTest, exprKey),
+	}
+	return func(points *geom.PointSet) (*core.Result, error) {
+		t, err := db.cat.Lookup(table)
+		if err != nil {
+			return nil, err
+		}
+		e := db.incrCache[key]
+		if e == nil || e.table != t || e.consumed > points.Len() {
+			sem := incr.All
+			if anySem {
+				sem = incr.Any
+			}
+			inc, err := incr.New(sem, opt)
+			if err != nil {
+				return nil, err
+			}
+			e = &incrEntry{table: t, inc: inc}
+			db.incrCache[key] = e
+		}
+		if points.Len() > e.consumed {
+			if err := e.inc.AppendSet(points.Slice(e.consumed, points.Len())); err != nil {
+				return nil, err
+			}
+			e.consumed = points.Len()
+		}
+		return e.inc.Result()
+	}
 }
 
 // LoadCSV creates a table from CSV previously written by DumpCSV (the

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRun exercises the streaming example end to end and pins the
+// group evolution it narrates: camps stay separate, scouts appear as
+// their own component, the bridge merges everything — and the
+// operator-API and SQL-INSERT paths report the same final state.
+func TestRun(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"two camps deploy      ) → 2 group(s), sizes [8 8]",
+		"scouts in the gap     ) → 3 group(s)",
+		"bridge links the camps) → 1 group(s), sizes [28]",
+		"after bridge links the camps → 1 group(s), sizes [28]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The two surfaces must narrate identical evolutions: compare the
+	// "→ ..." tails of the operator-API block and the SQL block.
+	var opTails, sqlTails []string
+	for _, line := range strings.Split(out, "\n") {
+		_, tail, ok := strings.Cut(line, "→")
+		if !ok {
+			continue
+		}
+		if strings.Contains(line, "after") {
+			sqlTails = append(sqlTails, strings.TrimSpace(tail))
+		} else {
+			opTails = append(opTails, strings.TrimSpace(tail))
+		}
+	}
+	if len(opTails) != 4 || len(sqlTails) != 4 {
+		t.Fatalf("expected 4 rounds per surface, got %d and %d:\n%s", len(opTails), len(sqlTails), out)
+	}
+	for i := range opTails {
+		if opTails[i] != sqlTails[i] {
+			t.Errorf("round %d: operator API says %q, SQL says %q", i, opTails[i], sqlTails[i])
+		}
+	}
+}

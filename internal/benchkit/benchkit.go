@@ -1,9 +1,3 @@
-// Package benchkit is the experiment harness that regenerates every
-// table and figure of the paper's evaluation (Section 8). Each
-// experiment prints the same rows/series the paper reports —
-// runtimes per similarity threshold, per data size, per method —
-// as aligned text tables. The cmd/sgbbench binary and the root
-// bench_test.go both drive this package.
 package benchkit
 
 import (

@@ -1,0 +1,15 @@
+// Package benchkit is the experiment harness that regenerates every
+// table and figure of the paper's evaluation (Section 8). Each
+// experiment prints the same rows/series the paper reports —
+// runtimes per similarity threshold, per data size, per method —
+// as aligned text tables. The cmd/sgbbench binary and the root
+// bench_test.go both drive this package.
+//
+// Experiments beyond the paper's set cover the growth work recorded in
+// ROADMAP.md: the "scaling" experiment sweeps the parallel pipeline's
+// worker counts, and the strategy comparisons pin Parallelism = 1 so
+// that a named strategy measures its own evaluation shape rather than
+// the auto-parallel default. Experiments that compare strategies also
+// cross-check group counts between runs, so a reported speedup can
+// never come from a diverged grouping.
+package benchkit

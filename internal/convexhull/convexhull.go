@@ -1,15 +1,3 @@
-// Package convexhull provides the two-dimensional convex-hull machinery
-// behind the paper's Convex Hull Test (Procedure 6): the refinement step
-// that removes false positives when SGB-All runs under the L2 metric.
-//
-// Given a group g whose points all passed the ε-All rectangle filter, the
-// test exploits two facts proved in Section 6.4 of the paper:
-//
-//  1. any point inside the hull of g is within diam(g) ≤ ε of every
-//     member, and
-//  2. for a point x outside the hull, the member farthest from x is a
-//     hull vertex, so checking x against that single vertex decides
-//     membership.
 package convexhull
 
 import (

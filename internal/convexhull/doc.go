@@ -1,0 +1,21 @@
+// Package convexhull provides the two-dimensional convex-hull machinery
+// behind the paper's Convex Hull Test (Procedure 6): the refinement step
+// that removes false positives when SGB-All runs under the L2 metric.
+//
+// Given a group g whose points all passed the ε-All rectangle filter, the
+// test exploits two facts proved in Section 6.4 of the paper:
+//
+//  1. any point inside the hull of g is within diam(g) ≤ ε of every
+//     member, and
+//  2. for a point x outside the hull, the member farthest from x is a
+//     hull vertex, so checking x against that single vertex decides
+//     membership.
+//
+// Hulls are built with Andrew's monotone chain (O(k log k)) into
+// caller-owned storage: Scratch.ComputeInto reuses both the hull's
+// vertex buffer and the scratch sort/chain buffers, so the rebuild-heavy
+// SGB-All path stops allocating once the buffers have grown. Contains
+// and Farthest run on the cached hull; Farthest compares squared
+// distances (sqrt-free). Only meaningful in two dimensions — higher-d
+// groups refine by exact member scans instead (see internal/core).
+package convexhull

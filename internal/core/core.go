@@ -1,25 +1,3 @@
-// Package core implements the paper's primary contribution: the
-// similarity group-by operators SGB-All (DISTANCE-TO-ALL) and SGB-Any
-// (DISTANCE-TO-ANY) over multi-dimensional data, with the three
-// ON-OVERLAP semantics (JOIN-ANY, ELIMINATE, FORM-NEW-GROUP) and the
-// three evaluation strategies evaluated in the paper:
-//
-//   - AllPairs        — the naive baseline (Procedure 2),
-//   - BoundsCheck     — ε-All bounding rectangles (Procedure 4),
-//   - OnTheFlyIndex   — R-tree-indexed bounding rectangles (Procedure 5)
-//     and, for SGB-Any, an R-tree over points plus a
-//     Union-Find over group membership (Procedure 8),
-//
-// plus a fourth strategy beyond the paper:
-//
-//   - GridIndex       — a uniform hash grid with ε-sized cells
-//     (internal/grid) in place of the R-tree; the textbook structure
-//     for fixed-radius queries.
-//
-// The operators are deliberately order-sensitive: like the paper's
-// PostgreSQL executor they process tuples in arrival order, and the
-// JOIN-ANY arbitration picks a pseudo-random candidate group (seedable
-// through Options.Seed for reproducibility).
 package core
 
 import (

@@ -1,0 +1,58 @@
+// Package core implements the paper's primary contribution: the
+// similarity group-by operators SGB-All (DISTANCE-TO-ALL) and SGB-Any
+// (DISTANCE-TO-ANY) over multi-dimensional data, with the three
+// ON-OVERLAP semantics (JOIN-ANY, ELIMINATE, FORM-NEW-GROUP) and the
+// three evaluation strategies evaluated in the paper:
+//
+//   - AllPairs        — the naive baseline (Procedure 2),
+//   - BoundsCheck     — ε-All bounding rectangles (Procedure 4),
+//   - OnTheFlyIndex   — R-tree-indexed bounding rectangles (Procedure 5)
+//     and, for SGB-Any, an R-tree over points plus a
+//     Union-Find over group membership (Procedure 8),
+//
+// plus a fourth strategy beyond the paper:
+//
+//   - GridIndex       — a uniform hash grid with ε-sized cells
+//     (internal/grid) in place of the R-tree; the textbook structure
+//     for fixed-radius queries.
+//
+// # Evaluation shapes
+//
+// Each operator runs in one of three shapes, all producing identical
+// groupings for equal seeds:
+//
+//   - One-shot sequential (SGBAll / SGBAny and their *Set variants):
+//     points are processed in arrival order against the strategy
+//     selected by Options.Algorithm.
+//   - Parallel pipeline (Options.Parallelism > 1; parallel.go):
+//     partition → shard-local evaluate → merge for SGB-Any, and
+//     worker-precomputed ε-adjacency feeding the sequential
+//     arbitration loop for SGB-All (adjfinder.go).
+//   - Resumable / incremental (AllEvaluator, AnyEvaluator; resume.go):
+//     retained evaluation state that Append extends batch by batch,
+//     sharing the exact per-point step with the one-shot path so an
+//     incremental run over batches equals a one-shot run over their
+//     concatenation. internal/incr wraps these in the public handle.
+//
+// # Invariants
+//
+//   - SGB-All output groups are cliques of the ε-similarity graph;
+//     SGB-Any output groups are its maximal connected components
+//     (checked by CheckCliques / CheckComponents in validate.go).
+//   - Every strategy enumerates candidate groups in group-creation
+//     order, so the JOIN-ANY arbitration consumes identical PRNG draws
+//     regardless of strategy, worker count, or batching — groupings
+//     are bit-identical for equal seeds.
+//   - Each group's ε-All bounding rectangle (Definition 5) is the
+//     intersection of its members' ε-boxes: a point inside it is
+//     within ε of every member under L∞, and a candidate under L2
+//     pending the Convex Hull Test (Procedure 6, hulltest.go).
+//
+// The operators are deliberately order-sensitive: like the paper's
+// PostgreSQL executor they process tuples in arrival order, and the
+// JOIN-ANY arbitration picks a pseudo-random candidate group (seedable
+// through Options.Seed for reproducibility). Only SGB-Any's components
+// are order-independent — the property (from the companion paper on
+// order-independent SGB semantics, see PAPERS.md) that makes both the
+// sharded parallel merge and incremental appends exact.
+package core

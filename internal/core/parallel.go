@@ -79,21 +79,14 @@ func sgbAnyParallel(ps *geom.PointSet, opt Options, uf *unionfind.UF, workers in
 	return true
 }
 
-// sgbAnyLocal dispatches one SGB-Any evaluation over a (sub-)PointSet
-// into uf — the shard-local evaluate stage, shared with the sequential
-// path in sgbAnySet.
+// sgbAnyLocal runs one SGB-Any evaluation over a (sub-)PointSet into
+// uf — the shard-local evaluate stage, shared with the sequential path
+// in sgbAnySet. It drives the same resumable anyIndex step as the
+// incremental evaluator, over the whole input at once.
 func sgbAnyLocal(ps *geom.PointSet, opt Options, uf *unionfind.UF) {
-	switch opt.Algorithm {
-	case AllPairs:
-		sgbAnyAllPairs(ps, opt, uf)
-	case OnTheFlyIndex:
-		sgbAnyIndexed(ps, opt, uf)
-	case GridIndex:
-		if ps.Dims() > grid.MaxDims {
-			sgbAnyIndexed(ps, opt, uf) // see newFinder: grid keys cap at MaxDims
-		} else {
-			sgbAnyGrid(ps, opt, uf)
-		}
+	ix := newAnyIndex(ps.Dims(), opt)
+	for i := 0; i < ps.Len(); i++ {
+		ix.step(ps, i, opt, uf)
 	}
 }
 

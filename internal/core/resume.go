@@ -1,0 +1,226 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/sgb-db/sgb/internal/geom"
+	"github.com/sgb-db/sgb/internal/unionfind"
+)
+
+// This file holds the resumable arm of the operators: evaluation state
+// that survives between calls so that new points can be appended to an
+// existing grouping without recomputing it. The one-shot entry points
+// (SGBAllSet / SGBAnySet) and the evaluators below share every
+// per-point step — processOne for SGB-All, anyIndex.step for SGB-Any —
+// so after absorbing the same point sequence both hold identical
+// state, and an incremental run over batches b1, b2, ... produces
+// exactly the grouping of a one-shot run over their concatenation.
+//
+// The companion work on order-independent SGB semantics (PAPERS.md:
+// "On Order-independent Semantics of the Similarity Group-By
+// Relational Database Operator") is what makes the SGB-Any half
+// trivially sound: connected components are independent of arrival
+// order, so the live ε-grid plus Union-Find just keeps absorbing
+// points. SGB-All is order-SENSITIVE by design, but its processing
+// order is exactly arrival order, which appends extend — the only
+// subtlety is FORM-NEW-GROUP's end-of-input recursion, finalized on a
+// throwaway clone so the retained main-pass state stays appendable.
+
+// AllEvaluator is resumable SGB-All evaluation state: a retained
+// sgbAllState (groups, finder structures, arbitration PRNG) that
+// Append extends batch by batch. Appends evaluate sequentially with
+// the strategy selected by the options (Options.Parallelism is
+// ignored; batches are expected to be small relative to the retained
+// set, which is where incremental maintenance pays off).
+type AllEvaluator struct {
+	st *sgbAllState
+}
+
+// NewAllEvaluator returns an empty resumable SGB-All evaluation over
+// dims-dimensional points.
+func NewAllEvaluator(dims int, opt Options) (*AllEvaluator, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if dims < 1 {
+		return nil, errors.New("core: evaluator dimensionality must be >= 1")
+	}
+	st := &sgbAllState{
+		points: geom.NewPointSet(dims),
+		opt:    opt,
+		dims:   dims,
+		rand:   newRNG(opt.Seed),
+	}
+	st.finder = newFinder(st)
+	return &AllEvaluator{st: st}, nil
+}
+
+// Len returns the number of points absorbed so far.
+func (e *AllEvaluator) Len() int { return e.st.points.Len() }
+
+// Append absorbs a batch of points (copied into the evaluator's own
+// storage) and advances the grouping exactly as a one-shot run would
+// have, had the batch been the next stretch of its input. Under
+// FORM-NEW-GROUP the points deferred into S′ accumulate across
+// appends and are only resolved by Result, mirroring the one-shot
+// operator's end-of-input recursion.
+func (e *AllEvaluator) Append(ps *geom.PointSet) error {
+	if ps == nil || ps.Len() == 0 {
+		return nil
+	}
+	st := e.st
+	if ps.Dims() != st.dims {
+		return fmt.Errorf("core: appended points have dimension %d, want %d", ps.Dims(), st.dims)
+	}
+	base := st.points.Len()
+	st.points.AppendSet(ps)
+	n := st.points.Len()
+	for i := base; i < n; i++ {
+		st.pointGroup = append(st.pointGroup, -1)
+	}
+	for pi := base; pi < n; pi++ {
+		st.processOne(pi)
+	}
+	return nil
+}
+
+// Result materializes the current grouping, equivalent to a one-shot
+// evaluation over every point appended so far (identical groups and
+// member order; identical PRNG draws under JOIN-ANY for equal seeds).
+// Under FORM-NEW-GROUP the deferred set is resolved on a clone of the
+// retained state, so calling Result neither perturbs future appends
+// nor later Results — but it does replay that recursion each call
+// (and re-counts it into Options.Stats, when attached). The returned
+// result owns its slices.
+func (e *AllEvaluator) Result() *Result {
+	st := e.st
+	if st.opt.Overlap == FormNewGroup && len(st.deferred) > 0 {
+		st = st.finalizeClone()
+		next := st.deferred
+		st.deferred = nil
+		st.run(next, 1)
+	}
+	return materializeAll(st, true)
+}
+
+// finalizeClone snapshots the main-pass state deeply enough that the
+// FORM-NEW-GROUP recursion can run to completion on the copy without
+// touching the retained originals: group structs are copied (the
+// recursion's stageReset clears their index-registration flags, and
+// frozen groups are otherwise immutable at depth ≥ 1), bookkeeping
+// slices are copied (the recursion appends groups and placements),
+// and the finder is rebuilt fresh (equivalent to the stageReset the
+// recursion performs first thing). Points are shared read-only.
+func (st *sgbAllState) finalizeClone() *sgbAllState {
+	cl := &sgbAllState{
+		points:     st.points,
+		opt:        st.opt,
+		dims:       st.dims,
+		rand:       &rng{state: st.rand.state},
+		groups:     make([]*group, len(st.groups)),
+		stageFloor: st.stageFloor,
+		eliminated: append([]int(nil), st.eliminated...),
+		deferred:   append([]int(nil), st.deferred...),
+		pointGroup: append([]int32(nil), st.pointGroup...),
+	}
+	for i, g := range st.groups {
+		if g == nil {
+			continue
+		}
+		g2 := *g
+		cl.groups[i] = &g2
+	}
+	cl.finder = newFinder(cl)
+	return cl
+}
+
+// materializeAll extracts the output groups of an SGB-All state in
+// creation order. With copyOut the result owns every slice (the
+// resumable path must not alias live state the next Append mutates);
+// the one-shot path hands over the state's slices directly.
+func materializeAll(st *sgbAllState, copyOut bool) *Result {
+	res := &Result{}
+	for _, g := range st.groups {
+		if g == nil || len(g.members) == 0 {
+			continue
+		}
+		members := g.members
+		if copyOut {
+			members = append([]int(nil), members...)
+		}
+		res.Groups = append(res.Groups, Group{Members: members})
+	}
+	if copyOut {
+		res.Eliminated = append([]int(nil), st.eliminated...)
+	} else {
+		res.Eliminated = st.eliminated
+	}
+	return res
+}
+
+// AnyEvaluator is resumable SGB-Any evaluation state: the live
+// Points_IX (ε-grid, R-tree, or nothing for All-Pairs) plus the
+// Union-Find forest, both of which support appends naturally. Because
+// connected components are order-independent, the incremental result
+// is exactly the one-shot result over the concatenated input —
+// per-append cost is proportional to the batch's probe work, not the
+// retained set size.
+type AnyEvaluator struct {
+	opt    Options
+	points *geom.PointSet
+	uf     *unionfind.UF
+	ix     anyIndex
+}
+
+// NewAnyEvaluator returns an empty resumable SGB-Any evaluation over
+// dims-dimensional points.
+func NewAnyEvaluator(dims int, opt Options) (*AnyEvaluator, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if dims < 1 {
+		return nil, errors.New("core: evaluator dimensionality must be >= 1")
+	}
+	if opt.Algorithm == BoundsCheck {
+		return nil, ErrBoundsCheckAny
+	}
+	return &AnyEvaluator{
+		opt:    opt,
+		points: geom.NewPointSet(dims),
+		uf:     &unionfind.UF{},
+		ix:     newAnyIndex(dims, opt),
+	}, nil
+}
+
+// Len returns the number of points absorbed so far.
+func (e *AnyEvaluator) Len() int { return e.points.Len() }
+
+// Append absorbs a batch of points (copied into the evaluator's own
+// storage): each point probes the live index for its within-ε
+// neighbors, merges their components, and registers itself — the same
+// step the one-shot evaluation runs.
+func (e *AnyEvaluator) Append(ps *geom.PointSet) error {
+	if ps == nil || ps.Len() == 0 {
+		return nil
+	}
+	if ps.Dims() != e.points.Dims() {
+		return fmt.Errorf("core: appended points have dimension %d, want %d", ps.Dims(), e.points.Dims())
+	}
+	base := e.points.Len()
+	e.points.AppendSet(ps)
+	for i := base; i < e.points.Len(); i++ {
+		e.uf.Add()
+		e.ix.step(e.points, i, e.opt, e.uf)
+	}
+	return nil
+}
+
+// Result materializes the current connected components in the same
+// deterministic order as the one-shot operator (groups by smallest
+// member index, members ascending). The returned result owns its
+// slices; calling Result repeatedly or interleaving it with Append is
+// safe.
+func (e *AnyEvaluator) Result() *Result {
+	return &Result{Groups: groupsFromUF(e.uf, e.points.Len())}
+}

@@ -69,14 +69,7 @@ func sgbAllSet(ps *geom.PointSet, opt Options) (*Result, error) {
 		order[i] = i
 	}
 	st.run(order, 0)
-
-	for _, g := range st.groups {
-		if g != nil && len(g.members) > 0 {
-			res.Groups = append(res.Groups, Group{Members: g.members})
-		}
-	}
-	res.Eliminated = st.eliminated
-	return res, nil
+	return materializeAll(st, false), nil
 }
 
 // run executes one SGB-All pass over the given input order. Under
@@ -100,13 +93,7 @@ func (st *sgbAllState) run(order []int, depth int) {
 		st.finder.stageReset(st)
 	}
 
-	for _, pi := range order {
-		candidates, overlaps := st.finder.findCloseGroups(st, pi)
-		st.processGroupingAll(pi, candidates)
-		if st.opt.Overlap != JoinAny && len(overlaps) > 0 {
-			st.processOverlap(pi, overlaps)
-		}
-	}
+	st.processPoints(order)
 
 	// FORM-NEW-GROUP: recursively group the deferred set S′ until it is
 	// empty. Each stage strictly shrinks S′ (a deferred point implies at
@@ -115,6 +102,29 @@ func (st *sgbAllState) run(order []int, depth int) {
 		next := st.deferred
 		st.deferred = nil
 		st.run(next, depth+1)
+	}
+}
+
+// processPoints runs the main per-point arbitration loop of
+// Procedure 1 over the given input order, one processOne per point.
+func (st *sgbAllState) processPoints(order []int) {
+	for _, pi := range order {
+		st.processOne(pi)
+	}
+}
+
+// processOne arbitrates a single input point: probe for candidate and
+// overlap groups, place (or defer / eliminate) the point, then apply
+// the overlap clause to the partially matching groups. It is the
+// single place points enter the grouping state — run drives it (via
+// processPoints) for one-shot evaluation including the FORM-NEW-GROUP
+// recursion stages, and the incremental AllEvaluator drives it batch
+// by batch, so retained state after k points is identical either way.
+func (st *sgbAllState) processOne(pi int) {
+	candidates, overlaps := st.finder.findCloseGroups(st, pi)
+	st.processGroupingAll(pi, candidates)
+	if st.opt.Overlap != JoinAny && len(overlaps) > 0 {
+		st.processOverlap(pi, overlaps)
 	}
 }
 

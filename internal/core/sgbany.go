@@ -42,7 +42,7 @@ func SGBAnySet(ps *geom.PointSet, opt Options) (*Result, error) {
 
 func sgbAnySet(ps *geom.PointSet, opt Options) (*Result, error) {
 	if opt.Algorithm == BoundsCheck {
-		return nil, errBoundsCheckAny
+		return nil, ErrBoundsCheckAny
 	}
 	res := &Result{}
 	if ps == nil || ps.Len() == 0 {
@@ -61,99 +61,135 @@ func sgbAnySet(ps *geom.PointSet, opt Options) (*Result, error) {
 	return res, nil
 }
 
-var errBoundsCheckAny = errValue("core: SGB-Any has no Bounds-Checking variant (see Section 7.1); use AllPairs, OnTheFlyIndex, or GridIndex")
+// ErrBoundsCheckAny rejects the one strategy × semantics combination
+// that does not exist; exported so callers configuring SGB-Any (the
+// incremental handle, the planner) can reject it eagerly with the same
+// error.
+var ErrBoundsCheckAny error = errValue("core: SGB-Any has no Bounds-Checking variant (see Section 7.1); use AllPairs, OnTheFlyIndex, or GridIndex")
 
 type errValue string
 
 func (e errValue) Error() string { return string(e) }
 
-// sgbAnyAllPairs is the naive baseline: every prior point is tested
-// against the incoming point (O(n²) distance computations).
-func sgbAnyAllPairs(ps *geom.PointSet, opt Options, uf *unionfind.UF) {
+// anyIndex is the resumable Points_IX state of one SGB-Any evaluation:
+// step absorbs point i — it finds i's within-ε neighbors among the
+// points absorbed before it, merges their components in uf, and
+// registers i for future probes. The batch path (sgbAnyLocal) and the
+// incremental evaluator (AnyEvaluator) drive the very same step, so
+// appending batches cannot drift from a one-shot run.
+type anyIndex interface {
+	step(ps *geom.PointSet, i int, opt Options, uf *unionfind.UF)
+}
+
+// newAnyIndex instantiates the Points_IX strategy selected by the
+// options (BoundsCheck is rejected earlier; see errBoundsCheckAny).
+func newAnyIndex(dims int, opt Options) anyIndex {
+	switch opt.Algorithm {
+	case AllPairs:
+		return anyAllPairs{}
+	case OnTheFlyIndex:
+		return &anyRTree{ix: rtree.New(dims)}
+	case GridIndex:
+		if dims > grid.MaxDims {
+			return &anyRTree{ix: rtree.New(dims)} // see newFinder: grid keys cap at MaxDims
+		}
+		return &anyGrid{tab: grid.New(dims, opt.Eps)}
+	default:
+		panic("core: unknown SGB-Any algorithm")
+	}
+}
+
+// anyAllPairs is the naive baseline: every prior point is tested
+// against the incoming point (O(n²) distance computations over a full
+// run).
+type anyAllPairs struct{}
+
+func (anyAllPairs) step(ps *geom.PointSet, i int, opt Options, uf *unionfind.UF) {
 	metric, eps := opt.Metric, opt.Eps
-	for i := 1; i < ps.Len(); i++ {
-		p := ps.At(i)
-		for j := 0; j < i; j++ {
-			opt.Stats.addDist(1)
-			if metric.Within(p, ps.At(j), eps) {
-				if uf.Find(i) != uf.Find(j) {
-					opt.Stats.addMerge(1)
-				}
-				uf.Union(i, j)
+	p := ps.At(i)
+	for j := 0; j < i; j++ {
+		opt.Stats.addDist(1)
+		if metric.Within(p, ps.At(j), eps) {
+			if uf.Find(i) != uf.Find(j) {
+				opt.Stats.addMerge(1)
 			}
+			uf.Union(i, j)
 		}
 	}
 }
 
-// sgbAnyIndexed is Procedure 7/8: Points_IX maintains the processed
-// points; for each incoming point a window query retrieves the points
-// whose ε-box intersects (exact under L∞; verified under L2 by
+// anyRTree is Procedure 7/8: Points_IX maintains the processed points
+// in an R-tree; for each incoming point a window query retrieves the
+// points whose ε-box intersects (exact under L∞; verified under L2 by
 // VerifyPoints), and GetGroups/MergeGroupsInsert collapse the candidate
 // groups through the Union-Find forest.
-func sgbAnyIndexed(ps *geom.PointSet, opt Options, uf *unionfind.UF) {
-	ix := rtree.New(ps.Dims())
-	// Point ids are stored pre-boxed so the per-point index insert does
-	// not allocate an interface value.
-	ids := make([]any, ps.Len())
-	for i := range ids {
-		ids[i] = i
-	}
-	var pBox geom.Rect
-	for i := 0; i < ps.Len(); i++ {
-		p := ps.At(i)
-		geom.EpsBoxInto(&pBox, p, opt.Eps)
-		opt.Stats.addProbe(1)
-		ix.Visit(pBox, func(_ geom.Rect, data any) bool {
-			j := data.(int)
-			if opt.Metric == geom.L2 {
-				// VerifyPoints: the ε-box over-approximates the
-				// ε-ball under L2, so confirm the true distance.
-				opt.Stats.addDist(1)
-				if !ps.Within(opt.Metric, i, j, opt.Eps) {
-					return true
-				}
-			}
-			if uf.Find(i) != uf.Find(j) {
-				opt.Stats.addMerge(1)
-				uf.Union(i, j)
-			}
-			return true
-		})
-		opt.Stats.addUpdate(1)
-		ix.Insert(geom.PointRect(p), ids[i])
-	}
+type anyRTree struct {
+	ix *rtree.Tree
+	// ids stores point ids pre-boxed so the per-point index insert does
+	// not allocate an interface value; it grows on demand so the
+	// incremental evaluator can keep extending it across appends.
+	ids  []any
+	pBox geom.Rect
 }
 
-// sgbAnyGrid is the ε-grid Points_IX: each processed point is
-// registered in its home cell, and the neighbors of an incoming point
-// are found by scanning the 3^d cells its ε-box covers. The cell
-// neighborhood over-approximates the ε-ball under both metrics, so
-// every hit is verified by an exact distance test. Union-Find merging
-// is order-independent, so the resulting components are identical to
-// the other strategies.
-func sgbAnyGrid(ps *geom.PointSet, opt Options, uf *unionfind.UF) {
-	tab := grid.New(ps.Dims(), opt.Eps)
-	metric, eps := opt.Metric, opt.Eps
-	var buf []int32
-	for i := 0; i < ps.Len(); i++ {
-		p := ps.At(i)
-		opt.Stats.addProbe(1)
-		lo, hi := tab.RangeOfBox(p, eps)
-		buf = tab.Collect(lo, hi, buf[:0])
-		for _, j32 := range buf {
-			j := int(j32)
+func (a *anyRTree) step(ps *geom.PointSet, i int, opt Options, uf *unionfind.UF) {
+	for len(a.ids) <= i {
+		a.ids = append(a.ids, len(a.ids))
+	}
+	p := ps.At(i)
+	geom.EpsBoxInto(&a.pBox, p, opt.Eps)
+	opt.Stats.addProbe(1)
+	a.ix.Visit(a.pBox, func(_ geom.Rect, data any) bool {
+		j := data.(int)
+		if opt.Metric == geom.L2 {
+			// VerifyPoints: the ε-box over-approximates the
+			// ε-ball under L2, so confirm the true distance.
 			opt.Stats.addDist(1)
-			if !metric.Within(p, ps.At(j), eps) {
-				continue
-			}
-			if uf.Find(i) != uf.Find(j) {
-				opt.Stats.addMerge(1)
-				uf.Union(i, j)
+			if !ps.Within(opt.Metric, i, j, opt.Eps) {
+				return true
 			}
 		}
-		opt.Stats.addUpdate(1)
-		tab.Add(tab.CellOf(p), int32(i))
+		if uf.Find(i) != uf.Find(j) {
+			opt.Stats.addMerge(1)
+			uf.Union(i, j)
+		}
+		return true
+	})
+	opt.Stats.addUpdate(1)
+	a.ix.Insert(geom.PointRect(p), a.ids[i])
+}
+
+// anyGrid is the ε-grid Points_IX: each processed point is registered
+// in its home cell, and the neighbors of an incoming point are found by
+// scanning the 3^d cells its ε-box covers. The cell neighborhood
+// over-approximates the ε-ball under both metrics, so every hit is
+// verified by an exact distance test. Union-Find merging is
+// order-independent, so the resulting components are identical to the
+// other strategies.
+type anyGrid struct {
+	tab *grid.Table
+	buf []int32
+}
+
+func (a *anyGrid) step(ps *geom.PointSet, i int, opt Options, uf *unionfind.UF) {
+	metric, eps := opt.Metric, opt.Eps
+	p := ps.At(i)
+	opt.Stats.addProbe(1)
+	lo, hi := a.tab.RangeOfBox(p, eps)
+	a.buf = a.tab.Collect(lo, hi, a.buf[:0])
+	for _, j32 := range a.buf {
+		j := int(j32)
+		opt.Stats.addDist(1)
+		if !metric.Within(p, ps.At(j), eps) {
+			continue
+		}
+		if uf.Find(i) != uf.Find(j) {
+			opt.Stats.addMerge(1)
+			uf.Union(i, j)
+		}
 	}
+	opt.Stats.addUpdate(1)
+	a.tab.Add(a.tab.CellOf(p), int32(i))
 }
 
 // groupsFromUF extracts the final partition in deterministic order:

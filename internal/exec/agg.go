@@ -16,14 +16,14 @@ import (
 type AggKind int
 
 const (
-	AggCountStar AggKind = iota
-	AggCount
-	AggSum
-	AggAvg
-	AggMin
-	AggMax
-	AggArrayAgg
-	AggSTPolygon
+	AggCountStar AggKind = iota // count(*): rows in the group
+	AggCount                    // count(e): non-NULL values
+	AggSum                      // sum(e)
+	AggAvg                      // avg(e)
+	AggMin                      // min(e)
+	AggMax                      // max(e)
+	AggArrayAgg                 // array_agg(e): values joined in row order
+	AggSTPolygon                // st_polygon: WKT hull of the group's points
 )
 
 // ParseAggKind maps a function name to its aggregate kind; ok is false
@@ -312,6 +312,7 @@ type HashAgg struct {
 	pos int
 }
 
+// Open drains the input, accumulating one aggregate row per group key.
 func (h *HashAgg) Open() error {
 	h.out = nil
 	h.pos = 0
@@ -393,6 +394,7 @@ func (h *HashAgg) Open() error {
 	return nil
 }
 
+// Next emits the grouped rows in first-seen key order.
 func (h *HashAgg) Next() (types.Row, error) {
 	if h.pos >= len(h.out) {
 		return nil, nil
@@ -402,4 +404,5 @@ func (h *HashAgg) Next() (types.Row, error) {
 	return row, nil
 }
 
+// Close releases the materialized output.
 func (h *HashAgg) Close() error { h.out = nil; return nil }

@@ -1,0 +1,23 @@
+// Package exec implements the Volcano-style (iterator) executor that
+// plays the role of PostgreSQL's executor in the paper's prototype:
+// sequential scans, filters, projections, hash joins, standard hash
+// aggregation, sorting, and the two similarity group-by operator nodes
+// (see sgb.go). Operators consume compiled scalar closures rather than
+// AST nodes; the planner (internal/plan) produces both.
+//
+// The SGB node is blocking, like the paper's: ELIMINATE and
+// FORM-NEW-GROUP can only be finalized "after processing the complete
+// dataset", so Open materializes the input into a tuple store, extracts
+// the grouping attributes into a flat geom.PointSet, runs the operator
+// core, and folds the configured aggregates over each output group.
+// When its Group hook is set (the engine's incremental maintenance
+// path, installed by the planner for bare single-table scans), the
+// grouping comes from cached per-table state that absorbs only the
+// input's new suffix instead of a one-shot core call; the hook must
+// return a grouping equal to the one-shot evaluation, so downstream
+// aggregation is oblivious to how the groups were obtained.
+//
+// Invariants: operators follow the Open / Next (nil row = exhausted) /
+// Close contract, may be re-Opened after Close, and never mutate input
+// rows they did not allocate.
+package exec

@@ -45,8 +45,11 @@ func (j *HashJoin) Open() error {
 	return j.Right.Open()
 }
 
+// Close releases the hash table and closes the probe side.
 func (j *HashJoin) Close() error { j.table = nil; return j.Right.Close() }
 
+// Next probes the hash table with right rows, emitting build ++ probe
+// rows that satisfy the residual predicate.
 func (j *HashJoin) Next() (types.Row, error) {
 	for {
 		for j.idx < len(j.current) {
@@ -105,6 +108,7 @@ type NestedLoopJoin struct {
 	idx       int
 }
 
+// Open opens the outer side and materializes the inner side.
 func (j *NestedLoopJoin) Open() error {
 	j.leftRow = nil
 	j.idx = 0
@@ -126,8 +130,10 @@ func (j *NestedLoopJoin) Open() error {
 	return j.Left.Open()
 }
 
+// Close releases the inner materialization and closes the outer side.
 func (j *NestedLoopJoin) Close() error { j.rightRows = nil; return j.Left.Close() }
 
+// Next emits the next left ++ right row pair passing the condition.
 func (j *NestedLoopJoin) Next() (types.Row, error) {
 	for {
 		if j.leftRow == nil {

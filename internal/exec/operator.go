@@ -1,9 +1,3 @@
-// Package exec implements the Volcano-style (iterator) executor that
-// plays the role of PostgreSQL's executor in the paper's prototype:
-// sequential scans, filters, projections, hash joins, standard hash
-// aggregation, sorting, and the two similarity group-by operator nodes
-// (see sgb.go). Operators consume compiled scalar closures rather than
-// AST nodes; the planner (internal/plan) produces both.
 package exec
 
 import (
@@ -74,7 +68,10 @@ type ValuesOp struct {
 	pos  int
 }
 
+// Open rewinds to the first literal row.
 func (v *ValuesOp) Open() error { v.pos = 0; return nil }
+
+// Next emits the literal rows in order.
 func (v *ValuesOp) Next() (types.Row, error) {
 	if v.pos >= len(v.Rows) {
 		return nil, nil
@@ -83,6 +80,8 @@ func (v *ValuesOp) Next() (types.Row, error) {
 	v.pos++
 	return row, nil
 }
+
+// Close is a no-op.
 func (v *ValuesOp) Close() error { return nil }
 
 // Filter emits input rows for which Pred is TRUE.
@@ -91,8 +90,13 @@ type Filter struct {
 	Pred  Scalar
 }
 
-func (f *Filter) Open() error  { return f.Input.Open() }
+// Open opens the input.
+func (f *Filter) Open() error { return f.Input.Open() }
+
+// Close closes the input.
 func (f *Filter) Close() error { return f.Input.Close() }
+
+// Next emits the next input row whose predicate is truthy.
 func (f *Filter) Next() (types.Row, error) {
 	for {
 		row, err := f.Input.Next()
@@ -115,8 +119,13 @@ type Project struct {
 	Exprs []Scalar
 }
 
-func (p *Project) Open() error  { return p.Input.Open() }
+// Open opens the input.
+func (p *Project) Open() error { return p.Input.Open() }
+
+// Close closes the input.
 func (p *Project) Close() error { return p.Input.Close() }
+
+// Next evaluates the projection expressions over the next input row.
 func (p *Project) Next() (types.Row, error) {
 	row, err := p.Input.Next()
 	if err != nil || row == nil {
@@ -140,8 +149,13 @@ type Limit struct {
 	seen  int64
 }
 
-func (l *Limit) Open() error  { l.seen = 0; return l.Input.Open() }
+// Open opens the input and resets the row budget.
+func (l *Limit) Open() error { l.seen = 0; return l.Input.Open() }
+
+// Close closes the input.
 func (l *Limit) Close() error { return l.Input.Close() }
+
+// Next passes rows through until N have been emitted.
 func (l *Limit) Next() (types.Row, error) {
 	if l.seen >= l.N {
 		return nil, nil
@@ -160,11 +174,16 @@ type Distinct struct {
 	seen  map[string]bool
 }
 
+// Open opens the input and clears the seen-row set.
 func (d *Distinct) Open() error {
 	d.seen = make(map[string]bool)
 	return d.Input.Open()
 }
+
+// Close closes the input.
 func (d *Distinct) Close() error { return d.Input.Close() }
+
+// Next emits input rows whose encoded form has not been seen.
 func (d *Distinct) Next() (types.Row, error) {
 	for {
 		row, err := d.Input.Next()
@@ -203,6 +222,7 @@ type Sort struct {
 	pos   int
 }
 
+// Open materializes and sorts the entire input.
 func (s *Sort) Open() error {
 	s.pos = 0
 	s.rows = nil
@@ -260,6 +280,7 @@ func (s *Sort) Open() error {
 	return nil
 }
 
+// Next emits the sorted rows in order.
 func (s *Sort) Next() (types.Row, error) {
 	if s.pos >= len(s.rows) {
 		return nil, nil
@@ -269,4 +290,5 @@ func (s *Sort) Next() (types.Row, error) {
 	return row, nil
 }
 
+// Close releases the sorted materialization.
 func (s *Sort) Close() error { s.rows = nil; return nil }

@@ -32,11 +32,25 @@ type SGB struct {
 	Opt core.Options
 	// Aggs are computed per output group.
 	Aggs []AggSpec
+	// Group, when non-nil, computes the grouping instead of the
+	// one-shot core entry points — the engine's incremental
+	// maintenance hook (plan.Builder.SGBIncr): the planner installs a
+	// closure that appends only the input's new suffix to cached
+	// per-table evaluator state. The closure must return a grouping
+	// equal to a one-shot evaluation over the given points.
+	Group GroupFunc
 
 	out []types.Row
 	pos int
 }
 
+// GroupFunc computes the similarity grouping over the node's
+// materialized points (indices in the result refer into the set).
+type GroupFunc func(points *geom.PointSet) (*core.Result, error)
+
+// Open materializes the input, extracts the grouping points, runs the
+// similarity operator (or the incremental Group hook), and folds the
+// aggregates over each output group.
 func (s *SGB) Open() error {
 	s.out = nil
 	s.pos = 0
@@ -86,9 +100,12 @@ func (s *SGB) Open() error {
 
 	var res *core.Result
 	var err error
-	if s.Any {
+	switch {
+	case s.Group != nil:
+		res, err = s.Group(points)
+	case s.Any:
 		res, err = core.SGBAnySet(points, s.Opt)
-	} else {
+	default:
 		res, err = core.SGBAllSet(points, s.Opt)
 	}
 	if err != nil {
@@ -116,6 +133,7 @@ func (s *SGB) Open() error {
 	return nil
 }
 
+// Next emits one aggregate row per output group, in group order.
 func (s *SGB) Next() (types.Row, error) {
 	if s.pos >= len(s.out) {
 		return nil, nil
@@ -125,4 +143,5 @@ func (s *SGB) Next() (types.Row, error) {
 	return row, nil
 }
 
+// Close releases the materialized output.
 func (s *SGB) Close() error { s.out = nil; return nil }

@@ -1,9 +1,3 @@
-// Package geom provides the multi-dimensional points, rectangles, and
-// Minkowski distance metrics that underlie the similarity group-by
-// operators. The paper (Definition 1) works in a metric space 〈D, δ〉 with
-// δ one of the Minkowski distances; it evaluates L2 (Euclidean) and
-// L∞ (maximum) in two and three dimensions. This package supports any
-// dimensionality d ≥ 1.
 package geom
 
 import (

@@ -129,6 +129,37 @@ func (s *PointSet) Extend() Point {
 	return s.data[n : n+s.dims : n+s.dims]
 }
 
+// AppendSet copies every point of other onto the end of the set — the
+// batch-append entry of the incremental evaluators. Panics on a
+// dimensionality mismatch; an empty other is a no-op. When the
+// receiver is empty with unknown dimensionality (built from no
+// points), it adopts other's dimensionality.
+func (s *PointSet) AppendSet(other *PointSet) {
+	if other == nil || other.Len() == 0 {
+		return
+	}
+	if s.dims == 0 && len(s.data) == 0 {
+		s.dims = other.dims
+	}
+	if other.dims != s.dims {
+		panic(fmt.Sprintf("geom: AppendSet: dimension %d, want %d", other.dims, s.dims))
+	}
+	s.data = append(s.data, other.data...)
+}
+
+// Slice returns a view of points [i, j) sharing the receiver's backing
+// buffer — no copy. The view must be treated as read-only, and appends
+// to the receiver may or may not be visible through it; use it
+// immediately (the incremental SQL path slices the freshly extracted
+// suffix of a query's points to hand to AppendSet, which copies).
+func (s *PointSet) Slice(i, j int) *PointSet {
+	if i < 0 || j < i || j > s.Len() {
+		panic(fmt.Sprintf("geom: Slice [%d, %d) out of range [0, %d)", i, j, s.Len()))
+	}
+	d := s.dims
+	return &PointSet{dims: d, data: s.data[i*d : j*d : j*d]}
+}
+
 // Gather returns a compact PointSet holding the points at the given
 // indices, in index order — the sub-PointSet materialization the
 // partition stage of the parallel pipeline hands each shard. The

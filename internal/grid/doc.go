@@ -1,0 +1,30 @@
+// Package grid implements a uniform hash grid with ε-sized cells — the
+// textbook probe structure for fixed-radius similarity queries. Space
+// is partitioned into axis-aligned cubes of side cellSize (the
+// operators use cellSize = ε); each occupied cell maps to the ids
+// registered in it. Everything within ε of a point then lies in the
+// 3^d cell neighborhood of its home cell, so a probe is a handful of
+// map lookups over contiguous id slices instead of an R-tree descent.
+// This is the structure behind the GridIndex strategy (internal/core),
+// the fastest on the paper's low-dimensional workloads (Section 8's
+// d ∈ {2, 3}).
+//
+// The grid is deliberately minimal: int32 ids (the operators index
+// input positions and group ids, both bounded by the input size), cell
+// keys as fixed-size int64 coordinate arrays, and no concurrency.
+// Registration supports rectangles spanning several cells (SGB-All
+// registers each group's ε-All bounding rectangle, whose sides are at
+// most 2ε, in every cell it covers — at most 3^d cells).
+//
+// Invariants:
+//
+//   - Quantization is monotone (floor(x/cellSize)), so the cell range
+//     of a rectangle covers the home cell of every point inside it —
+//     probes may over-approximate but never miss.
+//   - MaxDims (4) bounds the dimensionality: cell keys are fixed-size
+//     arrays usable as Go map keys without hashing collisions or
+//     per-key allocation. Callers fall back to internal/rtree above.
+//   - Id order within a cell is not meaningful (Remove swap-deletes);
+//     consumers needing determinism sort collected ids, which the
+//     SGB-All grid finder exploits as its dedup key.
+package grid

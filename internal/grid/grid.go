@@ -1,17 +1,3 @@
-// Package grid implements a uniform hash grid with ε-sized cells — the
-// textbook probe structure for fixed-radius similarity queries. Space
-// is partitioned into axis-aligned cubes of side cellSize (the
-// operators use cellSize = ε); each occupied cell maps to the ids
-// registered in it. Everything within ε of a point then lies in the
-// 3^d cell neighborhood of its home cell, so a probe is a handful of
-// map lookups over contiguous id slices instead of an R-tree descent.
-//
-// The grid is deliberately minimal: int32 ids (the operators index
-// input positions and group ids, both bounded by the input size), cell
-// keys as fixed-size int64 coordinate arrays, and no concurrency.
-// Registration supports rectangles spanning several cells (SGB-All
-// registers each group's ε-All bounding rectangle, whose sides are at
-// most 2ε, in every cell it covers — at most 3^d cells).
 package grid
 
 import (

@@ -1,0 +1,37 @@
+// Package incr provides incremental similarity group-by maintenance:
+// the Incremental handle keeps a live grouping that absorbs appended
+// point batches, so after every Append the grouping equals a one-shot
+// SGB evaluation over the concatenation of all batches — without ever
+// regrouping from scratch. It is the subsystem behind the public
+// sgb.NewIncrementalAll / NewIncrementalAny constructors and the SQL
+// engine's SET incremental INSERT-maintenance path (db.go's per-table
+// cache).
+//
+// Why this is sound, per operator:
+//
+//   - SGB-Any: connected components of the ε-similarity graph are
+//     independent of arrival order (the companion paper on
+//     order-independent SGB semantics, PAPERS.md), and the live
+//     ε-grid/R-tree plus the Union-Find forest both support appends
+//     natively — so appending just keeps running the same per-point
+//     step (core.AnyEvaluator).
+//   - SGB-All: the operator is order-sensitive, but its processing
+//     order IS arrival order, which appending extends. The retained
+//     state (groups, finder index, arbitration PRNG) after k points is
+//     identical to a one-shot run's state at point k, so replaying
+//     only the new points continues the identical trajectory
+//     (core.AllEvaluator). FORM-NEW-GROUP's end-of-input recursion
+//     over the deferred set S′ is the one end-of-stream step; Result
+//     replays it on a throwaway clone so the retained main-pass state
+//     stays appendable.
+//
+// Invariants the handle enforces:
+//
+//   - Options are fixed at creation; Append/Result fail with
+//     ErrOptionsMutated if the exposed Opt field was modified (retained
+//     state embodies ε, metric, overlap, strategy, and seed).
+//   - Dimensionality is fixed by the first non-empty batch; later
+//     mismatches are rejected.
+//   - Results own their slices: a materialized Result is never aliased
+//     by later appends.
+package incr

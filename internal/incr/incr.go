@@ -1,0 +1,189 @@
+package incr
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/sgb-db/sgb/internal/core"
+	"github.com/sgb-db/sgb/internal/geom"
+)
+
+// Semantics selects which similarity group-by operator an Incremental
+// maintains.
+type Semantics int
+
+const (
+	// All maintains SGB-All (DISTANCE-TO-ALL clique groups with
+	// ON-OVERLAP arbitration).
+	All Semantics = iota
+	// Any maintains SGB-Any (DISTANCE-TO-ANY connected components).
+	Any
+)
+
+// String returns the SQL clause spelling of the semantics.
+func (s Semantics) String() string {
+	switch s {
+	case All:
+		return "DISTANCE-TO-ALL"
+	case Any:
+		return "DISTANCE-TO-ANY"
+	default:
+		return fmt.Sprintf("Semantics(%d)", int(s))
+	}
+}
+
+// ErrOptionsMutated is returned by Append and Result when the handle's
+// Opt field no longer matches the options it was created from. The
+// retained grouping state embodies those options (ε, metric, overlap
+// clause, strategy, seed); silently continuing under different ones
+// would produce a grouping no one-shot evaluation matches, so the
+// mutation is refused. Create a new handle to change options.
+var ErrOptionsMutated = errors.New("incr: Options mutated after creation; incremental state embodies the original options — create a new Incremental instead")
+
+// Incremental maintains a similarity grouping under appends. Create
+// one with New, feed it batches with Append or AppendSet, and read the
+// current grouping with Result — equivalent, at every step, to a
+// one-shot evaluation over the concatenation of everything appended so
+// far (identical components for SGB-Any; identical groups, member
+// order, and JOIN-ANY arbitration draws for SGB-All under equal
+// seeds).
+//
+// The dimensionality is fixed by the first non-empty batch; until
+// then the handle is empty and Result returns an empty grouping.
+// Appends evaluate sequentially (Options.Parallelism is ignored): the
+// point of incremental maintenance is that per-append work scales
+// with the batch, not the retained set, so there is nothing worth
+// sharding. An Incremental is not safe for concurrent use.
+type Incremental struct {
+	// Opt is the options snapshot the handle was created from, exposed
+	// for inspection. It must not be modified: Append and Result fail
+	// with ErrOptionsMutated if it no longer matches the creation-time
+	// snapshot.
+	Opt core.Options
+
+	snap core.Options // creation-time copy Opt is checked against
+	sem  Semantics
+	dims int // 0 until the first non-empty batch fixes it
+
+	all *core.AllEvaluator
+	any *core.AnyEvaluator
+}
+
+// New returns an empty incremental grouping handle for the given
+// operator semantics and options. The options are validated eagerly
+// (including the SGB-Any rejection of Bounds-Checking) so a
+// misconfigured handle fails at creation, not mid-stream.
+func New(sem Semantics, opt core.Options) (*Incremental, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if sem != All && sem != Any {
+		return nil, fmt.Errorf("incr: unknown semantics %d", int(sem))
+	}
+	if sem == Any && opt.Algorithm == core.BoundsCheck {
+		// Surface the one-shot operator's rejection at handle creation
+		// rather than mid-stream at the first append.
+		return nil, core.ErrBoundsCheckAny
+	}
+	return &Incremental{Opt: opt, snap: opt, sem: sem}, nil
+}
+
+// Semantics returns the operator the handle maintains.
+func (x *Incremental) Semantics() Semantics { return x.sem }
+
+// Len returns the number of points appended so far.
+func (x *Incremental) Len() int {
+	switch {
+	case x.all != nil:
+		return x.all.Len()
+	case x.any != nil:
+		return x.any.Len()
+	default:
+		return 0
+	}
+}
+
+// Dims returns the point dimensionality, or 0 while no batch has been
+// appended yet.
+func (x *Incremental) Dims() int { return x.dims }
+
+// Append absorbs a batch of points given as a []Point slice. All
+// points must share the handle's dimensionality (fixed by the first
+// batch). See AppendSet for the flat-storage variant.
+func (x *Incremental) Append(points []geom.Point) error {
+	if len(points) == 0 {
+		return nil
+	}
+	d := len(points[0])
+	for i, p := range points {
+		if len(p) != d {
+			return fmt.Errorf("incr: point %d has dimension %d, want %d", i, len(p), d)
+		}
+	}
+	if d == 0 {
+		return errors.New("incr: zero-dimensional point")
+	}
+	return x.AppendSet(geom.FromPoints(points))
+}
+
+// AppendSet absorbs a batch of points in flat storage. The points are
+// copied; the caller's set is not retained. An empty batch is a
+// no-op.
+func (x *Incremental) AppendSet(ps *geom.PointSet) error {
+	if ps == nil || ps.Len() == 0 {
+		return nil
+	}
+	if x.Opt != x.snap {
+		return ErrOptionsMutated
+	}
+	if err := x.ensure(ps.Dims()); err != nil {
+		return err
+	}
+	if x.all != nil {
+		return x.all.Append(ps)
+	}
+	return x.any.Append(ps)
+}
+
+// ensure lazily creates the underlying evaluator once the first batch
+// reveals the dimensionality, and rejects mismatched later batches.
+func (x *Incremental) ensure(dims int) error {
+	if x.dims != 0 {
+		if dims != x.dims {
+			return fmt.Errorf("incr: appended points have dimension %d, want %d", dims, x.dims)
+		}
+		return nil
+	}
+	opt := x.snap
+	opt.Parallelism = 1 // appends evaluate sequentially by design
+	var err error
+	if x.sem == All {
+		x.all, err = core.NewAllEvaluator(dims, opt)
+	} else {
+		x.any, err = core.NewAnyEvaluator(dims, opt)
+	}
+	if err != nil {
+		return err
+	}
+	x.dims = dims
+	return nil
+}
+
+// Result materializes the current grouping. The result owns its
+// slices; it stays valid across later appends, and repeated calls are
+// independent (under FORM-NEW-GROUP each call replays the deferred-set
+// recursion on a clone of the retained state). Before any append it
+// returns an empty grouping.
+func (x *Incremental) Result() (*core.Result, error) {
+	if x.Opt != x.snap {
+		return nil, ErrOptionsMutated
+	}
+	switch {
+	case x.all != nil:
+		return x.all.Result(), nil
+	case x.any != nil:
+		return x.any.Result(), nil
+	default:
+		return &core.Result{}, nil
+	}
+}

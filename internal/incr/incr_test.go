@@ -1,0 +1,256 @@
+package incr
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/sgb-db/sgb/internal/core"
+	"github.com/sgb-db/sgb/internal/geom"
+)
+
+// randomPoints draws n points uniform in [0, span)^dims.
+func randomPoints(rng *rand.Rand, n, dims int, span float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, dims)
+		for d := range p {
+			p[d] = rng.Float64() * span
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// splitBatches cuts points into batches at the given cut offsets
+// (strictly increasing, within (0, len)).
+func splitBatches(points []geom.Point, cuts []int) [][]geom.Point {
+	var batches [][]geom.Point
+	prev := 0
+	for _, c := range cuts {
+		batches = append(batches, points[prev:c])
+		prev = c
+	}
+	return append(batches, points[prev:])
+}
+
+// randomCuts draws k sorted distinct cut offsets in (0, n).
+func randomCuts(rng *rand.Rand, n, k int) []int {
+	seen := map[int]bool{}
+	var cuts []int
+	for len(cuts) < k && len(seen) < n-1 {
+		c := 1 + rng.Intn(n-1)
+		if !seen[c] {
+			seen[c] = true
+			cuts = append(cuts, c)
+		}
+	}
+	for i := range cuts {
+		for j := i + 1; j < len(cuts); j++ {
+			if cuts[j] < cuts[i] {
+				cuts[i], cuts[j] = cuts[j], cuts[i]
+			}
+		}
+	}
+	return cuts
+}
+
+// oneShot runs the reference one-shot operator over the full input.
+func oneShot(t *testing.T, sem Semantics, points []geom.Point, opt core.Options) *core.Result {
+	t.Helper()
+	var res *core.Result
+	var err error
+	if sem == All {
+		res, err = core.SGBAll(points, opt)
+	} else {
+		res, err = core.SGBAny(points, opt)
+	}
+	if err != nil {
+		t.Fatalf("one-shot: %v", err)
+	}
+	return res
+}
+
+// incremental replays the same input through an Incremental handle in
+// the given batches, reading Result after every batch (so intermediate
+// materializations are exercised too) and returning the final one.
+func incremental(t *testing.T, sem Semantics, batches [][]geom.Point, opt core.Options) *core.Result {
+	t.Helper()
+	inc, err := New(sem, opt)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var res *core.Result
+	for bi, b := range batches {
+		if err := inc.Append(b); err != nil {
+			t.Fatalf("Append batch %d: %v", bi, err)
+		}
+		if res, err = inc.Result(); err != nil {
+			t.Fatalf("Result after batch %d: %v", bi, err)
+		}
+	}
+	return res
+}
+
+// TestIncrementalEquivalence is the randomized incremental↔batch
+// equivalence suite: over {L2, L∞} × every ON-OVERLAP semantics (plus
+// SGB-Any) × d ∈ {1, 2, 3} × several batch splits (single batch,
+// random multi-way splits, point-at-a-time), the incremental grouping
+// must equal the one-shot grouping over the concatenated input —
+// deep-equal groups including member order and ELIMINATE victims.
+func TestIncrementalEquivalence(t *testing.T) {
+	type semCase struct {
+		sem     Semantics
+		overlap core.Overlap
+		name    string
+	}
+	semCases := []semCase{
+		{All, core.JoinAny, "All-JoinAny"},
+		{All, core.Eliminate, "All-Eliminate"},
+		{All, core.FormNewGroup, "All-FormNewGroup"},
+		{Any, core.JoinAny, "Any"},
+	}
+	algos := []core.Algorithm{core.GridIndex, core.OnTheFlyIndex, core.AllPairs}
+
+	for _, metric := range []geom.Metric{geom.L2, geom.LInf} {
+		for dims := 1; dims <= 3; dims++ {
+			for _, sc := range semCases {
+				name := fmt.Sprintf("%s/%s/d=%d", sc.name, metric, dims)
+				t.Run(name, func(t *testing.T) {
+					rng := rand.New(rand.NewSource(int64(dims)*1000 + int64(sc.sem)*100 + int64(sc.overlap)*10 + int64(metric)))
+					for trial := 0; trial < 4; trial++ {
+						n := 60 + rng.Intn(140)
+						// Span chosen so ε = 1 yields a mix of merges,
+						// overlaps, and isolated points.
+						points := randomPoints(rng, n, dims, 12)
+						opt := core.Options{
+							Metric:    metric,
+							Eps:       1,
+							Overlap:   sc.overlap,
+							Algorithm: algos[trial%len(algos)],
+							Seed:      int64(trial + 1),
+						}
+						want := oneShot(t, sc.sem, points, opt)
+
+						splits := [][]int{
+							nil,                     // single batch
+							randomCuts(rng, n, 3),   // a few batches
+							randomCuts(rng, n, n/4), // many small batches
+							func() []int { // point at a time
+								cuts := make([]int, n-1)
+								for i := range cuts {
+									cuts[i] = i + 1
+								}
+								return cuts
+							}(),
+						}
+						for si, cuts := range splits {
+							got := incremental(t, sc.sem, splitBatches(points, cuts), opt)
+							if !reflect.DeepEqual(normalize(want), normalize(got)) {
+								t.Fatalf("trial %d split %d (%v, n=%d): incremental grouping diverges\none-shot: %v elim %v\nincremental: %v elim %v",
+									trial, si, opt.Algorithm, n, want.Groups, want.Eliminated, got.Groups, got.Eliminated)
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// normalize maps a result to a comparable shape (nil vs empty slices).
+func normalize(r *core.Result) [2]any {
+	groups := r.Groups
+	if len(groups) == 0 {
+		groups = nil
+	}
+	elim := r.Eliminated
+	if len(elim) == 0 {
+		elim = nil
+	}
+	return [2]any{groups, elim}
+}
+
+// TestOptionsMutationRejected is the regression test that mutating the
+// handle's Opt field after creation yields a clear error instead of a
+// silently inconsistent grouping.
+func TestOptionsMutationRejected(t *testing.T) {
+	inc, err := New(All, core.Options{Metric: geom.L2, Eps: 1, Algorithm: core.GridIndex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Append([]geom.Point{{0, 0}, {0.5, 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	inc.Opt.Eps = 2 // the footgun
+	if err := inc.Append([]geom.Point{{1, 1}}); err != ErrOptionsMutated {
+		t.Fatalf("Append after Opt mutation: got %v, want ErrOptionsMutated", err)
+	}
+	if _, err := inc.Result(); err != ErrOptionsMutated {
+		t.Fatalf("Result after Opt mutation: got %v, want ErrOptionsMutated", err)
+	}
+	inc.Opt.Eps = 1 // restoring the snapshot heals the handle
+	if err := inc.Append([]geom.Point{{1, 1}}); err != nil {
+		t.Fatalf("Append after restoring Opt: %v", err)
+	}
+}
+
+// TestIncrementalErrors covers the handle's validation surface.
+func TestIncrementalErrors(t *testing.T) {
+	if _, err := New(All, core.Options{Metric: geom.L2, Eps: -1}); err == nil {
+		t.Fatal("want error for invalid ε")
+	}
+	if _, err := New(Any, core.Options{Metric: geom.L2, Eps: 1, Algorithm: core.BoundsCheck}); err == nil {
+		t.Fatal("want error for SGB-Any Bounds-Checking")
+	}
+	if _, err := New(Semantics(9), core.Options{Metric: geom.L2, Eps: 1}); err == nil {
+		t.Fatal("want error for unknown semantics")
+	}
+
+	inc, err := New(Any, core.Options{Metric: geom.L2, Eps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := inc.Result()
+	if err != nil || len(res.Groups) != 0 {
+		t.Fatalf("empty handle Result = %v, %v; want empty grouping", res, err)
+	}
+	if err := inc.Append([]geom.Point{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if inc.Dims() != 2 || inc.Len() != 1 {
+		t.Fatalf("Dims/Len = %d/%d, want 2/1", inc.Dims(), inc.Len())
+	}
+	if err := inc.Append([]geom.Point{{1, 2, 3}}); err == nil {
+		t.Fatal("want error for dimensionality mismatch")
+	}
+	if err := inc.Append([]geom.Point{{1, 2}, {3}}); err == nil {
+		t.Fatal("want error for mixed dimensionality within a batch")
+	}
+}
+
+// TestResultIsolation asserts that a materialized Result is not
+// aliased by later appends (the resumable state keeps evolving).
+func TestResultIsolation(t *testing.T) {
+	for _, sem := range []Semantics{All, Any} {
+		inc, err := New(sem, core.Options{Metric: geom.LInf, Eps: 1.5, Overlap: core.Eliminate, Algorithm: core.GridIndex})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inc.Append([]geom.Point{{0, 0}, {1, 1}}); err != nil {
+			t.Fatal(err)
+		}
+		before, err := inc.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		snapshot := fmt.Sprint(before.Groups, before.Eliminated)
+		if err := inc.Append(randomPoints(rand.New(rand.NewSource(7)), 50, 2, 3)); err != nil {
+			t.Fatal(err)
+		}
+		if got := fmt.Sprint(before.Groups, before.Eliminated); got != snapshot {
+			t.Fatalf("%v: earlier Result mutated by later Append:\nbefore %s\nafter  %s", sem, snapshot, got)
+		}
+	}
+}

@@ -1,19 +1,3 @@
-// Package partition implements the spatial sharding stage of the
-// parallel similarity group-by pipeline: partition → shard-local
-// evaluate → merge. Points are split into contiguous stripes of
-// ε-sized grid cells along one axis, so every shard occupies a slab of
-// space at least ε wide. Two points in different shards can then be
-// within ε of each other only when (a) the shards are adjacent and
-// (b) both points fall in the two boundary cells touching the cut — the
-// ε-bands the merge stage probes. This makes shard-local evaluation
-// plus a boundary merge exact for connected-component (SGB-Any)
-// semantics: every ε-edge of the similarity graph is either
-// intra-shard or a band-to-band edge across one cut.
-//
-// The package is deliberately independent of the operator core: it
-// knows points, ε, and a shard count, and returns compact sub-PointSets
-// plus the local→global index maps and the boundary bands. The core
-// supplies the shard-local algorithm and the Union-Find reduction.
 package partition
 
 import (

@@ -2,6 +2,7 @@ package plan
 
 import (
 	"fmt"
+	"strings"
 
 	"github.com/sgb-db/sgb/internal/core"
 	"github.com/sgb-db/sgb/internal/exec"
@@ -37,6 +38,16 @@ type Builder struct {
 	SGBSeed int64
 	// SGBStats, when non-nil, accumulates operator statistics.
 	SGBStats *core.Stats
+	// SGBIncr, when non-nil, is consulted for similarity group-by
+	// queries whose input is a bare single-table scan (one base table,
+	// no WHERE, no join): it may return a GroupFunc that maintains
+	// cached incremental state for the table across queries — the
+	// engine's INSERT-maintenance path. The shape restriction is what
+	// makes caching sound: only then is the extracted point sequence a
+	// prefix-stable, append-only image of the table. exprKey
+	// fingerprints the grouping expressions; opt is the fully resolved
+	// operator configuration.
+	SGBIncr func(table, exprKey string, anySem bool, opt core.Options) exec.GroupFunc
 }
 
 // NewBuilder returns a Builder with the default (ε-grid) SGB strategy.
@@ -468,13 +479,27 @@ func (b *Builder) planSimilarityGroupBy(sel *sqlparser.SelectStmt, in plannedInp
 		}
 	}
 
-	var op exec.Operator = &exec.SGB{
+	sgbNode := &exec.SGB{
 		Input:      in.op,
 		GroupExprs: groupExprs,
 		Any:        sim.Semantics == sqlparser.SemanticsAny,
 		Opt:        opt,
 		Aggs:       binder.aggs,
 	}
+	// Incremental maintenance applies only to the cacheable shape: a
+	// bare scan of one base table with no filtering, so the operator's
+	// input is exactly the table's rows in insertion order and a later
+	// query's input extends an earlier one's purely by appending.
+	if b.SGBIncr != nil && sel.Where == nil && len(sel.From) == 1 {
+		if bt, ok := sel.From[0].(*sqlparser.BaseTable); ok {
+			keys := make([]string, len(gb.Exprs))
+			for i, ge := range gb.Exprs {
+				keys[i] = ge.String()
+			}
+			sgbNode.Group = b.SGBIncr(bt.Name, strings.Join(keys, ","), sgbNode.Any, opt)
+		}
+	}
+	var op exec.Operator = sgbNode
 	if havingPred != nil {
 		op = &exec.Filter{Input: op, Pred: havingPred}
 	}

@@ -1,0 +1,24 @@
+// Package plan compiles parsed SQL into executable operator trees: it
+// binds column references, compiles expressions to closures, extracts
+// equi-join keys from WHERE conjuncts, rewrites aggregate expressions
+// against grouped outputs, and instantiates the similarity group-by
+// nodes with the operator options from the SGB clauses. It is the
+// counterpart of the paper's "Planner and Optimizer routines [that] use
+// the extended query-tree to create a similarity-aware plan-tree".
+//
+// Similarity-specific planning decisions made here:
+//
+//   - Strategy auto-selection: the engine default is the ε-grid
+//     (GridIndex); queries grouping by more than grid.MaxDims (4)
+//     attributes get the R-tree plan (OnTheFlyIndex) directly, and
+//     SGB-Any never receives Bounds-Checking (Section 7.1).
+//   - The WITHIN threshold must fold to a positive numeric constant at
+//     plan time.
+//   - Incremental maintenance hook: when Builder.SGBIncr is set (the
+//     engine's SET incremental path), similarity group-by queries over
+//     a bare single-table scan — one base table, no WHERE, no join —
+//     have their grouping delegated to cached per-table state. The
+//     shape restriction is the soundness condition: only then is the
+//     extracted point sequence a prefix-stable, append-only image of
+//     the table.
+package plan

@@ -1,10 +1,3 @@
-// Package plan compiles parsed SQL into executable operator trees: it
-// binds column references, compiles expressions to closures, extracts
-// equi-join keys from WHERE conjuncts, rewrites aggregate expressions
-// against grouped outputs, and instantiates the similarity group-by
-// nodes with the operator options from the SGB clauses. It is the
-// counterpart of the paper's "Planner and Optimizer routines [that] use
-// the extended query-tree to create a similarity-aware plan-tree".
 package plan
 
 import (

@@ -1,0 +1,26 @@
+// Package rtree implements an in-memory R-tree (Guttman, SIGMOD 1984)
+// with quadratic split, full deletion (condense-tree with reinsertion),
+// and window (range) queries.
+//
+// The paper uses two such indexes:
+//
+//   - Groups_IX — SGB-All's on-the-fly index over the ε-All bounding
+//     rectangles of the discovered groups (Procedure 5, Figure 6);
+//     rectangles shrink as members join, so the index must support
+//     delete + reinsert.
+//   - Points_IX — SGB-Any's index over the processed points
+//     (Procedure 8, Figure 8a).
+//
+// Invariants:
+//
+//   - Every node except the root holds between min and max entries
+//     (CheckInvariants verifies this, along with MBR containment and
+//     uniform leaf depth).
+//   - Window queries return every stored rectangle intersecting the
+//     window; the SGB finders treat hits as candidates and verify
+//     exactly, so a coarser-than-true stored rectangle is safe — the
+//     hysteresis maintenance in internal/core depends on that.
+//
+// The tree stores opaque references (Data) with their rectangles; it is
+// not safe for concurrent mutation.
+package rtree

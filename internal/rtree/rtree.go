@@ -1,18 +1,3 @@
-// Package rtree implements an in-memory R-tree (Guttman, SIGMOD 1984)
-// with quadratic split, full deletion (condense-tree with reinsertion),
-// and window (range) queries.
-//
-// The paper uses two such indexes:
-//
-//   - Groups_IX — SGB-All's on-the-fly index over the ε-All bounding
-//     rectangles of the discovered groups (Procedure 5, Figure 6);
-//     rectangles shrink as members join, so the index must support
-//     delete + reinsert.
-//   - Points_IX — SGB-Any's index over the processed points
-//     (Procedure 8, Figure 8a).
-//
-// The tree stores opaque references (Data) with their rectangles; it is
-// not safe for concurrent mutation.
 package rtree
 
 import (

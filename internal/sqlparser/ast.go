@@ -79,17 +79,17 @@ const (
 type OverlapAction int
 
 const (
-	OverlapJoinAny OverlapAction = iota
-	OverlapEliminate
-	OverlapFormNewGroup
+	OverlapJoinAny      OverlapAction = iota // insert into one arbitrary candidate group
+	OverlapEliminate                         // drop overlapping points
+	OverlapFormNewGroup                      // regroup overlapping points among themselves
 )
 
 // MetricName is the distance function keyword.
 type MetricName int
 
 const (
-	MetricL2 MetricName = iota
-	MetricLInf
+	MetricL2   MetricName = iota // L2 / LTWO: Euclidean
+	MetricLInf                   // LINF / LONE: maximum (Chebyshev)
 )
 
 // GroupByClause covers both standard grouping (Similarity == nil) and
@@ -158,6 +158,8 @@ type ColumnRef struct {
 }
 
 func (*ColumnRef) expr() {}
+
+// String renders the reference as [table.]name.
 func (c *ColumnRef) String() string {
 	if c.Table != "" {
 		return c.Table + "." + c.Name
@@ -169,6 +171,8 @@ func (c *ColumnRef) String() string {
 type Literal struct{ Val types.Value }
 
 func (*Literal) expr() {}
+
+// String renders the literal in SQL syntax (quoted for text/date).
 func (l *Literal) String() string {
 	if l.Val.Kind == types.KindText {
 		return "'" + strings.ReplaceAll(l.Val.S, "'", "''") + "'"
@@ -187,6 +191,8 @@ type BinaryExpr struct {
 }
 
 func (*BinaryExpr) expr() {}
+
+// String renders the operation parenthesized.
 func (b *BinaryExpr) String() string {
 	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
 }
@@ -197,7 +203,9 @@ type UnaryExpr struct {
 	E  Expr
 }
 
-func (*UnaryExpr) expr()            {}
+func (*UnaryExpr) expr() {}
+
+// String renders the operation parenthesized.
 func (u *UnaryExpr) String() string { return fmt.Sprintf("(%s %s)", u.Op, u.E) }
 
 // FuncCall is a function or aggregate invocation; Star marks count(*).
@@ -208,6 +216,8 @@ type FuncCall struct {
 }
 
 func (*FuncCall) expr() {}
+
+// String renders the call, with * for count(*).
 func (f *FuncCall) String() string {
 	if f.Star {
 		return f.Name + "(*)"
@@ -228,6 +238,8 @@ type InExpr struct {
 }
 
 func (*InExpr) expr() {}
+
+// String renders the membership test (subqueries elided).
 func (i *InExpr) String() string {
 	not := ""
 	if i.Neg {
@@ -250,6 +262,8 @@ type BetweenExpr struct {
 }
 
 func (*BetweenExpr) expr() {}
+
+// String renders the range test parenthesized.
 func (b *BetweenExpr) String() string {
 	not := ""
 	if b.Neg {

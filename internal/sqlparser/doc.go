@@ -1,0 +1,19 @@
+// Package sqlparser implements the lexer, AST, and recursive-descent
+// parser for the SGB-extended SQL dialect of the paper: standard
+// SELECT/INSERT/CREATE plus the similarity grouping clauses
+//
+//	GROUP BY a, b DISTANCE-TO-ALL [L2|LINF] WITHIN ε
+//	         ON-OVERLAP [JOIN-ANY|ELIMINATE|FORM-NEW-GROUP]
+//	GROUP BY a, b DISTANCE-TO-ANY [L2|LINF] WITHIN ε
+//
+// including the abbreviated spellings used in the paper's Table 2
+// (DISTANCE-ALL, USING ltwo/lone, "on overlap join-any", FORM-NEW),
+// plus the engine's session statements (SET algorithm | parallelism |
+// seed | incremental). See docs/sql.md for the full grammar.
+//
+// Parsing is deliberately permissive about keywords: SET and TO are
+// not reserved (statements dispatch off the leading identifier), so
+// schemas using them as column or table names still parse. The parser
+// produces pure syntax — semantic checks (table existence, typing,
+// constant-ness of ε) belong to internal/plan.
+package sqlparser

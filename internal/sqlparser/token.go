@@ -1,13 +1,3 @@
-// Package sqlparser implements the lexer, AST, and recursive-descent
-// parser for the SGB-extended SQL dialect of the paper: standard
-// SELECT/INSERT/CREATE plus the similarity grouping clauses
-//
-//	GROUP BY a, b DISTANCE-TO-ALL [L2|LINF] WITHIN ε
-//	         ON-OVERLAP [JOIN-ANY|ELIMINATE|FORM-NEW-GROUP]
-//	GROUP BY a, b DISTANCE-TO-ANY [L2|LINF] WITHIN ε
-//
-// including the abbreviated spellings used in the paper's Table 2
-// (DISTANCE-ALL, USING ltwo/lone, "on overlap join-any", FORM-NEW).
 package sqlparser
 
 import "strings"
@@ -16,12 +6,12 @@ import "strings"
 type TokenKind int
 
 const (
-	TokEOF TokenKind = iota
-	TokIdent
-	TokNumber
-	TokString
-	TokKeyword
-	TokSymbol // punctuation and operators
+	TokEOF     TokenKind = iota // end of input
+	TokIdent                    // identifier (table, column, alias)
+	TokNumber                   // numeric literal
+	TokString                   // single-quoted string literal
+	TokKeyword                  // reserved word or joined SGB keyword
+	TokSymbol                   // punctuation and operators
 )
 
 // Token is one lexeme with its source position (byte offset).

@@ -14,13 +14,13 @@ import (
 type Kind int
 
 const (
-	KindNull Kind = iota
-	KindInt
-	KindFloat
-	KindText
-	KindBool
-	KindDate     // calendar date, stored as days since 1970-01-01
-	KindInterval // calendar interval (months and/or days)
+	KindNull     Kind = iota // SQL NULL
+	KindInt                  // 64-bit integer
+	KindFloat                // 64-bit float
+	KindText                 // string
+	KindBool                 // boolean
+	KindDate                 // calendar date, stored as days since 1970-01-01
+	KindInterval             // calendar interval (months and/or days)
 )
 
 // String names the kind as in DDL.

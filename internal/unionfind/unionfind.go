@@ -1,12 +1,3 @@
-// Package unionfind implements a disjoint-set forest with union by rank
-// and path compression (Tarjan & van Leeuwen). The SGB-Any executor uses
-// it "to keep track of existing, newly created, and merged groups"
-// (Procedure 8 / Figure 8b of the paper): when an input point bridges
-// several groups, their roots are redirected to a single representative.
-//
-// Amortized cost per operation is O(α(n)) where α is the inverse
-// Ackermann function (α(n) ≤ 4 for any realistic n), which is what gives
-// SGB-Any its O(n log n) average-case bound.
 package unionfind
 
 // UF is a disjoint-set forest over the integers [0, Len()).

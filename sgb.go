@@ -35,6 +35,7 @@ package sgb
 import (
 	"github.com/sgb-db/sgb/internal/core"
 	"github.com/sgb-db/sgb/internal/geom"
+	"github.com/sgb-db/sgb/internal/incr"
 )
 
 // Point is a point in d-dimensional space (usually d = 2: the paper's
@@ -148,4 +149,33 @@ func GroupByAnySet(points *PointSet, opt Options) (*Result, error) {
 // the SGB-Any semantics, exposed for verification and testing.
 func ConnectedComponents(points []Point, metric Metric, eps float64) []Group {
 	return core.ConnectedComponents(points, metric, eps)
+}
+
+// Incremental maintains a similarity grouping under appends: feed it
+// point batches with Append (or AppendSet) and read the live grouping
+// with Result. At every step the grouping equals a one-shot
+// GroupByAll / GroupByAny over the concatenation of all batches so far
+// — identical components for SGB-Any, and identical groups, member
+// order, and JOIN-ANY arbitration draws for SGB-All under equal seeds.
+// See internal/incr and ARCHITECTURE.md for the maintenance invariants.
+type Incremental = incr.Incremental
+
+// ErrOptionsMutated is returned by Incremental.Append / Result when
+// the handle's Opt field was modified after creation; the retained
+// state embodies the original options, so mutations are refused.
+var ErrOptionsMutated = incr.ErrOptionsMutated
+
+// NewIncrementalAll returns an empty incremental SGB-All grouping
+// (DISTANCE-TO-ALL cliques with opt.Overlap arbitration). The point
+// dimensionality is fixed by the first appended batch. Appends
+// evaluate sequentially; per-append cost scales with the batch size,
+// not the retained set.
+func NewIncrementalAll(opt Options) (*Incremental, error) {
+	return incr.New(incr.All, opt)
+}
+
+// NewIncrementalAny returns an empty incremental SGB-Any grouping
+// (DISTANCE-TO-ANY connected components; opt.Overlap is ignored).
+func NewIncrementalAny(opt Options) (*Incremental, error) {
+	return incr.New(incr.Any, opt)
 }

@@ -77,8 +77,7 @@ func (r *Rows) Len() int { return len(r.Data) }
 // QueryOptions tunes similarity group-by execution for a single query.
 type QueryOptions struct {
 	// Algorithm selects the SGB strategy (the session default is
-	// GridIndex; queries grouping by more than 4 attributes fall back
-	// to the R-tree automatically).
+	// GridIndex, which supports any number of grouping attributes).
 	Algorithm Algorithm
 	// Parallelism is the similarity pipeline's worker count: 0 picks
 	// GOMAXPROCS on large inputs, 1 forces sequential evaluation, ≥ 2
@@ -220,7 +219,9 @@ func (db *DB) execSet(s *sqlparser.SetStmt) error {
 		case "grid", "gridindex", "default":
 			db.session.Algorithm = GridIndex
 		default:
-			return fmt.Errorf("sgb: unknown algorithm %q (want allpairs, bounds, rtree, or grid)", s.Value)
+			return fmt.Errorf("sgb: unknown algorithm %q (valid spellings: allpairs | all-pairs | naive, "+
+				"bounds | boundscheck | bounds-checking, index | rtree | r-tree | ontheflyindex, "+
+				"grid | gridindex | default)", s.Value)
 		}
 	case "parallelism":
 		n, err := strconv.Atoi(s.Value)

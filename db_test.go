@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math"
+	"math/rand"
 	"strings"
 	"testing"
 )
@@ -326,6 +327,46 @@ func TestSetSessionSettings(t *testing.T) {
 		if _, err := db.Exec(bad); err == nil {
 			t.Errorf("accepted invalid setting: %q", bad)
 		}
+	}
+
+	// An unknown algorithm must name every accepted spelling, so the
+	// error is self-documenting.
+	_, err := db.Exec("SET algorithm = quantum")
+	if err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	for _, spelling := range []string{
+		"allpairs", "all-pairs", "naive",
+		"bounds", "boundscheck", "bounds-checking",
+		"index", "rtree", "r-tree", "ontheflyindex",
+		"grid", "gridindex", "default",
+	} {
+		if !strings.Contains(err.Error(), spelling) {
+			t.Errorf("unknown-algorithm error omits spelling %q: %v", spelling, err)
+		}
+	}
+}
+
+// TestHighDimGridSQL: with the hashed-cell grid there is no planner
+// fallback — a 5-attribute similarity grouping runs on the grid
+// strategy and matches the R-tree result.
+func TestHighDimGridSQL(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE w (a FLOAT, b FLOAT, c FLOAT, d FLOAT, e FLOAT)")
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 80; i++ {
+		base := float64(r.Intn(5)) * 10
+		mustExec(t, db, fmt.Sprintf("INSERT INTO w VALUES (%.3f, %.3f, %.3f, %.3f, %.3f)",
+			base+r.Float64(), base+r.Float64(), base+r.Float64(), base+r.Float64(), base+r.Float64()))
+	}
+	q := `SELECT count(*) FROM w
+		GROUP BY a, b, c, d, e DISTANCE-TO-ANY L2 WITHIN 3`
+	mustExec(t, db, "SET algorithm = grid")
+	grid := sortedCounts(mustQuery(t, db, q))
+	mustExec(t, db, "SET algorithm = rtree")
+	rtree := sortedCounts(mustQuery(t, db, q))
+	if fmt.Sprint(grid) != fmt.Sprint(rtree) {
+		t.Fatalf("5-d grid grouping %v != rtree %v", grid, rtree)
 	}
 }
 

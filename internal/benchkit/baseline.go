@@ -1,0 +1,166 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"github.com/sgb-db/sgb/internal/core"
+	"github.com/sgb-db/sgb/internal/geom"
+)
+
+// Machine-readable performance baselines: each PR that touches the hot
+// path records a BENCH_<n>.json snapshot at the repo root (sgbbench
+// -baseline), so the perf trajectory across the stacked PRs is data,
+// not folklore. The entries cover the three benchmark families the CI
+// smoke job runs — the strategy duel on the Fig9a workload, the worker
+// sweep, and the incremental-append cost.
+
+// BaselineEntry is one measured series point.
+type BaselineEntry struct {
+	// Family is the benchmark family ("grid", "scaling", "incremental").
+	Family string `json:"family"`
+	// Series names the measured configuration within the family.
+	Series string `json:"series"`
+	// N is the input size in points.
+	N int `json:"n"`
+	// Eps is the similarity threshold of the run.
+	Eps float64 `json:"eps"`
+	// Millis is the best-of-three wall time in milliseconds.
+	Millis float64 `json:"ms"`
+	// Groups is the output group count (a correctness fingerprint: two
+	// baselines for one seed must agree).
+	Groups int `json:"groups"`
+}
+
+// Baseline is the full snapshot written by WriteBaseline.
+type Baseline struct {
+	// CreatedUnix is the recording time (Unix seconds).
+	CreatedUnix int64 `json:"created_unix"`
+	// GoOS / GoArch / CPUs describe the recording machine.
+	GoOS   string `json:"goos"`
+	GoArch string `json:"goarch"`
+	CPUs   int    `json:"cpus"`
+	// Entries holds the measured series points.
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// WriteBaseline measures the baseline workloads and writes the
+// snapshot as indented JSON. Scale and Seed from cfg apply as in every
+// experiment; timings are best-of-three to damp scheduler noise.
+func WriteBaseline(w io.Writer, cfg Config) error {
+	n := cfg.scaled(4000)
+	pts := uniformPoints(n, 10, cfg.Seed)
+	b := &Baseline{
+		CreatedUnix: time.Now().Unix(),
+		GoOS:        runtime.GOOS,
+		GoArch:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+	}
+
+	// Family "grid": the Fig9a-workload strategy duel (sequential).
+	const eps = 0.5
+	for _, alg := range []struct {
+		name string
+		a    core.Algorithm
+	}{{"All/Index", core.OnTheFlyIndex}, {"All/Grid", core.GridIndex}} {
+		d, g, err := bestOf3(func() (time.Duration, int, error) { return timeSGBAll(pts, alg.a, core.JoinAny, eps) })
+		if err != nil {
+			return err
+		}
+		b.Entries = append(b.Entries, BaselineEntry{Family: "grid", Series: alg.name, N: n, Eps: eps, Millis: millis(d), Groups: g})
+	}
+	for _, alg := range []struct {
+		name string
+		a    core.Algorithm
+	}{{"Any/Index", core.OnTheFlyIndex}, {"Any/Grid", core.GridIndex}} {
+		d, g, err := bestOf3(func() (time.Duration, int, error) { return timeSGBAny(pts, alg.a, eps) })
+		if err != nil {
+			return err
+		}
+		b.Entries = append(b.Entries, BaselineEntry{Family: "grid", Series: alg.name, N: n, Eps: eps, Millis: millis(d), Groups: g})
+	}
+
+	// Family "scaling": the worker sweep at the scaling experiment's
+	// workload.
+	spts := uniformPoints(cfg.scaled(8000), 10, cfg.Seed+3)
+	for _, w := range workerSweep {
+		for _, anySem := range []bool{false, true} {
+			series := "All"
+			if anySem {
+				series = "Any"
+			}
+			d, g, err := bestOf3(func() (time.Duration, int, error) { return timeParallel(spts, eps, w, anySem) })
+			if err != nil {
+				return err
+			}
+			b.Entries = append(b.Entries, BaselineEntry{
+				Family: "scaling", Series: seriesName(series, w), N: len(spts), Eps: eps, Millis: millis(d), Groups: g,
+			})
+		}
+	}
+
+	// Family "incremental": appending one 256-point batch to a retained
+	// base versus regrouping from scratch (SGB-Any, grid).
+	base := cfg.scaled(8000)
+	basePts := uniformPoints(base, 10, cfg.Seed+7)
+	batch := uniformPoints(256, 10, cfg.Seed+8)
+	d, g, err := bestOf3(func() (time.Duration, int, error) { return timeIncrAppend(basePts, batch, eps) })
+	if err != nil {
+		return err
+	}
+	b.Entries = append(b.Entries, BaselineEntry{Family: "incremental", Series: "Any/Append", N: base, Eps: eps, Millis: millis(d), Groups: g})
+	all := append(append([]geom.Point(nil), basePts...), batch...)
+	d, g, err = bestOf3(func() (time.Duration, int, error) { return timeSGBAny(all, core.GridIndex, eps) })
+	if err != nil {
+		return err
+	}
+	b.Entries = append(b.Entries, BaselineEntry{Family: "incremental", Series: "Any/Oneshot", N: base, Eps: eps, Millis: millis(d), Groups: g})
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// timeIncrAppend measures one 256-point append against a preloaded
+// incremental SGB-Any evaluator (construction excluded from timing).
+func timeIncrAppend(base, batch []geom.Point, eps float64) (time.Duration, int, error) {
+	opt := core.Options{Metric: geom.L2, Eps: eps, Algorithm: core.GridIndex, Seed: 1, Parallelism: 1}
+	ev, err := core.NewAnyEvaluator(len(base[0]), opt)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := ev.Append(geom.FromPoints(base)); err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	if err := ev.Append(geom.FromPoints(batch)); err != nil {
+		return 0, 0, err
+	}
+	elapsed := time.Since(start)
+	return elapsed, len(ev.Result().Groups), nil
+}
+
+// bestOf3 runs fn three times and keeps the fastest result.
+func bestOf3(fn func() (time.Duration, int, error)) (time.Duration, int, error) {
+	var best time.Duration
+	var groups int
+	for i := 0; i < 3; i++ {
+		d, g, err := fn()
+		if err != nil {
+			return 0, 0, err
+		}
+		if i == 0 || d < best {
+			best, groups = d, g
+		}
+	}
+	return best, groups, nil
+}
+
+func millis(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func seriesName(sem string, workers int) string {
+	return fmt.Sprintf("%s/w=%d", sem, workers)
+}

@@ -2,6 +2,7 @@ package benchkit
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -30,6 +31,40 @@ func TestEveryExperimentRuns(t *testing.T) {
 				t.Errorf("%s: suspiciously short report:\n%s", e.ID, out)
 			}
 		})
+	}
+}
+
+// TestWriteBaseline runs the baseline recorder at a tiny scale and
+// checks the JSON decodes back with every family present and matching
+// group-count fingerprints across strategies of one family/workload.
+func TestWriteBaseline(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, Config{Out: &buf, Scale: 0.02, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(buf.Bytes(), &b); err != nil {
+		t.Fatalf("baseline is not valid JSON: %v", err)
+	}
+	families := map[string]int{}
+	groups := map[string]int{} // family/sem -> group count fingerprint
+	for _, e := range b.Entries {
+		families[e.Family]++
+		if e.Millis < 0 {
+			t.Errorf("%s/%s: negative timing", e.Family, e.Series)
+		}
+		if e.Family == "grid" {
+			sem := strings.SplitN(e.Series, "/", 2)[0]
+			if prev, ok := groups[sem]; ok && prev != e.Groups {
+				t.Errorf("grid/%s: strategies disagree on group count: %d vs %d", sem, prev, e.Groups)
+			}
+			groups[sem] = e.Groups
+		}
+	}
+	for _, fam := range []string{"grid", "scaling", "incremental"} {
+		if families[fam] == 0 {
+			t.Errorf("family %q missing from baseline", fam)
+		}
 	}
 }
 

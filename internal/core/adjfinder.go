@@ -36,9 +36,9 @@ func (a *adjacency) neighbors(i int) []int32 { return a.ids[a.off[i]:a.off[i+1]]
 
 // buildAdjacency computes the ε-adjacency with the given worker count.
 // Workers own contiguous point ranges and probe a shared, read-only
-// ε-grid (or fall back to a chunked all-pairs scan above
-// grid.MaxDims); every candidate is verified by an exact distance
-// test, so the lists are exact under both metrics.
+// ε-grid (each worker brings its own grid.Cursor, so the concurrent
+// probes share no scratch); every candidate is verified by an exact
+// distance test, so the lists are exact under both metrics.
 //
 // With half set, only neighbors j < i are stored: under JOIN-ANY and
 // ELIMINATE there is a single arbitration pass in input order, so when
@@ -62,10 +62,10 @@ func buildAdjacency(ps *geom.PointSet, opt Options, workers int, half bool) *adj
 	// parallelized baseline still measures the baseline. Every other
 	// strategy probes the shared grid (when dimensionality allows).
 	var tab *grid.Table
-	if opt.Algorithm != AllPairs && ps.Dims() <= grid.MaxDims {
-		tab = grid.New(ps.Dims(), eps)
+	if opt.Algorithm != AllPairs {
+		tab = grid.NewCap(ps.Dims(), eps, n)
 		for i := 0; i < n; i++ {
-			tab.Add(tab.CellOf(ps.At(i)), int32(i))
+			tab.AddPoint(ps.At(i), int32(i))
 		}
 	}
 	if opt.Parallelism == 0 && !adjacencyFits(ps, opt, tab) {
@@ -90,14 +90,14 @@ func buildAdjacency(ps *geom.PointSet, opt Options, workers int, half bool) *adj
 		wg.Add(1)
 		go func(c *chunk) {
 			defer wg.Done()
+			var cur grid.Cursor
 			var buf []int32
 			for i := c.lo; i < c.hi; i++ {
 				p := ps.At(i)
 				start := len(c.ids)
 				if tab != nil {
 					c.stats.addProbe(1)
-					lo, hi := tab.RangeOfBox(p, eps)
-					buf = tab.Collect(lo, hi, buf[:0])
+					buf = tab.CollectBox(&cur, p, eps, buf[:0])
 					for _, j := range buf {
 						if int(j) == i || (half && int(j) > i) {
 							continue
@@ -164,14 +164,14 @@ func adjacencyFits(ps *geom.PointSet, opt Options, tab *grid.Table) bool {
 		sample = n
 	}
 	metric, eps := opt.Metric, opt.Eps
+	var cur grid.Cursor
 	var buf []int32
 	var degs int64
 	for s := 0; s < sample; s++ {
 		i := s * n / sample
 		p := ps.At(i)
 		if tab != nil {
-			lo, hi := tab.RangeOfBox(p, eps)
-			buf = tab.Collect(lo, hi, buf[:0])
+			buf = tab.CollectBox(&cur, p, eps, buf[:0])
 			for _, j := range buf {
 				if int(j) != i && metric.Within(p, ps.At(int(j)), eps) {
 					degs++

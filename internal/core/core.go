@@ -6,7 +6,6 @@ import (
 	"math"
 
 	"github.com/sgb-db/sgb/internal/geom"
-	"github.com/sgb-db/sgb/internal/grid"
 	"github.com/sgb-db/sgb/internal/partition"
 )
 
@@ -59,9 +58,11 @@ const (
 	// in the ≤3^d cells it covers, SGB-Any keeps processed points in
 	// their home cell; probes scan the 3^d-cell neighborhood. Expected
 	// O(1) per probe plus output size — the fastest strategy for the
-	// fixed-radius queries the operators issue. Falls back to the
-	// R-tree above grid.MaxDims (4) dimensions; results are identical
-	// to the other strategies for equal seeds either way.
+	// fixed-radius queries the operators issue. The open-addressed
+	// hashed-cell table supports any dimensionality, and SGB-Any inputs
+	// are Morton (Z-order) preprocessed for probe locality (output ids
+	// stay in input order); results are identical to the other
+	// strategies for equal seeds at every d.
 	GridIndex
 )
 
@@ -155,18 +156,17 @@ func (o Options) Validate() error {
 // pipeline on small inputs.
 const parallelThreshold = 4096
 
-// workers resolves the effective worker count for an input of n points
-// of dimensionality dims. Auto mode (Parallelism = 0) engages only
-// for GridIndex within the grid's dimensionality range: requesting
-// All-Pairs, Bounds-Checking, or the R-tree by name is a statement
-// about which evaluation shape to run (the strategy-comparison
-// experiments depend on it), so those stay sequential unless the
-// caller explicitly asks for workers.
-func (o Options) workers(n, dims int) int {
+// workers resolves the effective worker count for an input of n
+// points. Auto mode (Parallelism = 0) engages only for GridIndex:
+// requesting All-Pairs, Bounds-Checking, or the R-tree by name is a
+// statement about which evaluation shape to run (the
+// strategy-comparison experiments depend on it), so those stay
+// sequential unless the caller explicitly asks for workers.
+func (o Options) workers(n int) int {
 	switch {
 	case o.Parallelism == 1 || n < 2:
 		return 1
-	case o.Parallelism == 0 && (n < parallelThreshold || o.Algorithm != GridIndex || dims > grid.MaxDims):
+	case o.Parallelism == 0 && (n < parallelThreshold || o.Algorithm != GridIndex):
 		return 1
 	}
 	w := partition.Workers(o.Parallelism)

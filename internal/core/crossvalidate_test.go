@@ -120,37 +120,120 @@ func TestGridCrossValidationAny(t *testing.T) {
 	}
 }
 
-// TestGridHighDimFallback: above grid.MaxDims the GridIndex strategy
-// transparently evaluates through the R-tree and must still agree with
-// AllPairs.
-func TestGridHighDimFallback(t *testing.T) {
+// TestGridHighDimCrossValidation: the hashed-cell grid lifted the old
+// d ≤ 4 cap, so the GridIndex strategy must agree with AllPairs
+// member-for-member at d ∈ {5, 6, 8} — for SGB-All across every
+// ON-OVERLAP semantics and metric, and for SGB-Any (where the Morton
+// preprocessing and its output remap are in play) against both
+// AllPairs and the brute-force connected components.
+func TestGridHighDimCrossValidation(t *testing.T) {
 	r := rand.New(rand.NewSource(9))
-	points := randomPointsDim(r, 120, 6, 4)
-	for _, ov := range allOverlaps {
-		optRef := Options{Metric: geom.LInf, Eps: 0.9, Overlap: ov, Algorithm: AllPairs, Seed: 3}
-		want, err := SGBAll(points, optRef)
-		if err != nil {
-			t.Fatal(err)
-		}
-		optRef.Algorithm = GridIndex
-		got, err := SGBAll(points, optRef)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := sameMembers(want, got); err != nil {
-			t.Fatalf("%v: %v", ov, err)
+	for trial := 0; trial < 6; trial++ {
+		for _, d := range []int{5, 6, 8} {
+			n := 60 + r.Intn(120)
+			// Span shrinks with d so the ε-balls keep finding neighbors
+			// in high dimensions.
+			points := randomPointsDim(r, n, d, 2.2)
+			eps := 0.6 + r.Float64()*0.6
+			seed := int64(trial*17 + d)
+			for _, m := range allMetrics {
+				for _, ov := range allOverlaps {
+					opt := Options{Metric: m, Eps: eps, Overlap: ov, Seed: seed}
+					opt.Algorithm = AllPairs
+					want, err := SGBAll(points, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					opt.Algorithm = GridIndex
+					got, err := SGBAll(points, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := sameMembers(want, got); err != nil {
+						t.Fatalf("trial %d d=%d %v/%v eps=%.3f: %v", trial, d, m, ov, eps, err)
+					}
+					if err := CheckCliques(points, m, eps, got); err != nil {
+						t.Fatalf("trial %d d=%d %v/%v: invalid grouping: %v", trial, d, m, ov, err)
+					}
+				}
+				optAny := Options{Metric: m, Eps: eps, Algorithm: AllPairs}
+				wantAny, err := SGBAny(points, optAny)
+				if err != nil {
+					t.Fatal(err)
+				}
+				optAny.Algorithm = GridIndex
+				gotAny, err := SGBAny(points, optAny)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sameMembers(wantAny, gotAny); err != nil {
+					t.Fatalf("trial %d d=%d %v SGB-Any: %v", trial, d, m, err)
+				}
+				if !SameGrouping(gotAny.Groups, ConnectedComponents(points, m, eps)) {
+					t.Fatalf("trial %d d=%d %v: partition differs from brute force", trial, d, m)
+				}
+			}
 		}
 	}
-	wantAny, err := SGBAny(points, Options{Metric: geom.L2, Eps: 0.9, Algorithm: AllPairs})
+}
+
+// TestAnyMortonRemap pins the Morton remap invariant on inputs large
+// enough to engage the Z-order preprocessing (n >= mortonMinPoints):
+// the grid result must be member-for-member identical — input-order
+// ids, canonical group order — to the never-reordered AllPairs run.
+func TestAnyMortonRemap(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for _, d := range []int{1, 2, 3, 5} {
+		for trial := 0; trial < 10; trial++ {
+			n := mortonMinPoints + r.Intn(800)
+			points := randomPointsDim(r, n, d, 7)
+			eps := 0.3 + r.Float64()*0.7
+			for _, m := range allMetrics {
+				want, err := SGBAny(points, Options{Metric: m, Eps: eps, Algorithm: AllPairs})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := SGBAny(points, Options{Metric: m, Eps: eps, Algorithm: GridIndex, Parallelism: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sameMembers(want, got); err != nil {
+					t.Fatalf("d=%d n=%d %v eps=%.3f: %v", d, n, m, eps, err)
+				}
+			}
+		}
+	}
+}
+
+// TestAnyEvaluatorMortonRemap drives the incremental SGB-Any evaluator
+// with batches large enough to be Z-order reordered, interleaved with
+// small (unreordered) batches, and demands the retained grouping match
+// the one-shot evaluation over the concatenation after every append.
+func TestAnyEvaluatorMortonRemap(t *testing.T) {
+	r := rand.New(rand.NewSource(78))
+	opt := Options{Metric: geom.L2, Eps: 0.5, Algorithm: GridIndex}
+	ev, err := NewAnyEvaluator(2, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotAny, err := SGBAny(points, Options{Metric: geom.L2, Eps: 0.9, Algorithm: GridIndex})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := sameMembers(wantAny, gotAny); err != nil {
-		t.Fatalf("SGB-Any fallback: %v", err)
+	all := geom.NewPointSet(2)
+	for _, batchN := range []int{5, 200, 3, 150, mortonMinPoints, 1, 400} {
+		batch := geom.NewPointSetCap(2, batchN)
+		for i := 0; i < batchN; i++ {
+			p := batch.Extend()
+			p[0], p[1] = r.Float64()*10, r.Float64()*10
+		}
+		if err := ev.Append(batch); err != nil {
+			t.Fatal(err)
+		}
+		all.AppendSet(batch)
+		want, err := SGBAnySet(all, Options{Metric: geom.L2, Eps: 0.5, Algorithm: AllPairs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sameMembers(want, ev.Result()); err != nil {
+			t.Fatalf("after %d points: %v", all.Len(), err)
+		}
 	}
 }
 

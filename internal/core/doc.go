@@ -13,8 +13,11 @@
 // plus a fourth strategy beyond the paper:
 //
 //   - GridIndex       — a uniform hash grid with ε-sized cells
-//     (internal/grid) in place of the R-tree; the textbook structure
-//     for fixed-radius queries.
+//     (internal/grid, a flat open-addressed table with slab-pooled id
+//     lists — no dimensionality cap) in place of the R-tree; the
+//     textbook structure for fixed-radius queries. SGB-Any inputs are
+//     additionally Morton (Z-order) preordered for probe locality;
+//     output ids are remapped so results always index the input order.
 //
 // # Evaluation shapes
 //

@@ -13,26 +13,38 @@ import (
 //
 //   - Candidates: a group whose ε-All rectangle contains pi is
 //     necessarily registered in pi's home cell, so the candidate probe
-//     is a single map lookup.
+//     is a single directory lookup.
 //   - Overlaps: a group overlapping pi's ε-box is registered in one of
 //     the cells that box covers (quantization is monotone), so the
 //     overlap probe scans the ≤3^d-cell neighborhood.
 //
-// Collected group ids are sorted into group-creation order before
-// verification, so JOIN-ANY arbitration is bit-identical to the other
-// strategies for a given seed. Verification reuses the exact
-// PointInRectangle / refine / overlap machinery of Procedures 4–6.
+// Collected group ids are deduplicated through an epoch-stamped seen
+// array (a group registered in several scanned cells appears once per
+// cell) and then sorted into group-creation order before verification:
+// SGB-All's arbitration is order-sensitive — JOIN-ANY consumes PRNG
+// draws per candidate and ELIMINATE / FORM-NEW-GROUP emit victims in
+// enumeration order — so every strategy must enumerate groups
+// identically. (The SGB-Any grid probe needs neither pass: Union-Find
+// merging is order-independent and each point registers in exactly one
+// cell.) Verification reuses the exact PointInRectangle / refine /
+// overlap machinery of Procedures 4–6.
 type gridFinder struct {
 	tab *grid.Table
+	cur grid.Cursor
 
 	// Buffers reused across probes.
 	ids        []int32
+	seen       []uint32 // per-group epoch stamps: probe-local dedup
+	epoch      uint32
 	cands, ovs []*group
 	pBox       geom.Rect
+
+	// Scratch cell range for groupChanged's recompute.
+	rngLo, rngHi []int64
 }
 
-func newGridFinder(dims int, eps float64) *gridFinder {
-	return &gridFinder{tab: grid.New(dims, eps)}
+func newGridFinder(dims int, eps float64, sizeHint int) *gridFinder {
+	return &gridFinder{tab: grid.NewCap(dims, eps, sizeHint)}
 }
 
 func (f *gridFinder) findCloseGroups(st *sgbAllState, pi int) (candidates, overlaps []*group) {
@@ -41,36 +53,105 @@ func (f *gridFinder) findCloseGroups(st *sgbAllState, pi int) (candidates, overl
 	needOverlap := st.opt.Overlap != JoinAny
 	f.ids = f.ids[:0]
 	if needOverlap {
-		lo, hi := f.tab.RangeOfBox(p, st.opt.Eps)
-		f.ids = f.tab.Collect(lo, hi, f.ids)
+		f.ids = f.tab.CollectBox(&f.cur, p, st.opt.Eps, f.ids)
 		geom.EpsBoxInto(&f.pBox, p, st.opt.Eps)
+		// Multi-cell scan: drop the once-per-cell repeats before the
+		// creation-order sort, so the sort runs over unique ids only.
+		if n := len(st.groups); n > len(f.seen) {
+			f.seen = append(f.seen, make([]uint32, n-len(f.seen))...)
+		}
+		f.epoch++
+		if f.epoch == 0 { // wrapped: invalidate stale stamps
+			clear(f.seen)
+			f.epoch = 1
+		}
+		uniq := f.ids[:0]
+		for _, id := range f.ids {
+			if f.seen[id] == f.epoch {
+				continue
+			}
+			f.seen[id] = f.epoch
+			uniq = append(uniq, id)
+		}
+		f.ids = uniq
 	} else {
 		// JOIN-ANY only needs candidate groups, and those must cover
-		// pi's home cell.
-		f.ids = f.tab.CollectCell(f.tab.CellOf(p), f.ids)
+		// pi's home cell; a group registers once per cell, so the
+		// single-cell scan is duplicate-free already.
+		f.ids = f.tab.CollectPointCell(p, f.ids)
 	}
-	// Creation-order normalization doubles as the dedup key: a group
-	// registered in several scanned cells appears as a run of equal
-	// ids.
 	slices.Sort(f.ids)
+	// Filter step over the flat rect-row store: both rectangle tests
+	// read rows by id instead of dereferencing group structs, so the
+	// loop's memory traffic is the sorted row scan — the group pointer
+	// is only chased for ids that survive a rectangle filter and need
+	// exact verification (same tests, same Stats counts as
+	// classifyGroup).
+	d := st.dims
+	stride := 4 * d
+	rects := st.rects
+	floor := st.stageFloor
 	f.cands, f.ovs = f.cands[:0], f.ovs[:0]
-	prev := int32(-1)
 	for _, id := range f.ids {
-		if id == prev {
+		if int(id) < floor {
 			continue
 		}
-		prev = id
-		gj := st.groups[id]
-		if gj == nil || gj.id < st.stageFloor {
+		row := rects[int(id)*stride : int(id)*stride+stride]
+		st.opt.Stats.addRect(1)
+		if rowContains(row, p, d) {
+			gj := st.groups[id]
+			if gj == nil {
+				continue // poisoned rows can't get here; defensive
+			}
+			if st.refine(pi, gj) {
+				f.cands = append(f.cands, gj)
+				continue
+			}
+			if !needOverlap {
+				continue
+			}
+			st.opt.Stats.addRect(1)
+			if rowIntersects(row[2*d:], &f.pBox, d) && st.overlapsWith(pi, gj) {
+				f.ovs = append(f.ovs, gj)
+			}
 			continue
 		}
-		f.cands, f.ovs = st.classifyGroup(pi, gj, p, &f.pBox, needOverlap, f.cands, f.ovs)
+		if !needOverlap {
+			continue
+		}
+		st.opt.Stats.addRect(1)
+		if rowIntersects(row[2*d:], &f.pBox, d) {
+			if gj := st.groups[id]; gj != nil && st.overlapsWith(pi, gj) {
+				f.ovs = append(f.ovs, gj)
+			}
+		}
 	}
 	return f.cands, f.ovs
 }
 
+// rowContains is Rect.Contains over one ε-All row half ([Min | Max]).
+func rowContains(row []float64, p geom.Point, d int) bool {
+	for i, v := range p {
+		if v < row[i] || v > row[d+i] {
+			return false
+		}
+	}
+	return true
+}
+
+// rowIntersects is Rect.Intersects between the probe ε-box and one MBR
+// row half ([Min | Max]).
+func rowIntersects(row []float64, b *geom.Rect, d int) bool {
+	for i := 0; i < d; i++ {
+		if row[i] > b.Max[i] || b.Min[i] > row[d+i] {
+			return false
+		}
+	}
+	return true
+}
+
 func (f *gridFinder) groupCreated(st *sgbAllState, g *group) {
-	g.gridLo, g.gridHi = f.tab.RangeOf(g.epsRect)
+	g.gridLo, g.gridHi = f.tab.RangeOf(g.epsRect, g.gridLo, g.gridHi)
 	g.gridOn = true
 	st.opt.Stats.addUpdate(1)
 	f.tab.AddRange(g.gridLo, g.gridHi, int32(g.id))
@@ -92,26 +173,27 @@ func (f *gridFinder) groupChanged(st *sgbAllState, g *group) {
 	if !g.gridOn {
 		return
 	}
-	lo, hi := f.tab.RangeOf(g.epsRect)
-	if lo == g.gridLo && hi == g.gridHi {
+	f.rngLo, f.rngHi = f.tab.RangeOf(g.epsRect, f.rngLo, f.rngHi)
+	if slices.Equal(f.rngLo, g.gridLo) && slices.Equal(f.rngHi, g.gridHi) {
 		return
 	}
-	if contained, staleN, trueN := rangeWithin(lo, hi, g.gridLo, g.gridHi, f.tab.Dims()); contained &&
+	if contained, staleN, trueN := rangeWithin(f.rngLo, f.rngHi, g.gridLo, g.gridHi); contained &&
 		4*staleN <= 9*trueN { // stale/true ≤ 2.25: still selective enough
 		return
 	}
 	st.opt.Stats.addUpdate(2)
 	f.tab.RemoveRange(g.gridLo, g.gridHi, int32(g.id))
-	g.gridLo, g.gridHi = lo, hi
-	f.tab.AddRange(lo, hi, int32(g.id))
+	copy(g.gridLo, f.rngLo)
+	copy(g.gridHi, f.rngHi)
+	f.tab.AddRange(g.gridLo, g.gridHi, int32(g.id))
 }
 
 // rangeWithin reports whether cell range [lo,hi] lies inside [oLo,oHi]
 // and returns both ranges' cell counts.
-func rangeWithin(lo, hi, oLo, oHi grid.Cell, dims int) (contained bool, outerN, innerN int64) {
+func rangeWithin(lo, hi, oLo, oHi []int64) (contained bool, outerN, innerN int64) {
 	contained = true
 	outerN, innerN = 1, 1
-	for i := 0; i < dims; i++ {
+	for i := range lo {
 		if lo[i] < oLo[i] || hi[i] > oHi[i] {
 			contained = false
 		}

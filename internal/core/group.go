@@ -1,9 +1,10 @@
 package core
 
 import (
+	"math"
+
 	"github.com/sgb-db/sgb/internal/convexhull"
 	"github.com/sgb-db/sgb/internal/geom"
-	"github.com/sgb-db/sgb/internal/grid"
 )
 
 // group is the runtime state of one SGB-All group (the paper's
@@ -19,13 +20,15 @@ type group struct {
 	// epsRect is within ε of all members (exact test); under L2 the
 	// rectangle is a conservative filter (Figure 7b) refined by the
 	// convex-hull test. It is maintained in place (ShrinkToEpsBox), so
-	// nothing else may alias its corner storage.
+	// nothing else may alias its corner storage. Its corners are views
+	// into the state's flat rect-row store (see sgbAllState.rects).
 	epsRect geom.Rect
 
 	// mbr is the minimum bounding rectangle of the members themselves,
 	// used by the overlap-rectangle filter: a point can only be within
 	// ε of some member if its ε-box intersects mbr. Because members of
 	// a clique group are pairwise within ε, mbr ⊆ epsRect always holds.
+	// Like epsRect, its corners view the flat rect-row store.
 	mbr geom.Rect
 
 	// indexedRect remembers the exact rectangle currently stored in
@@ -36,7 +39,8 @@ type group struct {
 	// gridLo/gridHi remember the cell range this group's ε-All
 	// rectangle is currently registered under in the ε-grid (GridIndex
 	// strategy), so registration updates remove exactly the old cells.
-	gridLo, gridHi grid.Cell
+	// Allocated once at first registration and updated in place.
+	gridLo, gridHi []int64
 	gridOn         bool
 
 	// hull caches the 2-D convex hull for the L2 refinement; it is
@@ -55,6 +59,21 @@ type sgbAllState struct {
 	groups []*group // live groups, in creation order (nil = deleted)
 	finder finder   // strategy: populates candidate & overlap sets
 	rand   *rng
+
+	// rects is the flat structure-of-arrays store of the group probe
+	// rectangles: group id g owns the row
+	// rects[g*4d : (g+1)*4d] = [ε-All Min | ε-All Max | MBR Min | MBR Max].
+	// Each group's epsRect and mbr corners are views into its row, so
+	// the in-place maintenance (ShrinkToEpsBox, ExtendPoint) writes the
+	// flat array directly, while the grid finder's filter step scans
+	// rows by id without dereferencing group structs — the probe loop's
+	// former cache-miss hot spot. Rows of removed groups are poisoned
+	// with +Inf so no rectangle test can pass them.
+	rects []float64
+
+	// groupBlocks backs allocGroup: group structs pooled in fixed-size
+	// blocks (stable addresses, one allocation per block).
+	groupBlocks [][]group
 
 	// stageFloor freezes groups created before the current
 	// FORM-NEW-GROUP recursion stage: points of the deferred set S′
@@ -101,15 +120,83 @@ type finder interface {
 	stageReset(st *sgbAllState)
 }
 
+// rectStride is the flat rect-row width: two rectangles of two corners.
+func (st *sgbAllState) rectStride() int { return 4 * st.dims }
+
+// bindRectRow points g's rectangle views at its row of the flat store.
+func (st *sgbAllState) bindRectRow(g *group) {
+	d := st.dims
+	base := g.id * st.rectStride()
+	row := st.rects[base : base+4*d : base+4*d]
+	g.epsRect.Min = geom.Point(row[0*d : 1*d : 1*d])
+	g.epsRect.Max = geom.Point(row[1*d : 2*d : 2*d])
+	g.mbr.Min = geom.Point(row[2*d : 3*d : 3*d])
+	g.mbr.Max = geom.Point(row[3*d : 4*d : 4*d])
+}
+
+// newRectRow appends g's row to the flat store and initializes it for
+// the singleton {p}. When the append would move the backing array,
+// every live group's views are rebound first — amortized O(1) per
+// group over the geometric growth.
+func (st *sgbAllState) newRectRow(g *group, p geom.Point) {
+	stride := st.rectStride()
+	if len(st.rects)+stride > cap(st.rects) {
+		newCap := 2 * cap(st.rects)
+		if min := 64 * stride; newCap < min {
+			newCap = min
+		}
+		grown := make([]float64, len(st.rects), newCap)
+		copy(grown, st.rects)
+		st.rects = grown
+		for _, og := range st.groups {
+			if og != nil {
+				st.bindRectRow(og)
+			}
+		}
+	}
+	st.rects = st.rects[:len(st.rects)+stride]
+	st.bindRectRow(g)
+	st.initRectRow(g, p)
+}
+
+// initRectRow resets g's rectangles to the singleton {p}: the ε-All
+// rectangle is p's ε-box, the member MBR degenerates to p.
+func (st *sgbAllState) initRectRow(g *group, p geom.Point) {
+	eps := st.opt.Eps
+	for i, v := range p {
+		g.epsRect.Min[i], g.epsRect.Max[i] = v-eps, v+eps
+		g.mbr.Min[i], g.mbr.Max[i] = v, v
+	}
+}
+
+// poisonRectRow makes every rectangle test fail for a removed group,
+// so a stale id can never survive the filter step.
+func (st *sgbAllState) poisonRectRow(g *group) {
+	g.epsRect.Min[0] = math.Inf(1)
+	g.mbr.Min[0] = math.Inf(1)
+}
+
+// allocGroup hands out group structs from fixed-size blocks: one
+// allocation per groupBlockSize groups instead of one each, and blocks
+// never move, so the *group pointers held in st.groups and the finder
+// buffers stay valid for the state's lifetime.
+func (st *sgbAllState) allocGroup() *group {
+	const groupBlockSize = 128
+	if n := len(st.groupBlocks); n == 0 || len(st.groupBlocks[n-1]) == cap(st.groupBlocks[n-1]) {
+		st.groupBlocks = append(st.groupBlocks, make([]group, 0, groupBlockSize))
+	}
+	blk := &st.groupBlocks[len(st.groupBlocks)-1]
+	*blk = append(*blk, group{})
+	return &(*blk)[len(*blk)-1]
+}
+
 // newGroupFor creates a fresh singleton group for point pi.
 func (st *sgbAllState) newGroupFor(pi int) *group {
 	p := st.points.At(pi)
-	g := &group{
-		id:      len(st.groups),
-		members: []int{pi},
-		epsRect: geom.EpsBox(p, st.opt.Eps),
-		mbr:     geom.PointRect(p),
-	}
+	g := st.allocGroup()
+	g.id = len(st.groups)
+	g.members = append(g.members, pi)
+	st.newRectRow(g, p)
 	g.hullDirty = true
 	st.groups = append(st.groups, g)
 	st.pointGroup[pi] = int32(g.id)
@@ -155,12 +242,11 @@ func (st *sgbAllState) removeMembers(g *group, victims map[int]bool) {
 	g.members = kept
 	if len(g.members) == 0 {
 		st.groups[g.id] = nil
+		st.poisonRectRow(g)
 		st.finder.groupRemoved(st, g)
 		return
 	}
-	first := st.points.At(g.members[0])
-	g.epsRect = geom.EpsBox(first, st.opt.Eps)
-	g.mbr = geom.PointRect(first)
+	st.initRectRow(g, st.points.At(g.members[0]))
 	for _, m := range g.members[1:] {
 		p := st.points.At(m)
 		g.epsRect.ShrinkToEpsBox(p, st.opt.Eps)

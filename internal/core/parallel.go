@@ -84,15 +84,15 @@ func sgbAnyParallel(ps *geom.PointSet, opt Options, uf *unionfind.UF, workers in
 // in sgbAnySet. It drives the same resumable anyIndex step as the
 // incremental evaluator, over the whole input at once.
 func sgbAnyLocal(ps *geom.PointSet, opt Options, uf *unionfind.UF) {
-	ix := newAnyIndex(ps.Dims(), opt)
+	ix := newAnyIndex(ps.Dims(), ps.Len(), opt)
 	for i := 0; i < ps.Len(); i++ {
 		ix.step(ps, i, opt, uf)
 	}
 }
 
 // boundaryEdges emits the within-ε pairs crossing one cut: left-band
-// points are indexed in an ε-grid (or scanned directly above
-// grid.MaxDims), right-band points probe it. Bands hold only the
+// points are indexed in an ε-grid (the hashed-key table supports any
+// dimensionality), right-band points probe it. Bands hold only the
 // points of the two cells touching the cut, so this is a sliver of the
 // input.
 func boundaryEdges(ps *geom.PointSet, opt Options, b partition.Boundary, stats *Stats) []unionfind.Edge {
@@ -101,27 +101,16 @@ func boundaryEdges(ps *geom.PointSet, opt Options, b partition.Boundary, stats *
 	}
 	metric, eps := opt.Metric, opt.Eps
 	var edges []unionfind.Edge
-	if ps.Dims() > grid.MaxDims {
-		for _, r := range b.Right {
-			for _, l := range b.Left {
-				stats.addDist(1)
-				if ps.Within(metric, int(r), int(l), eps) {
-					edges = append(edges, unionfind.Edge{A: r, B: l})
-				}
-			}
-		}
-		return edges
-	}
-	tab := grid.New(ps.Dims(), eps)
+	tab := grid.NewCap(ps.Dims(), eps, len(b.Left))
 	for _, l := range b.Left {
-		tab.Add(tab.CellOf(ps.At(int(l))), l)
+		tab.AddPoint(ps.At(int(l)), l)
 	}
+	var cur grid.Cursor
 	var buf []int32
 	for _, r := range b.Right {
 		p := ps.At(int(r))
 		stats.addProbe(1)
-		lo, hi := tab.RangeOfBox(p, eps)
-		buf = tab.Collect(lo, hi, buf[:0])
+		buf = tab.CollectBox(&cur, p, eps, buf[:0])
 		for _, l := range buf {
 			stats.addDist(1)
 			if metric.Within(p, ps.At(int(l)), eps) {

@@ -156,7 +156,7 @@ func TestAdjacencyBudget(t *testing.T) {
 	opt := Options{Metric: geom.L2, Eps: 1, Algorithm: GridIndex}
 	tab := grid.New(2, opt.Eps)
 	for i := 0; i < n; i++ {
-		tab.Add(tab.CellOf(dense.At(i)), int32(i))
+		tab.AddPoint(dense.At(i), int32(i))
 	}
 	if adjacencyFits(dense, opt, tab) {
 		t.Fatal("fully connected 10k-point adjacency (~100M edges) must exceed the budget")
@@ -178,7 +178,7 @@ func TestAdjacencyBudget(t *testing.T) {
 	}
 	tab2 := grid.New(2, opt.Eps)
 	for i := 0; i < n; i++ {
-		tab2.Add(tab2.CellOf(sparse.At(i)), int32(i))
+		tab2.AddPoint(sparse.At(i), int32(i))
 	}
 	if !adjacencyFits(sparse, opt, tab2) {
 		t.Fatal("sparse adjacency should fit the budget")
@@ -202,35 +202,33 @@ func TestValidateParallelism(t *testing.T) {
 }
 
 // TestParallelismAutoThreshold verifies the auto setting stays
-// sequential below the input-size threshold, for explicitly selected
-// comparison strategies, and above the grid's dimensionality cap —
-// and that explicit worker counts always engage.
+// sequential below the input-size threshold and for explicitly
+// selected comparison strategies — and that explicit worker counts
+// always engage. (There is no dimensionality cap anymore: the hashed
+// cell keys let auto parallelism engage at every d.)
 func TestParallelismAutoThreshold(t *testing.T) {
 	opt := Options{Metric: geom.L2, Eps: 1, Algorithm: GridIndex}
-	if w := opt.workers(parallelThreshold-1, 2); w != 1 {
+	if w := opt.workers(parallelThreshold - 1); w != 1 {
 		t.Fatalf("auto below threshold: got %d workers, want 1", w)
-	}
-	if w := opt.workers(1<<20, 5); w != 1 {
-		t.Fatalf("auto above grid dims: got %d workers, want 1", w)
 	}
 	for _, alg := range []Algorithm{AllPairs, BoundsCheck, OnTheFlyIndex} {
 		o := opt
 		o.Algorithm = alg
-		if w := o.workers(1<<20, 2); w != 1 {
+		if w := o.workers(1 << 20); w != 1 {
 			t.Fatalf("auto must not override explicit %v: got %d workers", alg, w)
 		}
 	}
 	opt.Parallelism = 2
-	if w := opt.workers(100, 2); w != 2 {
+	if w := opt.workers(100); w != 2 {
 		t.Fatalf("explicit parallelism on small input: got %d workers, want 2", w)
 	}
 	opt.Algorithm = AllPairs
-	if w := opt.workers(100, 2); w != 2 {
+	if w := opt.workers(100); w != 2 {
 		t.Fatalf("explicit parallelism must engage for any algorithm, got %d", w)
 	}
 	opt.Parallelism = 1
 	opt.Algorithm = GridIndex
-	if w := opt.workers(1<<20, 2); w != 1 {
+	if w := opt.workers(1 << 20); w != 1 {
 		t.Fatalf("Parallelism=1 must force sequential, got %d", w)
 	}
 }

@@ -13,9 +13,13 @@ import (
 // existing grouping without recomputing it. The one-shot entry points
 // (SGBAllSet / SGBAnySet) and the evaluators below share every
 // per-point step — processOne for SGB-All, anyIndex.step for SGB-Any —
-// so after absorbing the same point sequence both hold identical
-// state, and an incremental run over batches b1, b2, ... produces
-// exactly the grouping of a one-shot run over their concatenation.
+// so an incremental run over batches b1, b2, ... produces exactly the
+// grouping of a one-shot run over their concatenation. (For SGB-All
+// the retained state is bit-identical after the same point sequence;
+// for SGB-Any under the grid strategy the Morton preprocessing sorts
+// per batch rather than globally, so internal processing order may
+// differ from one-shot — harmless, as components are order-independent
+// and both sides report input-order ids in canonical order.)
 //
 // The companion work on order-independent SGB semantics (PAPERS.md:
 // "On Order-independent Semantics of the Similarity Group-By
@@ -123,13 +127,23 @@ func (st *sgbAllState) finalizeClone() *sgbAllState {
 		eliminated: append([]int(nil), st.eliminated...),
 		deferred:   append([]int(nil), st.deferred...),
 		pointGroup: append([]int32(nil), st.pointGroup...),
+		rects:      append([]float64(nil), st.rects...),
 	}
 	for i, g := range st.groups {
 		if g == nil {
 			continue
 		}
 		g2 := *g
+		// The grid registration range must not share backing with the
+		// retained group (the copy above is shallow; these were value
+		// arrays before the slice-keyed grid).
+		g2.gridLo = append([]int64(nil), g.gridLo...)
+		g2.gridHi = append([]int64(nil), g.gridHi...)
 		cl.groups[i] = &g2
+		// Rebind the copy's rectangle views into the clone's own rect
+		// store, so the recursion's appends cannot alias the retained
+		// rows.
+		cl.bindRectRow(cl.groups[i])
 	}
 	cl.finder = newFinder(cl)
 	return cl
@@ -166,11 +180,23 @@ func materializeAll(st *sgbAllState, copyOut bool) *Result {
 // is exactly the one-shot result over the concatenated input —
 // per-append cost is proportional to the batch's probe work, not the
 // retained set size.
+//
+// Under the grid strategy each appended batch is Morton (Z-order)
+// preprocessed like the one-shot path: the batch's points are absorbed
+// in Z-order of their ε-cells, and perm remembers each stored
+// position's original arrival index so Result reports input-order ids.
+// Reordering within a batch is sound for the same reason appending is:
+// components do not depend on arrival order.
 type AnyEvaluator struct {
 	opt    Options
 	points *geom.PointSet
 	uf     *unionfind.UF
 	ix     anyIndex
+
+	// perm maps stored position → original arrival index; nil while
+	// every batch has been absorbed in arrival order (then the mapping
+	// is the identity).
+	perm []int32
 }
 
 // NewAnyEvaluator returns an empty resumable SGB-Any evaluation over
@@ -189,7 +215,7 @@ func NewAnyEvaluator(dims int, opt Options) (*AnyEvaluator, error) {
 		opt:    opt,
 		points: geom.NewPointSet(dims),
 		uf:     &unionfind.UF{},
-		ix:     newAnyIndex(dims, opt),
+		ix:     newAnyIndex(dims, 0, opt),
 	}, nil
 }
 
@@ -208,7 +234,25 @@ func (e *AnyEvaluator) Append(ps *geom.PointSet) error {
 		return fmt.Errorf("core: appended points have dimension %d, want %d", ps.Dims(), e.points.Dims())
 	}
 	base := e.points.Len()
-	e.points.AppendSet(ps)
+	batch := ps
+	if bperm := mortonPermFor(ps, e.opt); bperm != nil {
+		batch = ps.Gather(bperm)
+		if e.perm == nil {
+			// First reordered batch: materialize the identity prefix.
+			e.perm = make([]int32, base, base+ps.Len())
+			for i := range e.perm {
+				e.perm[i] = int32(i)
+			}
+		}
+		for _, orig := range bperm {
+			e.perm = append(e.perm, int32(base)+orig)
+		}
+	} else if e.perm != nil {
+		for k := 0; k < ps.Len(); k++ {
+			e.perm = append(e.perm, int32(base+k))
+		}
+	}
+	e.points.AppendSet(batch)
 	for i := base; i < e.points.Len(); i++ {
 		e.uf.Add()
 		e.ix.step(e.points, i, e.opt, e.uf)
@@ -218,9 +262,10 @@ func (e *AnyEvaluator) Append(ps *geom.PointSet) error {
 
 // Result materializes the current connected components in the same
 // deterministic order as the one-shot operator (groups by smallest
-// member index, members ascending). The returned result owns its
-// slices; calling Result repeatedly or interleaving it with Append is
-// safe.
+// member index, members ascending, ids in original arrival order —
+// the Morton reordering of grid-strategy batches is invisible here).
+// The returned result owns its slices; calling Result repeatedly or
+// interleaving it with Append is safe.
 func (e *AnyEvaluator) Result() *Result {
-	return &Result{Groups: groupsFromUF(e.uf, e.points.Len())}
+	return &Result{Groups: groupsFromUFPerm(e.uf, e.points.Len(), e.perm)}
 }

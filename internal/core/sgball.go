@@ -2,7 +2,6 @@ package core
 
 import (
 	"github.com/sgb-db/sgb/internal/geom"
-	"github.com/sgb-db/sgb/internal/grid"
 )
 
 // SGBAll evaluates the SGB-All (DISTANCE-TO-ALL) operator over points:
@@ -55,7 +54,7 @@ func sgbAllSet(ps *geom.PointSet, opt Options) (*Result, error) {
 	// auto mode's adjacency memory budget says no) the strategy
 	// selected by opt.Algorithm probes incrementally.
 	st.finder = nil
-	if w := opt.workers(ps.Len(), ps.Dims()); w > 1 {
+	if w := opt.workers(ps.Len()); w > 1 {
 		if adj := buildAdjacency(ps, opt, w, opt.Overlap != FormNewGroup); adj != nil {
 			st.finder = newAdjFinder(adj)
 		}
@@ -196,12 +195,9 @@ func newFinder(st *sgbAllState) finder {
 	case OnTheFlyIndex:
 		return newIndexedFinder(st.dims)
 	case GridIndex:
-		if st.dims > grid.MaxDims {
-			// Cell keys are fixed-size arrays; beyond that the R-tree
-			// takes over. The grouping is identical either way.
-			return newIndexedFinder(st.dims)
-		}
-		return newGridFinder(st.dims, st.opt.Eps)
+		// Hashed cell keys support any dimensionality, so the grid is
+		// the strategy at every d — no R-tree fallback.
+		return newGridFinder(st.dims, st.opt.Eps, st.points.Len())
 	default:
 		panic("core: unknown algorithm")
 	}

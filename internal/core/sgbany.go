@@ -49,16 +49,45 @@ func sgbAnySet(ps *geom.PointSet, opt Options) (*Result, error) {
 		return res, nil
 	}
 
+	// Morton preprocessing: reorder the input along the Z-curve of its
+	// ε-cells so consecutive probes touch neighboring grid cells (the
+	// id slabs stay cache-resident). Sound for SGB-Any only — connected
+	// components are order-independent — and transparent to callers:
+	// output member ids are remapped back to input order. SGB-All never
+	// reorders; its arbitration semantics are input-order sensitive.
+	perm := mortonPermFor(ps, opt)
+	eval := ps
+	if perm != nil {
+		eval = ps.Gather(perm)
+	}
+
 	// Pipeline dispatch: with more than one worker the evaluation runs
 	// as partition → shard-local evaluate → Union-Find merge (see
 	// parallel.go); otherwise (or when the input spans too few ε-cells
 	// to cut) the whole input is one shard evaluated inline.
-	uf := unionfind.New(ps.Len())
-	if w := opt.workers(ps.Len(), ps.Dims()); w < 2 || !sgbAnyParallel(ps, opt, uf, w) {
-		sgbAnyLocal(ps, opt, uf)
+	uf := unionfind.New(eval.Len())
+	if w := opt.workers(eval.Len()); w < 2 || !sgbAnyParallel(eval, opt, uf, w) {
+		sgbAnyLocal(eval, opt, uf)
 	}
-	res.Groups = groupsFromUF(uf, ps.Len())
+	res.Groups = groupsFromUFPerm(uf, eval.Len(), perm)
 	return res, nil
+}
+
+// mortonMinPoints is the input size below which Morton preprocessing is
+// skipped: the sort + gather cannot pay for itself on a handful of
+// points.
+const mortonMinPoints = 32
+
+// mortonPermFor decides whether to Z-order an SGB-Any input and returns
+// the permutation (nil = evaluate in input order). Only the grid
+// strategy profits — its probe locality is exactly cell adjacency — so
+// the explicitly named comparison strategies keep their evaluation
+// shape.
+func mortonPermFor(ps *geom.PointSet, opt Options) []int32 {
+	if opt.Algorithm != GridIndex || ps.Len() < mortonMinPoints {
+		return nil
+	}
+	return geom.MortonPerm(ps, opt.Eps)
 }
 
 // ErrBoundsCheckAny rejects the one strategy × semantics combination
@@ -83,17 +112,16 @@ type anyIndex interface {
 
 // newAnyIndex instantiates the Points_IX strategy selected by the
 // options (BoundsCheck is rejected earlier; see errBoundsCheckAny).
-func newAnyIndex(dims int, opt Options) anyIndex {
+// sizeHint presizes the grid directory when the input size is known
+// up front (0 for incremental evaluators that grow from empty).
+func newAnyIndex(dims, sizeHint int, opt Options) anyIndex {
 	switch opt.Algorithm {
 	case AllPairs:
 		return anyAllPairs{}
 	case OnTheFlyIndex:
 		return &anyRTree{ix: rtree.New(dims)}
 	case GridIndex:
-		if dims > grid.MaxDims {
-			return &anyRTree{ix: rtree.New(dims)} // see newFinder: grid keys cap at MaxDims
-		}
-		return &anyGrid{tab: grid.New(dims, opt.Eps)}
+		return &anyGrid{tab: grid.NewCap(dims, opt.Eps, sizeHint)}
 	default:
 		panic("core: unknown SGB-Any algorithm")
 	}
@@ -165,9 +193,12 @@ func (a *anyRTree) step(ps *geom.PointSet, i int, opt Options, uf *unionfind.UF)
 // over-approximates the ε-ball under both metrics, so every hit is
 // verified by an exact distance test. Union-Find merging is
 // order-independent, so the resulting components are identical to the
-// other strategies.
+// other strategies — and, unlike the SGB-All finder, the probe needs no
+// sort or dedup: each point lives in exactly one cell, and merge order
+// cannot influence the components.
 type anyGrid struct {
 	tab *grid.Table
+	cur grid.Cursor
 	buf []int32
 }
 
@@ -175,8 +206,7 @@ func (a *anyGrid) step(ps *geom.PointSet, i int, opt Options, uf *unionfind.UF) 
 	metric, eps := opt.Metric, opt.Eps
 	p := ps.At(i)
 	opt.Stats.addProbe(1)
-	lo, hi := a.tab.RangeOfBox(p, eps)
-	a.buf = a.tab.Collect(lo, hi, a.buf[:0])
+	a.buf = a.tab.CollectBox(&a.cur, p, eps, a.buf[:0])
 	for _, j32 := range a.buf {
 		j := int(j32)
 		opt.Stats.addDist(1)
@@ -189,7 +219,7 @@ func (a *anyGrid) step(ps *geom.PointSet, i int, opt Options, uf *unionfind.UF) 
 		}
 	}
 	opt.Stats.addUpdate(1)
-	a.tab.Add(a.tab.CellOf(p), int32(i))
+	a.tab.AddPoint(p, int32(i))
 }
 
 // groupsFromUF extracts the final partition in deterministic order:
@@ -206,6 +236,35 @@ func groupsFromUF(uf *unionfind.UF, n int) []Group {
 			groups = append(groups, Group{})
 		}
 		groups[slot].Members = append(groups[slot].Members, i)
+	}
+	return groups
+}
+
+// groupsFromUFPerm is groupsFromUF over a Morton-permuted evaluation:
+// uf holds components over permuted positions (perm[pos] = original
+// input index), and the output must be indistinguishable from an
+// unpermuted run — groups ordered by smallest original member, members
+// ascending in original input order. Iterating original indices and
+// resolving each through the inverse permutation produces exactly that.
+func groupsFromUFPerm(uf *unionfind.UF, n int, perm []int32) []Group {
+	if perm == nil {
+		return groupsFromUF(uf, n)
+	}
+	inv := make([]int32, n)
+	for pos, orig := range perm {
+		inv[orig] = int32(pos)
+	}
+	firstSeen := make(map[int]int)
+	var groups []Group
+	for o := 0; o < n; o++ {
+		r := uf.Find(int(inv[o]))
+		slot, ok := firstSeen[r]
+		if !ok {
+			slot = len(groups)
+			firstSeen[r] = slot
+			groups = append(groups, Group{})
+		}
+		groups[slot].Members = append(groups[slot].Members, o)
 	}
 	return groups
 }

@@ -24,4 +24,11 @@
 //     under L2, which is why L2 strategies refine candidates exactly.
 //   - Distance kernels are dimension-specialized (d = 2/3 unrolled)
 //     and Within avoids the square root under L2.
+//
+// The package also provides Morton (Z-order) preprocessing
+// (MortonKey, MortonPerm): a deterministic permutation ordering a
+// PointSet by the interleaved bits of its cellSize-quantized
+// coordinates. The SGB-Any grid evaluation sorts its input through it
+// so consecutive cell-neighborhood probes stay cache-resident, and
+// remaps member ids back to input order on output.
 package geom

@@ -1,0 +1,175 @@
+package geom
+
+import "math"
+
+// Morton (Z-order) preprocessing: sorting a PointSet by the interleaved
+// bits of its ε-cell coordinates places points of neighboring cells
+// next to each other in memory, so a scan that probes each point's cell
+// neighborhood (the SGB-Any grid evaluation) touches the same directory
+// slots and id slabs again and again while they are cache-resident.
+// The permutation is pure preprocessing: consumers evaluate over the
+// permuted set and remap member ids back to input order on output.
+
+// mortonBits returns the bits of precision per dimension that fit one
+// 64-bit key.
+func mortonBits(d int) uint {
+	return uint(64 / d)
+}
+
+// MortonKey interleaves the low 64/d bits of each of the d cell
+// coordinates into a single Z-order key: bit b of coordinate i lands at
+// key position b*d + i. Coordinates are expected to be non-negative
+// (already normalized against their per-dimension minimum); higher bits
+// beyond the per-dimension budget are dropped, which can only alias
+// distant cells onto nearby keys — a sort-quality concern, never a
+// correctness one.
+func MortonKey(cells []int64) uint64 {
+	switch len(cells) {
+	case 1:
+		return uint64(cells[0])
+	case 2:
+		return spread2(uint64(cells[0])) | spread2(uint64(cells[1]))<<1
+	case 3:
+		return spread3(uint64(cells[0])) | spread3(uint64(cells[1]))<<1 | spread3(uint64(cells[2]))<<2
+	}
+	d := len(cells)
+	bits := mortonBits(d)
+	var key uint64
+	for i, c := range cells {
+		u := uint64(c) & (1<<bits - 1)
+		for b := uint(0); b < bits; b++ {
+			key |= (u >> b & 1) << (b*uint(d) + uint(i))
+		}
+	}
+	return key
+}
+
+// mortonDecode is the inverse of MortonKey for coordinates within the
+// per-dimension bit budget; the round-trip property tests pin the pair
+// against each other.
+func mortonDecode(key uint64, d int, cells []int64) {
+	bits := mortonBits(d)
+	for i := 0; i < d; i++ {
+		var u uint64
+		for b := uint(0); b < bits; b++ {
+			u |= (key >> (b*uint(d) + uint(i)) & 1) << b
+		}
+		cells[i] = int64(u)
+	}
+}
+
+// spread2 spaces the low 32 bits of x to the even bit positions.
+func spread2(x uint64) uint64 {
+	x &= 0xFFFFFFFF
+	x = (x | x<<16) & 0x0000FFFF0000FFFF
+	x = (x | x<<8) & 0x00FF00FF00FF00FF
+	x = (x | x<<4) & 0x0F0F0F0F0F0F0F0F
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & 0x5555555555555555
+	return x
+}
+
+// spread3 spaces the low 21 bits of x to every third bit position.
+func spread3(x uint64) uint64 {
+	x &= 0x1FFFFF
+	x = (x | x<<32) & 0x1F00000000FFFF
+	x = (x | x<<16) & 0x1F0000FF0000FF
+	x = (x | x<<8) & 0x100F00F00F00F00F
+	x = (x | x<<4) & 0x10C30C30C30C30C3
+	x = (x | x<<2) & 0x1249249249249249
+	return x
+}
+
+// MortonPerm returns the permutation that orders ps's points by the
+// Z-order key of their cellSize-quantized coordinates: perm[k] is the
+// input index of the k-th point in Morton order. Cell coordinates are
+// normalized against their per-dimension minimum before interleaving,
+// and key ties (shared or aliased cells) break by input index, so the
+// permutation is deterministic for a given input. It returns nil when
+// there is nothing to reorder — fewer than two points, or an input
+// that is already in Morton order.
+func MortonPerm(ps *PointSet, cellSize float64) []int32 {
+	n := ps.Len()
+	d := ps.Dims()
+	if n < 2 || !(cellSize > 0) {
+		return nil
+	}
+	inv := 1 / cellSize
+
+	// Per-dimension minimum cell: floor is monotone, so the minimum
+	// cell is the cell of the minimum coordinate.
+	mins := make([]int64, d)
+	for j := 0; j < d; j++ {
+		lo := math.Inf(1)
+		for i := 0; i < n; i++ {
+			if v := ps.At(i)[j]; v < lo {
+				lo = v
+			}
+		}
+		mins[j] = int64(math.Floor(lo * inv))
+	}
+
+	keys := make([]uint64, n)
+	cells := make([]int64, d)
+	for i := 0; i < n; i++ {
+		p := ps.At(i)
+		for j := 0; j < d; j++ {
+			cells[j] = int64(math.Floor(p[j]*inv)) - mins[j]
+		}
+		keys[i] = MortonKey(cells)
+	}
+
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sortPermByKey(perm, keys)
+	for i := range perm {
+		if perm[i] != int32(i) {
+			return perm
+		}
+	}
+	return nil // already in Morton order: save the caller a copy
+}
+
+// sortPermByKey sorts perm by (keys[perm[i]], perm[i]) — an LSD radix
+// sort over the key bytes plus a final stable property from the
+// index-seeded input, avoiding comparison-sort overhead on the O(n)
+// preprocessing path.
+func sortPermByKey(perm []int32, keys []uint64) {
+	n := len(perm)
+	tmp := make([]int32, n)
+	var counts [256]int
+	for shift := uint(0); shift < 64; shift += 8 {
+		// Skip passes whose byte is constant across all keys.
+		first := keys[perm[0]] >> shift & 0xFF
+		constant := true
+		for _, id := range perm {
+			if keys[id]>>shift&0xFF != first {
+				constant = false
+				break
+			}
+		}
+		if constant {
+			continue
+		}
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, id := range perm {
+			counts[keys[id]>>shift&0xFF]++
+		}
+		pos := 0
+		for i := range counts {
+			c := counts[i]
+			counts[i] = pos
+			pos += c
+		}
+		for _, id := range perm {
+			b := keys[id] >> shift & 0xFF
+			tmp[counts[b]] = id
+			counts[b]++
+		}
+		copy(perm, tmp)
+	}
+}

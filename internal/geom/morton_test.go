@@ -1,0 +1,188 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// cellIdxTest mirrors the quantization MortonPerm applies.
+func cellIdxTest(x, inv float64) int64 {
+	return int64(math.Floor(x * inv))
+}
+
+// TestMortonRoundTrip: encode → decode is the identity for coordinates
+// within the per-dimension bit budget, across dimensionalities
+// including the formerly unsupported d > 4 range.
+func TestMortonRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, d := range []int{1, 2, 3, 4, 5, 6, 8} {
+		bits := mortonBits(d)
+		limit := uint64(1) << bits
+		if bits >= 63 {
+			limit = 1 << 62
+		}
+		cells := make([]int64, d)
+		back := make([]int64, d)
+		for trial := 0; trial < 2000; trial++ {
+			for i := range cells {
+				cells[i] = int64(r.Uint64() % limit)
+			}
+			key := MortonKey(cells)
+			mortonDecode(key, d, back)
+			if !slices.Equal(cells, back) {
+				t.Fatalf("d=%d: decode(encode(%v)) = %v (key %x)", d, cells, back, key)
+			}
+			if again := MortonKey(back); again != key {
+				t.Fatalf("d=%d: re-encode %x != %x", d, again, key)
+			}
+		}
+	}
+}
+
+// TestMortonFastPathsMatchGeneric pins the d = 2/3 bit-spread fast
+// paths against the generic interleaving loop.
+func TestMortonFastPathsMatchGeneric(t *testing.T) {
+	generic := func(cells []int64) uint64 {
+		d := len(cells)
+		bits := mortonBits(d)
+		var key uint64
+		for i, c := range cells {
+			u := uint64(c) & (1<<bits - 1)
+			for b := uint(0); b < bits; b++ {
+				key |= (u >> b & 1) << (b*uint(d) + uint(i))
+			}
+		}
+		return key
+	}
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 5000; trial++ {
+		c2 := []int64{int64(r.Uint64() >> 32), int64(r.Uint64() >> 32)}
+		if got, want := MortonKey(c2), generic(c2); got != want {
+			t.Fatalf("d=2 %v: %x != %x", c2, got, want)
+		}
+		c3 := []int64{int64(r.Uint64() % (1 << 21)), int64(r.Uint64() % (1 << 21)), int64(r.Uint64() % (1 << 21))}
+		if got, want := MortonKey(c3), generic(c3); got != want {
+			t.Fatalf("d=3 %v: %x != %x", c3, got, want)
+		}
+	}
+}
+
+// TestMortonKeyLocality: within one quadrant-aligned block, every key
+// of the block precedes every key outside it along the same axis —
+// the prefix property of the Z-curve the layout optimization relies
+// on (spot-checked on power-of-two blocks).
+func TestMortonKeyLocality(t *testing.T) {
+	// All cells of the 2-D block [0,4)² must sort before any cell with
+	// a coordinate ≥ 4 whose other coordinate is < 4... in Z-order the
+	// [0,4)² block occupies one contiguous key range.
+	var blockMax, outsideMin uint64 = 0, ^uint64(0)
+	for x := int64(0); x < 8; x++ {
+		for y := int64(0); y < 8; y++ {
+			k := MortonKey([]int64{x, y})
+			if x < 4 && y < 4 {
+				if k > blockMax {
+					blockMax = k
+				}
+			} else if k < outsideMin {
+				outsideMin = k
+			}
+		}
+	}
+	if blockMax >= outsideMin {
+		t.Fatalf("Z-order block not contiguous: blockMax %d >= outsideMin %d", blockMax, outsideMin)
+	}
+}
+
+// TestMortonPerm: the returned slice is a permutation ordered by
+// (normalized key, input index), and an input already in Morton order
+// returns nil.
+func TestMortonPerm(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, d := range []int{1, 2, 3, 5, 8} {
+		for trial := 0; trial < 40; trial++ {
+			n := 2 + r.Intn(300)
+			ps := NewPointSetCap(d, n)
+			for i := 0; i < n; i++ {
+				p := ps.Extend()
+				for j := range p {
+					p[j] = r.Float64()*40 - 20
+				}
+			}
+			cellSize := 0.25 + r.Float64()
+			perm := MortonPerm(ps, cellSize)
+			if perm == nil {
+				continue // already ordered (possible on tiny inputs)
+			}
+			if len(perm) != n {
+				t.Fatalf("d=%d: perm length %d, want %d", d, len(perm), n)
+			}
+			seen := make([]bool, n)
+			for _, v := range perm {
+				if v < 0 || int(v) >= n || seen[v] {
+					t.Fatalf("d=%d: not a permutation: %v", d, perm)
+				}
+				seen[v] = true
+			}
+			keys := mortonKeysOf(ps, cellSize)
+			for k := 1; k < n; k++ {
+				a, b := perm[k-1], perm[k]
+				if keys[a] > keys[b] || (keys[a] == keys[b] && a > b) {
+					t.Fatalf("d=%d: perm not sorted by (key, index) at %d", d, k)
+				}
+			}
+			// Re-running on the gathered set must report "already
+			// ordered".
+			if again := MortonPerm(ps.Gather(perm), cellSize); again != nil {
+				t.Fatalf("d=%d: permuted set not recognized as ordered", d)
+			}
+		}
+	}
+}
+
+// mortonKeysOf recomputes the normalized Morton keys the same way
+// MortonPerm does, for verification.
+func mortonKeysOf(ps *PointSet, cellSize float64) []uint64 {
+	n, d := ps.Len(), ps.Dims()
+	inv := 1 / cellSize
+	mins := make([]int64, d)
+	for j := 0; j < d; j++ {
+		mins[j] = int64(1) << 62
+		for i := 0; i < n; i++ {
+			if c := cellIdxTest(ps.At(i)[j], inv); c < mins[j] {
+				mins[j] = c
+			}
+		}
+	}
+	keys := make([]uint64, n)
+	cells := make([]int64, d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			cells[j] = cellIdxTest(ps.At(i)[j], inv) - mins[j]
+		}
+		keys[i] = MortonKey(cells)
+	}
+	return keys
+}
+
+// FuzzMortonRoundTrip fuzzes the encode/decode pair at d = 2 and 3.
+func FuzzMortonRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0))
+	f.Add(uint64(1), uint64(2), uint64(3))
+	f.Add(^uint64(0), uint64(1)<<40, uint64(12345))
+	f.Fuzz(func(t *testing.T, a, b, c uint64) {
+		c2 := []int64{int64(a & 0xFFFFFFFF), int64(b & 0xFFFFFFFF)}
+		back2 := make([]int64, 2)
+		mortonDecode(MortonKey(c2), 2, back2)
+		if back2[0] != c2[0] || back2[1] != c2[1] {
+			t.Fatalf("d=2 round trip %v -> %v", c2, back2)
+		}
+		c3 := []int64{int64(a % (1 << 21)), int64(b % (1 << 21)), int64(c % (1 << 21))}
+		back3 := make([]int64, 3)
+		mortonDecode(MortonKey(c3), 3, back3)
+		if back3[0] != c3[0] || back3[1] != c3[1] || back3[2] != c3[2] {
+			t.Fatalf("d=3 round trip %v -> %v", c3, back3)
+		}
+	})
+}

@@ -4,27 +4,34 @@
 // operators use cellSize = ε); each occupied cell maps to the ids
 // registered in it. Everything within ε of a point then lies in the
 // 3^d cell neighborhood of its home cell, so a probe is a handful of
-// map lookups over contiguous id slices instead of an R-tree descent.
-// This is the structure behind the GridIndex strategy (internal/core),
-// the fastest on the paper's low-dimensional workloads (Section 8's
-// d ∈ {2, 3}).
+// directory lookups over contiguous id slabs instead of an R-tree
+// descent. This is the structure behind the GridIndex strategy
+// (internal/core), the fastest on the paper's workloads.
 //
-// The grid is deliberately minimal: int32 ids (the operators index
-// input positions and group ids, both bounded by the input size), cell
-// keys as fixed-size int64 coordinate arrays, and no concurrency.
-// Registration supports rectangles spanning several cells (SGB-All
-// registers each group's ε-All bounding rectangle, whose sides are at
-// most 2ε, in every cell it covers — at most 3^d cells).
+// Layout. The cell directory is a flat, open-addressed hash table:
+// cells are keyed by a 64-bit hash of their integer coordinates
+// (linear probing over a power-of-two capacity, hash cached per slot,
+// coordinates verified against a flat arena on probe), so any
+// dimensionality is supported — there is no fixed-size-key cap, and no
+// R-tree fallback above d = 4 anymore. Per-cell id lists live in
+// pooled 64-byte slabs (a chunked arena threaded through a freelist),
+// so Add/Remove/Collect are allocation-free in steady state. Deletion
+// is tombstone-free: a cell whose list empties merely turns dead and
+// is dropped in bulk when the load factor passing 3/4 triggers a
+// rebuild. The range walks (Collect, CollectBox, AddRange,
+// RemoveRange) are inlined per dimensionality — plain loop nests with
+// hoisted partial hashes for d = 1/2/3, an odometer for higher d — so
+// the hottest loops make no indirect calls.
 //
 // Invariants:
 //
 //   - Quantization is monotone (floor(x/cellSize)), so the cell range
 //     of a rectangle covers the home cell of every point inside it —
 //     probes may over-approximate but never miss.
-//   - MaxDims (4) bounds the dimensionality: cell keys are fixed-size
-//     arrays usable as Go map keys without hashing collisions or
-//     per-key allocation. Callers fall back to internal/rtree above.
-//   - Id order within a cell is not meaningful (Remove swap-deletes);
-//     consumers needing determinism sort collected ids, which the
-//     SGB-All grid finder exploits as its dedup key.
+//   - Id order within a cell is not meaningful (Remove back-fills the
+//     hole from the head slab); consumers that need determinism dedup
+//     and sort collected ids, as the SGB-All grid finder does.
+//   - Read-only probes (CollectBox) are safe from many goroutines at
+//     once when each brings its own Cursor; mutations are
+//     single-threaded.
 package grid

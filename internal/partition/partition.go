@@ -138,8 +138,8 @@ func Split(ps *geom.PointSet, eps float64, k int) *Plan {
 }
 
 // cellOf quantizes one coordinate to its ε-cell index (the same
-// floor(x/ε) arithmetic as internal/grid, inlined here so the package
-// supports any dimensionality, not just grid.MaxDims).
+// floor(x/ε) arithmetic as internal/grid, inlined to keep the package
+// free of index dependencies).
 func cellOf(x, inv float64) int64 {
 	return int64(math.Floor(x * inv))
 }

@@ -7,7 +7,6 @@ import (
 	"github.com/sgb-db/sgb/internal/core"
 	"github.com/sgb-db/sgb/internal/exec"
 	"github.com/sgb-db/sgb/internal/geom"
-	"github.com/sgb-db/sgb/internal/grid"
 	"github.com/sgb-db/sgb/internal/sqlparser"
 	"github.com/sgb-db/sgb/internal/storage"
 	"github.com/sgb-db/sgb/internal/types"
@@ -24,10 +23,9 @@ type Builder struct {
 	Catalog *storage.Catalog
 	// SGBAlgorithm selects the evaluation strategy for similarity
 	// group-by nodes. The planner default is GridIndex — the fastest
-	// strategy on the paper's low-dimensional workloads — with an
-	// automatic fall-back to the R-tree (OnTheFlyIndex) when the query
-	// groups by more than grid.MaxDims attributes. Benchmarks override
-	// it to compare All-Pairs and Bounds-Checking.
+	// strategy at every dimensionality now that cell keys are hashed —
+	// and benchmarks override it to compare All-Pairs, Bounds-Checking,
+	// and the R-tree.
 	SGBAlgorithm core.Algorithm
 	// SGBParallelism is the worker count of the similarity group-by
 	// pipeline: 0 (the planner default) lets the operator pick
@@ -438,12 +436,6 @@ func (b *Builder) planSimilarityGroupBy(sel *sqlparser.SelectStmt, in plannedInp
 		Parallelism: b.SGBParallelism,
 		Seed:        b.SGBSeed,
 		Stats:       b.SGBStats,
-	}
-	if opt.Algorithm == core.GridIndex && len(gb.Exprs) > grid.MaxDims {
-		// Grid cell keys are fixed-size arrays capped at grid.MaxDims
-		// dimensions; above that the planner selects the R-tree plan
-		// directly instead of relying on the operator-level fallback.
-		opt.Algorithm = core.OnTheFlyIndex
 	}
 	switch sim.Metric {
 	case sqlparser.MetricL2:

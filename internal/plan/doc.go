@@ -8,9 +8,9 @@
 //
 // Similarity-specific planning decisions made here:
 //
-//   - Strategy auto-selection: the engine default is the ε-grid
-//     (GridIndex); queries grouping by more than grid.MaxDims (4)
-//     attributes get the R-tree plan (OnTheFlyIndex) directly, and
+//   - Strategy selection: the engine default is the ε-grid
+//     (GridIndex), valid at any number of grouping attributes (cell
+//     keys are hashed — the old d > 4 R-tree fallback is gone);
 //     SGB-Any never receives Bounds-Checking (Section 7.1).
 //   - The WITHIN threshold must fold to a positive numeric constant at
 //     plan time.

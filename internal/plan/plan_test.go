@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/sgb-db/sgb/internal/core"
+	"github.com/sgb-db/sgb/internal/exec"
 	"github.com/sgb-db/sgb/internal/sqlparser"
 	"github.com/sgb-db/sgb/internal/storage"
 	"github.com/sgb-db/sgb/internal/types"
@@ -203,13 +204,14 @@ func TestBuilderAlgorithmOverride(t *testing.T) {
 	}
 }
 
-func TestBuilderDefaultsAndHighDimFallback(t *testing.T) {
+func TestBuilderDefaultsAndHighDim(t *testing.T) {
 	cat := testCatalog(t)
 	if b := NewBuilder(cat); b.SGBAlgorithm != core.GridIndex {
 		t.Fatalf("planner default algorithm = %v, want GridIndex", b.SGBAlgorithm)
 	}
-	// Five grouping attributes exceed the grid's dimensionality cap;
-	// the planner must fall back to the R-tree plan and still execute.
+	// Five grouping attributes: the hashed-cell grid handles any
+	// dimensionality, so the plan keeps the GridIndex strategy (the old
+	// d > 4 R-tree fallback is gone) and must still execute.
 	wide := storage.NewTable("p5", storage.Schema{
 		{Name: "a", Type: types.KindFloat},
 		{Name: "b", Type: types.KindFloat},
@@ -234,6 +236,13 @@ func TestBuilderDefaultsAndHighDimFallback(t *testing.T) {
 	cq, err := b.BuildSelect(sel)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if proj, ok := cq.Root.(*exec.Project); ok {
+		if sgbNode, ok := proj.Input.(*exec.SGB); !ok || sgbNode.Opt.Algorithm != core.GridIndex {
+			t.Fatalf("5-d plan did not keep the GridIndex strategy")
+		}
+	} else {
+		t.Fatalf("unexpected plan root %T", cq.Root)
 	}
 	rows, err := Execute(cq)
 	if err != nil {

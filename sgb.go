@@ -94,10 +94,11 @@ const (
 	// SGB-Any) in an R-tree. The default strategy.
 	OnTheFlyIndex = core.OnTheFlyIndex
 	// GridIndex probes a uniform hash grid with ε-sized cells instead
-	// of an R-tree — the fastest strategy for low-dimensional data
-	// (d ≤ 4; higher dimensionalities transparently fall back to the
-	// R-tree). Results are identical to every other strategy for equal
-	// seeds.
+	// of an R-tree — the fastest strategy at every dimensionality (cell
+	// keys are hashed, so there is no d cap). SGB-Any inputs are
+	// additionally Morton (Z-order) preordered for probe locality;
+	// output ids always refer to the input order. Results are identical
+	// to every other strategy for equal seeds.
 	GridIndex = core.GridIndex
 )
 

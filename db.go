@@ -33,11 +33,15 @@ type DB struct {
 	// incrCache holds cached incremental grouping state for the SET
 	// incremental maintenance path: a similarity group-by over a bare
 	// table scan appends only the rows inserted since the previous
-	// query instead of regrouping from scratch. Entries are keyed by
-	// lower-cased table name plus a fingerprint of the query's
-	// resolved grouping configuration, so distinct similarity queries
-	// over one table maintain independent states instead of evicting
-	// each other. Entries are dropped with their table.
+	// query instead of regrouping from scratch, and DELETE feeds the
+	// deleted row ids to the cached evaluators' decremental Remove.
+	// Entries are keyed by lower-cased table name plus a fingerprint of
+	// the query's resolved grouping configuration, so distinct
+	// similarity queries over one table maintain independent states
+	// instead of evicting each other; each entry is additionally
+	// stamped with the storage generation it is synchronized with, so
+	// any mutation the cache did not track invalidates it. Entries are
+	// dropped with their table.
 	incrCache map[incrKey]*incrEntry
 }
 
@@ -47,11 +51,21 @@ type incrKey struct {
 	fingerprint string // semantics, options, and grouping exprs
 }
 
-// incrEntry is one cached incremental grouping state.
+// incrEntry is one cached incremental grouping state. Its invariant:
+// the entry's evaluator holds exactly the table's rows [0, consumed)
+// in order, and gen records the table generation at which that was
+// last known true. Every mutation path keeps the pair current — INSERT
+// refreshes gen (appends preserve the prefix), DELETE feeds the
+// evaluator's Remove and refreshes gen — so a generation mismatch at
+// query time means the table mutated behind the cache's back and the
+// entry must be rebuilt. Keying on the generation (not the row count)
+// is what makes a delete followed by inserts restoring the old length
+// detectable.
 type incrEntry struct {
 	table    *storage.Table // identity guard against DROP + re-CREATE
 	inc      *incr.Incremental
-	consumed int // how many of the table's rows the state has absorbed
+	consumed int   // how many of the table's rows the state has absorbed
+	gen      int64 // table generation the entry is synchronized with
 }
 
 // Open creates an empty database. The session defaults to the ε-grid
@@ -135,6 +149,9 @@ func (db *DB) Exec(sql string) (int, error) {
 	case *sqlparser.InsertStmt:
 		return db.execInsert(s)
 
+	case *sqlparser.DeleteStmt:
+		return db.execDelete(s)
+
 	case *sqlparser.SetStmt:
 		return 0, db.execSet(s)
 
@@ -170,6 +187,7 @@ func (db *DB) execInsert(s *sqlparser.InsertStmt) (int, error) {
 			colIdx = append(colIdx, idx)
 		}
 	}
+	preGen := t.Generation()
 	n := 0
 	for _, exprRow := range s.Rows {
 		if len(exprRow) != len(colIdx) {
@@ -187,11 +205,106 @@ func (db *DB) execInsert(s *sqlparser.InsertStmt) (int, error) {
 			row[colIdx[i]] = v
 		}
 		if err := t.Insert(row); err != nil {
+			db.refreshAppendGen(t, preGen)
 			return n, err
 		}
 		n++
 	}
+	db.refreshAppendGen(t, preGen)
 	return n, nil
+}
+
+// refreshAppendGen re-synchronizes the table's cached grouping entries
+// after an append-only mutation: appends preserve the prefix rows the
+// evaluators hold, so an entry that was in sync before the inserts
+// stays valid — only its generation stamp moves forward (the new
+// suffix is consumed lazily at the next query). Entries that were
+// already out of sync keep their stale stamp and rebuild at query
+// time.
+func (db *DB) refreshAppendGen(t *storage.Table, preGen int64) {
+	for _, e := range db.incrCache {
+		if e.table == t && e.gen == preGen {
+			e.gen = t.Generation()
+		}
+	}
+}
+
+// execDelete runs DELETE FROM t [WHERE ...]: it resolves the doomed
+// row set by evaluating the predicate against every row, compacts the
+// table, and then maintains the table's cached incremental grouping
+// states — entries that were in sync receive the deleted row ids
+// through the evaluator's decremental Remove (row ids and grouping
+// live ids coincide by the entry invariant), entries that were not are
+// dropped and rebuild on their next query.
+func (db *DB) execDelete(s *sqlparser.DeleteStmt) (int, error) {
+	t, err := db.cat.Lookup(s.Table)
+	if err != nil {
+		return 0, err
+	}
+	var pred exec.Scalar
+	if s.Where != nil {
+		// The predicate's builder carries the session's similarity
+		// settings, so a subquery inside DELETE ... WHERE resolves its
+		// doomed rows exactly as the identical SELECT would in this
+		// session (same strategy, same JOIN-ANY seed).
+		b := plan.NewBuilder(db.cat)
+		b.SGBAlgorithm = db.session.Algorithm
+		b.SGBParallelism = db.session.Parallelism
+		b.SGBSeed = db.session.Seed
+		b.SGBStats = db.session.Stats
+		pred, err = b.CompileTableExpr(t, s.Where)
+		if err != nil {
+			return 0, err
+		}
+	}
+	var doomed []int
+	for i, row := range t.Rows {
+		if pred != nil {
+			v, err := pred(row)
+			if err != nil {
+				return 0, err
+			}
+			if !v.Truthy() {
+				continue
+			}
+		}
+		doomed = append(doomed, i)
+	}
+	if len(doomed) == 0 {
+		return 0, nil
+	}
+	preGen := t.Generation()
+	if err := t.DeleteRows(doomed); err != nil {
+		return 0, err
+	}
+	for key, e := range db.incrCache {
+		if e.table != t {
+			continue
+		}
+		if e.gen != preGen {
+			// The entry missed an earlier mutation; it would rebuild at
+			// query time anyway, and feeding it deletions now could only
+			// corrupt it further.
+			delete(db.incrCache, key)
+			continue
+		}
+		// Row ids below consumed are exactly the evaluator's live ids;
+		// rows at or beyond consumed were never absorbed and simply
+		// vanish before they ever would be.
+		fed := doomed[:0:0]
+		for _, i := range doomed {
+			if i < e.consumed {
+				fed = append(fed, i)
+			}
+		}
+		if err := e.inc.Remove(fed); err != nil {
+			delete(db.incrCache, key)
+			continue
+		}
+		e.consumed -= len(fed)
+		e.gen = t.Generation()
+	}
+	return len(doomed), nil
 }
 
 // evalConstExpr evaluates a row-independent expression (literals,
@@ -319,7 +432,14 @@ func (db *DB) sgbIncrGroupFunc(table, exprKey string, anySem bool, opt core.Opti
 			return nil, err
 		}
 		e := db.incrCache[key]
-		if e == nil || e.table != t || e.consumed > points.Len() {
+		// The generation check is the staleness guard: an entry whose
+		// stamp does not match the table's current generation missed a
+		// mutation (a delete through a path the cache could not track, a
+		// direct storage append, ...). A row-count check alone is not
+		// enough — a delete followed by inserts restoring the old count
+		// would slip past it and serve groups over rows that no longer
+		// exist.
+		if e == nil || e.table != t || e.gen != t.Generation() || e.consumed > points.Len() {
 			sem := incr.All
 			if anySem {
 				sem = incr.Any
@@ -328,7 +448,7 @@ func (db *DB) sgbIncrGroupFunc(table, exprKey string, anySem bool, opt core.Opti
 			if err != nil {
 				return nil, err
 			}
-			e = &incrEntry{table: t, inc: inc}
+			e = &incrEntry{table: t, inc: inc, gen: t.Generation()}
 			db.incrCache[key] = e
 		}
 		if points.Len() > e.consumed {

@@ -1,0 +1,215 @@
+package sgb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/sgb-db/sgb/internal/types"
+)
+
+// TestSQLDelete covers the DELETE statement surface: predicate and
+// bare forms, affected-row counts, and the error paths.
+func TestSQLDelete(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE pts (id INT, x FLOAT)")
+	for i := 0; i < 10; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO pts VALUES (%d, %d.5)", i, i))
+	}
+	n, err := db.Exec("DELETE FROM pts WHERE id >= 6")
+	if err != nil || n != 4 {
+		t.Fatalf("DELETE WHERE = %d, %v; want 4", n, err)
+	}
+	rows := mustQuery(t, db, "SELECT id FROM pts ORDER BY id")
+	if rows.Len() != 6 || rows.Data[5][0].I != 5 {
+		t.Fatalf("surviving rows = %v", rows.Data)
+	}
+	// Deleting nothing affects nothing.
+	n, err = db.Exec("DELETE FROM pts WHERE id > 100")
+	if err != nil || n != 0 {
+		t.Fatalf("no-match DELETE = %d, %v; want 0", n, err)
+	}
+	// Subquery predicates work (the builder plans them as usual).
+	mustExec(t, db, "CREATE TABLE doomed (id INT)")
+	mustExec(t, db, "INSERT INTO doomed VALUES (1), (3)")
+	n, err = db.Exec("DELETE FROM pts WHERE id IN (SELECT id FROM doomed)")
+	if err != nil || n != 2 {
+		t.Fatalf("subquery DELETE = %d, %v; want 2", n, err)
+	}
+	// Bare DELETE empties the table.
+	n, err = db.Exec("DELETE FROM pts")
+	if err != nil || n != 4 {
+		t.Fatalf("bare DELETE = %d, %v; want 4", n, err)
+	}
+	if cnt, _ := db.TableLen("pts"); cnt != 0 {
+		t.Fatalf("rows after bare DELETE = %d", cnt)
+	}
+	if _, err := db.Exec("DELETE FROM nosuch"); err == nil {
+		t.Fatal("want error for unknown table")
+	}
+	if _, err := db.Exec("DELETE FROM pts WHERE nosuch = 1"); err == nil {
+		t.Fatal("want error for unknown column in predicate")
+	}
+	if _, err := db.Exec("DELETE pts"); err == nil {
+		t.Fatal("want parse error for DELETE without FROM")
+	}
+}
+
+// TestSQLIncrementalDeleteReinsert is the headline staleness
+// regression: with SET incremental = on, a DELETE followed by INSERTs
+// restoring the old row count must not serve groups computed over the
+// deleted rows. The pre-fix cache only invalidated when the consumed
+// count exceeded the input length or the table pointer changed — this
+// sequence keeps both stable and therefore served stale groups.
+func TestSQLIncrementalDeleteReinsert(t *testing.T) {
+	queries := []string{
+		`SELECT count(*) FROM sensors GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1`,
+		`SELECT count(*) FROM sensors GROUP BY x, y DISTANCE-TO-ALL L2 WITHIN 1 ON-OVERLAP ELIMINATE`,
+	}
+	for qi, sql := range queries {
+		t.Run(fmt.Sprintf("q%d", qi), func(t *testing.T) {
+			incDB, refDB := Open(), Open()
+			for _, db := range []*DB{incDB, refDB} {
+				mustExec(t, db, "CREATE TABLE sensors (id INT, x FLOAT, y FLOAT)")
+				mustExec(t, db, "SET seed = 5")
+			}
+			mustExec(t, incDB, "SET incremental = on")
+			rng := rand.New(rand.NewSource(int64(qi) + 17))
+			insertRandomRows(t, rng, 80, incDB, refDB)
+			queryBoth(t, incDB, refDB, sql) // prime the cache
+
+			// Shrink, then restore the exact row count with new rows.
+			for _, db := range []*DB{incDB, refDB} {
+				mustExec(t, db, "DELETE FROM sensors WHERE id < 20")
+			}
+			insertRandomRows(t, rng, 20, incDB, refDB)
+			queryBoth(t, incDB, refDB, sql)
+
+			// And keep maintaining through further traffic.
+			for _, db := range []*DB{incDB, refDB} {
+				mustExec(t, db, "DELETE FROM sensors WHERE x < 3")
+			}
+			insertRandomRows(t, rng, 30, incDB, refDB)
+			queryBoth(t, incDB, refDB, sql)
+		})
+	}
+}
+
+// TestSQLIncrementalGenerationGuard pins the generation counter
+// itself: a mutation through a path the cache cannot track (direct
+// storage access, as the data generators use) that restores the old
+// row count must still invalidate the cached state. Against the
+// pre-fix check (table pointer + consumed ≤ length) this test fails —
+// the swap below keeps both invariant while changing the rows.
+func TestSQLIncrementalGenerationGuard(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE sensors (id INT, x FLOAT, y FLOAT)")
+	mustExec(t, db, "SET incremental = on")
+	for i := 0; i < 8; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO sensors VALUES (%d, %d.0, 0.0)", i, 10*i))
+	}
+	sql := `SELECT count(*) FROM sensors GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1`
+	if got := sortedCounts(mustQuery(t, db, sql)); !reflect.DeepEqual(got, []int64{1, 1, 1, 1, 1, 1, 1, 1}) {
+		t.Fatalf("priming query = %v", got)
+	}
+
+	// Behind the engine's back: drop the last row, append a twin of row
+	// 0. Same table pointer, same row count — only the generation moved.
+	tab, err := db.Catalog().Lookup("sensors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.DeleteRows([]int{7}); err != nil {
+		t.Fatal(err)
+	}
+	tab.MustInsert(types.Row{types.Int(99), types.Float(0.5), types.Float(0)})
+
+	// Rows 0 and the twin now form one ε-cluster of two; the stale
+	// cache would still report eight singletons.
+	want := []int64{1, 1, 1, 1, 1, 1, 2}
+	if got := sortedCounts(mustQuery(t, db, sql)); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-mutation query served stale groups: got %v, want %v", got, want)
+	}
+}
+
+// TestSQLDeleteMaintenance drives randomized INSERT → DELETE → query
+// loops with SET incremental = on against a twin database that
+// regroups from scratch, across both operators and all ON-OVERLAP
+// semantics — the decremental mirror of the INSERT maintenance suite.
+func TestSQLDeleteMaintenance(t *testing.T) {
+	queries := []string{
+		`SELECT count(*) FROM sensors GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1`,
+		`SELECT count(*) FROM sensors GROUP BY x, y DISTANCE-TO-ALL LINF WITHIN 1 ON-OVERLAP JOIN-ANY`,
+		`SELECT count(*) FROM sensors GROUP BY x, y DISTANCE-TO-ALL L2 WITHIN 1 ON-OVERLAP ELIMINATE`,
+		`SELECT count(*) FROM sensors GROUP BY x, y DISTANCE-TO-ALL L2 WITHIN 1 ON-OVERLAP FORM-NEW-GROUP`,
+	}
+	deletes := []string{
+		"DELETE FROM sensors WHERE id %% 7 = %d",
+		"DELETE FROM sensors WHERE x < %d.0",
+		"DELETE FROM sensors WHERE id BETWEEN %d AND 200",
+	}
+	for qi, sql := range queries {
+		t.Run(fmt.Sprintf("q%d", qi), func(t *testing.T) {
+			incDB, refDB := Open(), Open()
+			for _, db := range []*DB{incDB, refDB} {
+				mustExec(t, db, "CREATE TABLE sensors (id INT, x FLOAT, y FLOAT)")
+				mustExec(t, db, "SET seed = 21")
+			}
+			mustExec(t, incDB, "SET incremental = on")
+			rng := rand.New(rand.NewSource(int64(qi) + 31))
+			for round := 0; round < 6; round++ {
+				insertRandomRows(t, rng, 40, incDB, refDB)
+				queryBoth(t, incDB, refDB, sql)
+				del := fmt.Sprintf(deletes[round%len(deletes)], 1+rng.Intn(3))
+				var deleted []int
+				for _, db := range []*DB{incDB, refDB} {
+					n, err := db.Exec(del)
+					if err != nil {
+						t.Fatalf("round %d: %q: %v", round, del, err)
+					}
+					deleted = append(deleted, n)
+				}
+				if deleted[0] != deleted[1] {
+					t.Fatalf("round %d: %q deleted %d vs %d rows", round, del, deleted[0], deleted[1])
+				}
+				queryBoth(t, incDB, refDB, sql)
+			}
+			// A full sweep drains the table; maintenance must survive it.
+			for _, db := range []*DB{incDB, refDB} {
+				mustExec(t, db, "DELETE FROM sensors")
+			}
+			insertRandomRows(t, rng, 30, incDB, refDB)
+			queryBoth(t, incDB, refDB, sql)
+		})
+	}
+}
+
+// TestSQLInsertRejectsNonFinite pins the SQL-surface half of the
+// non-finite guard: a NaN/±Inf float can reach INSERT through CSV
+// round-trips or expression edge cases, and storage refuses it with a
+// clear error instead of letting it poison grid cell computation.
+func TestSQLInsertRejectsNonFinite(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE pts (x FLOAT, y FLOAT)")
+	tab, err := db.Catalog().Lookup("pts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		err := tab.Insert(types.Row{types.Float(bad), types.Float(0)})
+		if err == nil || !strings.Contains(err.Error(), "non-finite") {
+			t.Fatalf("Insert(%v) = %v, want non-finite rejection", bad, err)
+		}
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("rejected inserts left %d rows", tab.Len())
+	}
+	// The CSV loader flows through the same guard.
+	csv := "x:FLOAT,y:FLOAT\n1.5,2.5\nNaN,0\n"
+	if err := db.LoadCSV("bad", strings.NewReader(csv)); err == nil || !strings.Contains(err.Error(), "non-finite") {
+		t.Fatalf("LoadCSV with NaN = %v, want non-finite rejection", err)
+	}
+}

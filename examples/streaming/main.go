@@ -1,11 +1,13 @@
-// Streaming: incremental similarity grouping over appended batches.
-// A fleet of field sensors reports positions in rounds; each round is
-// appended to a live SGB-Any grouping (connected components under
-// ε-proximity), so cluster evolution — growth, merging, newcomers —
-// is visible after every batch without ever regrouping from scratch.
-// The same rounds are then replayed through the SQL engine's
-// INSERT-maintenance path (SET incremental = on) to show the two
-// surfaces agree.
+// Streaming: incremental similarity grouping over appended batches
+// and a sliding eviction window. A fleet of field sensors reports
+// positions in rounds; each round is appended to a live SGB-Any
+// grouping (connected components under ε-proximity), so cluster
+// evolution — growth, merging, newcomers — is visible after every
+// batch without ever regrouping from scratch. A windowed replay then
+// expires old rounds as new ones arrive (decremental maintenance:
+// evicting the bridge splits the merged camp again), and the same
+// traffic runs through the SQL engine's INSERT/DELETE maintenance
+// path (SET incremental = on) to show the surfaces agree.
 package main
 
 import (
@@ -71,18 +73,50 @@ func run(w io.Writer) error {
 			len(r.pts), r.label, res.NumGroups(), res.Sizes())
 	}
 
-	// --- SQL API: INSERT batches maintained incrementally ------------
+	// --- Sliding window: expire rounds as new ones arrive ------------
+	// Only the last two rounds stay live. When the bridge round will
+	// eventually scroll out, merged components split again — deletion
+	// is exact, so the grouping always matches a from-scratch run over
+	// the surviving points.
+	win, err := sgb.NewIncrementalAny(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nSliding window (last 2 rounds live):")
+	all := rounds()
+	for ri, r := range all {
+		if err := win.Append(r.pts); err != nil {
+			return err
+		}
+		// Evict everything older than the previous round (an
+		// oldest-first prefix): the live set is the last two batches.
+		keep := len(all[ri].pts)
+		if ri > 0 {
+			keep += len(all[ri-1].pts)
+		}
+		if _, err := win.Window(keep); err != nil {
+			return err
+		}
+		res, err := win.Result()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  window @%-22s → %d group(s), sizes %v (%d live)\n",
+			r.label, res.NumGroups(), res.Sizes(), win.Len())
+	}
+
+	// --- SQL API: INSERT/DELETE maintained incrementally -------------
 	db := sgb.Open()
-	if _, err := db.Exec("CREATE TABLE sensors (x FLOAT, y FLOAT)"); err != nil {
+	if _, err := db.Exec("CREATE TABLE sensors (round INT, x FLOAT, y FLOAT)"); err != nil {
 		return err
 	}
 	if _, err := db.Exec("SET incremental = on"); err != nil {
 		return err
 	}
 	fmt.Fprintln(w, "\nSame stream through SQL (SET incremental = on):")
-	for _, r := range rounds() {
+	for ri, r := range rounds() {
 		for _, p := range r.pts {
-			stmt := fmt.Sprintf("INSERT INTO sensors VALUES (%f, %f)", p[0], p[1])
+			stmt := fmt.Sprintf("INSERT INTO sensors VALUES (%d, %f, %f)", ri, p[0], p[1])
 			if _, err := db.Exec(stmt); err != nil {
 				return err
 			}
@@ -99,5 +133,22 @@ func run(w io.Writer) error {
 		fmt.Fprintf(w, "  after %-22s → %d group(s), sizes %v\n",
 			r.label, rows.Len(), sizes)
 	}
+	// The SQL window: DELETE expires the two oldest rounds; the cached
+	// grouping state absorbs the deletion decrementally and the next
+	// query reports the split — without regrouping from scratch.
+	if _, err := db.Exec("DELETE FROM sensors WHERE round < 2"); err != nil {
+		return err
+	}
+	rows, err := db.Query(`SELECT count(*) FROM sensors
+		GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 2`)
+	if err != nil {
+		return err
+	}
+	sizes := make([]int64, rows.Len())
+	for i, row := range rows.Data {
+		sizes[i] = row[0].I
+	}
+	fmt.Fprintf(w, "  after DELETE round < 2     → %d group(s), sizes %v\n",
+		rows.Len(), sizes)
 	return nil
 }

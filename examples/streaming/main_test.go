@@ -8,8 +8,10 @@ import (
 
 // TestRun exercises the streaming example end to end and pins the
 // group evolution it narrates: camps stay separate, scouts appear as
-// their own component, the bridge merges everything — and the
-// operator-API and SQL-INSERT paths report the same final state.
+// their own component, the bridge merges everything; the sliding
+// window expires old rounds (splitting what the full stream merged);
+// and the operator-API and SQL paths report the same states —
+// including the SQL DELETE agreeing with the operator window.
 func TestRun(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(&buf); err != nil {
@@ -20,18 +22,22 @@ func TestRun(t *testing.T) {
 		"two camps deploy      ) → 2 group(s), sizes [8 8]",
 		"scouts in the gap     ) → 3 group(s)",
 		"bridge links the camps) → 1 group(s), sizes [28]",
+		"window @scouts in the gap      → 2 group(s), sizes [6 2] (8 live)",
+		"window @bridge links the camps → 1 group(s), sizes [6] (6 live)",
 		"after bridge links the camps → 1 group(s), sizes [28]",
+		"after DELETE round < 2     → 1 group(s), sizes [6]",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
 	}
-	// The two surfaces must narrate identical evolutions: compare the
-	// "→ ..." tails of the operator-API block and the SQL block.
+	// The append-only surfaces must narrate identical evolutions:
+	// compare the "→ ..." tails of the operator-API block and the SQL
+	// block (window lines and the SQL DELETE line are their own story).
 	var opTails, sqlTails []string
 	for _, line := range strings.Split(out, "\n") {
 		_, tail, ok := strings.Cut(line, "→")
-		if !ok {
+		if !ok || strings.Contains(line, "window @") || strings.Contains(line, "DELETE") {
 			continue
 		}
 		if strings.Contains(line, "after") {
@@ -47,5 +53,10 @@ func TestRun(t *testing.T) {
 		if opTails[i] != sqlTails[i] {
 			t.Errorf("round %d: operator API says %q, SQL says %q", i, opTails[i], sqlTails[i])
 		}
+	}
+	// The SQL DELETE must agree with the operator window at the same
+	// live set (rounds 2–3): one component of six.
+	if !strings.Contains(out, "after DELETE round < 2     → 1 group(s), sizes [6]") {
+		t.Errorf("SQL DELETE result diverges from the operator window:\n%s", out)
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"math/rand"
 	"runtime"
 	"time"
 
@@ -119,9 +121,108 @@ func WriteBaseline(w io.Writer, cfg Config) error {
 	}
 	b.Entries = append(b.Entries, BaselineEntry{Family: "incremental", Series: "Any/Oneshot", N: base, Eps: eps, Millis: millis(d), Groups: g})
 
+	// Family "window": one steady-state sliding-window tick (append a
+	// 256-point batch, evict oldest-first back to the window size, read
+	// the grouping) versus regrouping the window from scratch — the
+	// decremental SGB-Any maintenance path over a cluster-structured
+	// workload.
+	wsize := cfg.scaled(8000)
+	d, g, err = bestOf3(func() (time.Duration, int, error) { return timeWindowTick(wsize, eps, cfg.Seed+9, true) })
+	if err != nil {
+		return err
+	}
+	b.Entries = append(b.Entries, BaselineEntry{Family: "window", Series: "Any/Maintained", N: wsize, Eps: eps, Millis: millis(d), Groups: g})
+	d, g, err = bestOf3(func() (time.Duration, int, error) { return timeWindowTick(wsize, eps, cfg.Seed+9, false) })
+	if err != nil {
+		return err
+	}
+	b.Entries = append(b.Entries, BaselineEntry{Family: "window", Series: "Any/Oneshot", N: wsize, Eps: eps, Millis: millis(d), Groups: g})
+
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(b)
+}
+
+// ClusterPoints draws n points in 16-point clusters of ~1.2 extent
+// around random centers on a span × span domain — the spatially
+// localized workload (MANET traces, geosocial check-ins) the sliding
+// window targets. Both BenchmarkWindow and the "window" baseline
+// family draw from this one generator so they measure the same
+// workload; keep the span subcritical relative to ε (cluster-graph
+// degree well under 1) for components to stay bounded.
+func ClusterPoints(n int, span float64, seed int64) *geom.PointSet {
+	r := rand.New(rand.NewSource(seed))
+	ps := geom.NewPointSet(2)
+	for j := 0; j < n; {
+		cx, cy := r.Float64()*span, r.Float64()*span
+		for k := 0; k < 16 && j < n; k++ {
+			p := ps.Extend()
+			p[0], p[1] = cx+r.Float64()*1.2, cy+r.Float64()*1.2
+			j++
+		}
+	}
+	return ps
+}
+
+// clusterSpan is the subcritical domain side for an n-point
+// ClusterPoints workload at ε = 0.5.
+func clusterSpan(n int) float64 { return 2.5 * math.Sqrt(float64(n)) }
+
+// timeWindowTick measures one steady-state window tick at the given
+// live size: maintained (incremental append + decremental eviction +
+// Result) or one-shot (regroup the slid window from scratch). Handle
+// construction and warm-up ticks are excluded from timing.
+func timeWindowTick(window int, eps float64, seed int64, maintained bool) (time.Duration, int, error) {
+	const batch = 256
+	opt := core.Options{Metric: geom.L2, Eps: eps, Algorithm: core.GridIndex, Seed: 1, Parallelism: 1}
+	batches := make([]*geom.PointSet, 4)
+	for i := range batches {
+		batches[i] = ClusterPoints(batch, clusterSpan(window), seed+int64(i)+1)
+	}
+	if maintained {
+		ev, err := core.NewAnyEvaluator(2, opt)
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := ev.Append(ClusterPoints(window, clusterSpan(window), seed)); err != nil {
+			return 0, 0, err
+		}
+		evict := func() error {
+			over := ev.Len() - window
+			ids := make([]int, over)
+			for i := range ids {
+				ids[i] = i
+			}
+			return ev.Remove(ids)
+		}
+		// Warm-up tick so the measured one runs against churned state.
+		if err := ev.Append(batches[0]); err != nil {
+			return 0, 0, err
+		}
+		if err := evict(); err != nil {
+			return 0, 0, err
+		}
+		start := time.Now()
+		if err := ev.Append(batches[1]); err != nil {
+			return 0, 0, err
+		}
+		if err := evict(); err != nil {
+			return 0, 0, err
+		}
+		groups := len(ev.Result().Groups)
+		return time.Since(start), groups, nil
+	}
+	win := ClusterPoints(window, clusterSpan(window), seed)
+	win.AppendSet(batches[0])
+	win = win.Slice(batch, win.Len())
+	start := time.Now()
+	win.AppendSet(batches[1])
+	win = win.Slice(batch, win.Len())
+	res, err := core.SGBAnySet(win, opt)
+	if err != nil {
+		return 0, 0, err
+	}
+	return time.Since(start), len(res.Groups), nil
 }
 
 // timeIncrAppend measures one 256-point append against a preloaded

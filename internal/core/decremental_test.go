@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/sgb-db/sgb/internal/geom"
+)
+
+// mirrorSet tracks the surviving points the way a from-scratch caller
+// would see them: a plain slice in arrival order that appends extend
+// and removes compact.
+type mirrorSet struct {
+	pts []geom.Point
+}
+
+func (m *mirrorSet) appendBatch(b []geom.Point) { m.pts = append(m.pts, b...) }
+
+func (m *mirrorSet) remove(ids []int) {
+	dead := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		dead[id] = true
+	}
+	kept := m.pts[:0]
+	for i, p := range m.pts {
+		if !dead[i] {
+			kept = append(kept, p)
+		}
+	}
+	m.pts = kept
+}
+
+// randBatch draws n random d-dimensional points in [0, span)^d.
+func randBatch(rng *rand.Rand, n, dims int, span float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, dims)
+		for k := range p {
+			p[k] = rng.Float64() * span
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// randRemoveIDs draws a random subset of [0, n) of the given size.
+func randRemoveIDs(rng *rand.Rand, n, k int) []int {
+	ids := rng.Perm(n)[:k]
+	return ids
+}
+
+// normalizeRes maps a result to a comparable shape (nil vs empty).
+func normalizeRes(r *Result) [2]any {
+	g := r.Groups
+	if len(g) == 0 {
+		g = nil
+	}
+	e := r.Eliminated
+	if len(e) == 0 {
+		e = nil
+	}
+	return [2]any{g, e}
+}
+
+// TestDecrementalAnyEquivalence drives an AnyEvaluator with randomized
+// interleaved append/remove traffic and cross-checks every step
+// against a from-scratch SGB-Any over the surviving points: groups,
+// members, and ordering must deep-equal — removal may only split the
+// victims' components, and the localized recluster must reproduce
+// exactly the components of the survivors.
+func TestDecrementalAnyEquivalence(t *testing.T) {
+	algos := []Algorithm{GridIndex, OnTheFlyIndex, AllPairs}
+	for _, metric := range []geom.Metric{geom.L2, geom.LInf} {
+		for _, dims := range []int{1, 2, 3, 5} {
+			for ai, algo := range algos {
+				name := fmt.Sprintf("%s/d=%d/%v", metric, dims, algo)
+				t.Run(name, func(t *testing.T) {
+					rng := rand.New(rand.NewSource(int64(dims)*100 + int64(metric)*10 + int64(ai)))
+					opt := Options{Metric: metric, Eps: 1, Algorithm: algo, Seed: 3, Parallelism: 1}
+					ev, err := NewAnyEvaluator(dims, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					mirror := &mirrorSet{}
+					for step := 0; step < 24; step++ {
+						if len(mirror.pts) == 0 || rng.Intn(3) != 0 {
+							batch := randBatch(rng, 10+rng.Intn(50), dims, 8)
+							if err := ev.Append(geom.FromPoints(batch)); err != nil {
+								t.Fatalf("step %d: Append: %v", step, err)
+							}
+							mirror.appendBatch(batch)
+						} else {
+							k := 1 + rng.Intn(len(mirror.pts))
+							if rng.Intn(4) == 0 {
+								k = len(mirror.pts) // full eviction sometimes
+							}
+							ids := randRemoveIDs(rng, len(mirror.pts), k)
+							if err := ev.Remove(ids); err != nil {
+								t.Fatalf("step %d: Remove(%d ids of %d): %v", step, k, len(mirror.pts), err)
+							}
+							mirror.remove(ids)
+						}
+						if ev.Len() != len(mirror.pts) {
+							t.Fatalf("step %d: Len = %d, want %d", step, ev.Len(), len(mirror.pts))
+						}
+						want, err := SGBAny(mirror.pts, opt)
+						if err != nil {
+							t.Fatalf("step %d: one-shot: %v", step, err)
+						}
+						got := ev.Result()
+						if !reflect.DeepEqual(normalizeRes(want), normalizeRes(got)) {
+							t.Fatalf("step %d (n=%d): decremental diverges\nfrom-scratch: %v\nmaintained:   %v",
+								step, len(mirror.pts), want.Groups, got.Groups)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestDecrementalAllEquivalence is the SGB-All twin: after every
+// append/remove interleaving the maintained grouping must be
+// bit-identical (groups, member order, ELIMINATE victims, JOIN-ANY
+// draws under the shared seed) to a from-scratch SGB-All over the
+// surviving points — the replay-based maintenance guarantees it by
+// construction, and this suite pins the live-id remapping on top.
+func TestDecrementalAllEquivalence(t *testing.T) {
+	algos := []Algorithm{GridIndex, OnTheFlyIndex, AllPairs, BoundsCheck}
+	overlaps := []Overlap{JoinAny, Eliminate, FormNewGroup}
+	for _, metric := range []geom.Metric{geom.L2, geom.LInf} {
+		for _, dims := range []int{1, 2, 3, 5} {
+			for oi, overlap := range overlaps {
+				algo := algos[(dims+oi)%len(algos)]
+				name := fmt.Sprintf("%s/d=%d/%v/%v", metric, dims, overlap, algo)
+				t.Run(name, func(t *testing.T) {
+					rng := rand.New(rand.NewSource(int64(dims)*1000 + int64(metric)*100 + int64(oi)))
+					opt := Options{Metric: metric, Eps: 1, Overlap: overlap, Algorithm: algo, Seed: 7, Parallelism: 1}
+					ev, err := NewAllEvaluator(dims, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					mirror := &mirrorSet{}
+					for step := 0; step < 16; step++ {
+						if len(mirror.pts) == 0 || rng.Intn(3) != 0 {
+							batch := randBatch(rng, 10+rng.Intn(40), dims, 8)
+							if err := ev.Append(geom.FromPoints(batch)); err != nil {
+								t.Fatalf("step %d: Append: %v", step, err)
+							}
+							mirror.appendBatch(batch)
+						} else {
+							k := 1 + rng.Intn(len(mirror.pts))
+							ids := randRemoveIDs(rng, len(mirror.pts), k)
+							if err := ev.Remove(ids); err != nil {
+								t.Fatalf("step %d: Remove: %v", step, err)
+							}
+							mirror.remove(ids)
+						}
+						if ev.Len() != len(mirror.pts) {
+							t.Fatalf("step %d: Len = %d, want %d", step, ev.Len(), len(mirror.pts))
+						}
+						want, err := SGBAll(mirror.pts, opt)
+						if err != nil {
+							t.Fatalf("step %d: one-shot: %v", step, err)
+						}
+						got := ev.Result()
+						if !reflect.DeepEqual(normalizeRes(want), normalizeRes(got)) {
+							t.Fatalf("step %d (n=%d): decremental diverges\nfrom-scratch: %v elim %v\nmaintained:   %v elim %v",
+								step, len(mirror.pts), want.Groups, want.Eliminated, got.Groups, got.Eliminated)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestRemoveErrors covers the id-validation surface shared by both
+// evaluators.
+func TestRemoveErrors(t *testing.T) {
+	opt := Options{Metric: geom.L2, Eps: 1, Algorithm: GridIndex}
+	any, err := NewAnyEvaluator(2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := NewAllEvaluator(2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := geom.FromPoints([]geom.Point{{0, 0}, {0.5, 0.5}, {5, 5}})
+	if err := any.Append(pts); err != nil {
+		t.Fatal(err)
+	}
+	if err := all.Append(pts); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		ids  []int
+	}{
+		{"negative", []int{-1}},
+		{"out of range", []int{3}},
+		{"duplicate", []int{1, 1}},
+	} {
+		if err := any.Remove(tc.ids); err == nil {
+			t.Errorf("AnyEvaluator.Remove(%s %v): want error", tc.name, tc.ids)
+		}
+		if err := all.Remove(tc.ids); err == nil {
+			t.Errorf("AllEvaluator.Remove(%s %v): want error", tc.name, tc.ids)
+		}
+	}
+	// Empty batches are no-ops.
+	if err := any.Remove(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := all.Remove(nil); err != nil {
+		t.Fatal(err)
+	}
+	if any.Len() != 3 || all.Len() != 3 {
+		t.Fatalf("Len after no-op removes = %d/%d, want 3/3", any.Len(), all.Len())
+	}
+}
+
+// TestRemoveSplitsComponent pins the canonical decremental scenario:
+// deleting a bridge point splits its component in two, and LiveAt ids
+// renumber compactly.
+func TestRemoveSplitsComponent(t *testing.T) {
+	opt := Options{Metric: geom.L2, Eps: 1.1, Algorithm: GridIndex}
+	ev, err := NewAnyEvaluator(2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a--b--c chained: one component; deleting b splits {a} from {c}.
+	if err := ev.Append(geom.FromPoints([]geom.Point{{0, 0}, {1, 0}, {2, 0}})); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(ev.Result().Groups); n != 1 {
+		t.Fatalf("before delete: %d components, want 1", n)
+	}
+	if err := ev.Remove([]int{1}); err != nil {
+		t.Fatal(err)
+	}
+	res := ev.Result()
+	if len(res.Groups) != 2 {
+		t.Fatalf("after deleting the bridge: %d components, want 2: %v", len(res.Groups), res.Groups)
+	}
+	if !reflect.DeepEqual(res.Groups[0].Members, []int{0}) || !reflect.DeepEqual(res.Groups[1].Members, []int{1}) {
+		t.Fatalf("ids did not renumber compactly: %v", res.Groups)
+	}
+	if got := ev.LiveAt(1); got[0] != 2 || got[1] != 0 {
+		t.Fatalf("LiveAt(1) = %v, want (2, 0)", got)
+	}
+}

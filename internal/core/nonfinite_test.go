@@ -1,0 +1,55 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/sgb-db/sgb/internal/geom"
+)
+
+// TestNonFiniteRejected pins the operator-surface half of the
+// non-finite guard: NaN/±Inf coordinates are refused by every entry
+// point — one-shot (both operators, slice and flat forms) and the
+// incremental evaluators' appends — before they can reach the grid's
+// integer cell quantization or the Morton bit-spread.
+func TestNonFiniteRejected(t *testing.T) {
+	opt := Options{Metric: geom.L2, Eps: 1, Algorithm: GridIndex}
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		pts := []geom.Point{{0, 0}, {bad, 1}}
+		if _, err := SGBAll(pts, opt); err == nil || !strings.Contains(err.Error(), "non-finite") {
+			t.Fatalf("SGBAll(%v) = %v, want non-finite rejection", bad, err)
+		}
+		if _, err := SGBAny(pts, opt); err == nil || !strings.Contains(err.Error(), "non-finite") {
+			t.Fatalf("SGBAny(%v) = %v, want non-finite rejection", bad, err)
+		}
+		ps := geom.FromPoints(pts)
+		if _, err := SGBAllSet(ps, opt); err == nil {
+			t.Fatalf("SGBAllSet accepted %v", bad)
+		}
+		if _, err := SGBAnySet(ps, opt); err == nil {
+			t.Fatalf("SGBAnySet accepted %v", bad)
+		}
+
+		all, err := NewAllEvaluator(2, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := all.Append(ps); err == nil {
+			t.Fatalf("AllEvaluator.Append accepted %v", bad)
+		}
+		if all.Len() != 0 {
+			t.Fatalf("rejected append left %d points in AllEvaluator", all.Len())
+		}
+		anyEv, err := NewAnyEvaluator(2, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := anyEv.Append(ps); err == nil {
+			t.Fatalf("AnyEvaluator.Append accepted %v", bad)
+		}
+		if anyEv.Len() != 0 {
+			t.Fatalf("rejected append left %d points in AnyEvaluator", anyEv.Len())
+		}
+	}
+}

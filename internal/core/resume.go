@@ -36,9 +36,23 @@ import (
 // Append extends batch by batch. Appends evaluate sequentially with
 // the strategy selected by the options (Options.Parallelism is
 // ignored; batches are expected to be small relative to the retained
-// set, which is where incremental maintenance pays off).
+// set, which is where incremental maintenance pays off). Remove
+// (decremental.go) deletes points by replaying the arbitration over
+// the survivors — SGB-All is order- and presence-sensitive, so that
+// replay is the only maintenance that stays bit-identical to a
+// from-scratch run.
 type AllEvaluator struct {
 	st *sgbAllState
+
+	// live holds the stored indices of the surviving points in arrival
+	// order; a point's public id is its index in live. nil means the
+	// identity over [0, st.points.Len()) — nothing removed yet.
+	// (SGB-All never Morton-reorders, so stored order is arrival
+	// order.)
+	live []int32
+	// dead counts tombstoned stored indices; when they outnumber the
+	// live points, Remove compacts the point log before replaying.
+	dead int
 }
 
 // NewAllEvaluator returns an empty resumable SGB-All evaluation over
@@ -60,8 +74,35 @@ func NewAllEvaluator(dims int, opt Options) (*AllEvaluator, error) {
 	return &AllEvaluator{st: st}, nil
 }
 
-// Len returns the number of points absorbed so far.
-func (e *AllEvaluator) Len() int { return e.st.points.Len() }
+// Len returns the number of live points (appended and not removed).
+func (e *AllEvaluator) Len() int {
+	if e.live != nil {
+		return len(e.live)
+	}
+	return e.st.points.Len()
+}
+
+// LiveAt returns the point with live id i (the id space Result and
+// Remove use). The view is read-only and valid until the next
+// mutation.
+func (e *AllEvaluator) LiveAt(i int) geom.Point {
+	if e.live != nil {
+		return e.st.points.At(int(e.live[i]))
+	}
+	return e.st.points.At(i)
+}
+
+// materializeLive switches the identity mapping to an explicit one at
+// the first removal.
+func (e *AllEvaluator) materializeLive() {
+	if e.live != nil {
+		return
+	}
+	e.live = make([]int32, e.st.points.Len(), e.st.points.Len()+16)
+	for i := range e.live {
+		e.live[i] = int32(i)
+	}
+}
 
 // Append absorbs a batch of points (copied into the evaluator's own
 // storage) and advances the grouping exactly as a one-shot run would
@@ -77,11 +118,17 @@ func (e *AllEvaluator) Append(ps *geom.PointSet) error {
 	if ps.Dims() != st.dims {
 		return fmt.Errorf("core: appended points have dimension %d, want %d", ps.Dims(), st.dims)
 	}
+	if err := ps.CheckFinite(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
 	base := st.points.Len()
 	st.points.AppendSet(ps)
 	n := st.points.Len()
 	for i := base; i < n; i++ {
 		st.pointGroup = append(st.pointGroup, -1)
+		if e.live != nil {
+			e.live = append(e.live, int32(i))
+		}
 	}
 	for pi := base; pi < n; pi++ {
 		st.processOne(pi)
@@ -90,13 +137,15 @@ func (e *AllEvaluator) Append(ps *geom.PointSet) error {
 }
 
 // Result materializes the current grouping, equivalent to a one-shot
-// evaluation over every point appended so far (identical groups and
-// member order; identical PRNG draws under JOIN-ANY for equal seeds).
-// Under FORM-NEW-GROUP the deferred set is resolved on a clone of the
-// retained state, so calling Result neither perturbs future appends
-// nor later Results — but it does replay that recursion each call
-// (and re-counts it into Options.Stats, when attached). The returned
-// result owns its slices.
+// evaluation over every live point in arrival order (identical groups
+// and member order; identical PRNG draws under JOIN-ANY for equal
+// seeds). Under FORM-NEW-GROUP the deferred set is resolved on a clone
+// of the retained state, so calling Result neither perturbs future
+// appends nor later Results — but it does replay that recursion each
+// call (and re-counts it into Options.Stats, when attached). Member
+// and Eliminated ids are live ids — compact indices over the surviving
+// points in arrival order, exactly as a from-scratch run over them
+// would number its input. The returned result owns its slices.
 func (e *AllEvaluator) Result() *Result {
 	st := e.st
 	if st.opt.Overlap == FormNewGroup && len(st.deferred) > 0 {
@@ -105,7 +154,24 @@ func (e *AllEvaluator) Result() *Result {
 		st.deferred = nil
 		st.run(next, 1)
 	}
-	return materializeAll(st, true)
+	res := materializeAll(st, true)
+	if e.live != nil {
+		// Stored indices → live ids. Only live indices can appear: the
+		// post-removal replay processed nothing else.
+		idx := make([]int32, e.st.points.Len())
+		for k, pos := range e.live {
+			idx[pos] = int32(k)
+		}
+		for _, g := range res.Groups {
+			for mi, m := range g.Members {
+				g.Members[mi] = int(idx[m])
+			}
+		}
+		for i, m := range res.Eliminated {
+			res.Eliminated[i] = int(idx[m])
+		}
+	}
+	return res
 }
 
 // finalizeClone snapshots the main-pass state deeply enough that the
@@ -179,24 +245,46 @@ func materializeAll(st *sgbAllState, copyOut bool) *Result {
 // connected components are order-independent, the incremental result
 // is exactly the one-shot result over the concatenated input —
 // per-append cost is proportional to the batch's probe work, not the
-// retained set size.
+// retained set size. Remove (decremental.go) deletes points again:
+// components can only split, never merge, when a point vanishes, so a
+// deletion reclusters just the victims' components.
 //
 // Under the grid strategy each appended batch is Morton (Z-order)
 // preprocessed like the one-shot path: the batch's points are absorbed
-// in Z-order of their ε-cells, and perm remembers each stored
-// position's original arrival index so Result reports input-order ids.
-// Reordering within a batch is sound for the same reason appending is:
-// components do not depend on arrival order.
+// in Z-order of their ε-cells, and live remembers the arrival order of
+// the stored positions so Result reports input-order ids. Reordering
+// within a batch is sound for the same reason appending is: components
+// do not depend on arrival order.
 type AnyEvaluator struct {
 	opt    Options
-	points *geom.PointSet
-	uf     *unionfind.UF
+	points *geom.PointSet // append-only log; removals tombstone via alive
+	uf     *unionfind.UF  // forest over stored positions (incl. dead)
 	ix     anyIndex
 
-	// perm maps stored position → original arrival index; nil while
-	// every batch has been absorbed in arrival order (then the mapping
-	// is the identity).
-	perm []int32
+	// live holds the stored positions of the surviving points in
+	// arrival order; a point's public id is its index in live (so ids
+	// compact after removals exactly as a from-scratch evaluation over
+	// the survivors would number them). nil means the identity over
+	// [0, points.Len()): every batch arrived in order and nothing was
+	// removed.
+	live []int32
+	// alive flags stored positions (nil = everything alive). The
+	// All-Pairs strategy reads it through a shared pointer, since it has
+	// no index to unregister dead points from.
+	alive []bool
+	// dead counts tombstoned stored positions; when they outnumber the
+	// live points, compact rebuilds the evaluator over the survivors so
+	// steady-state windowed workloads hold memory proportional to the
+	// window, not the history.
+	dead int
+
+	// Reusable Remove scratch: mark is an epoch-stamped visited array
+	// over stored positions (the ε-graph BFS), queue its frontier, nbuf
+	// the per-node neighbor buffer.
+	mark      []uint32
+	markEpoch uint32
+	queue     []int32
+	nbuf      []int32
 }
 
 // NewAnyEvaluator returns an empty resumable SGB-Any evaluation over
@@ -211,16 +299,50 @@ func NewAnyEvaluator(dims int, opt Options) (*AnyEvaluator, error) {
 	if opt.Algorithm == BoundsCheck {
 		return nil, ErrBoundsCheckAny
 	}
-	return &AnyEvaluator{
+	e := &AnyEvaluator{
 		opt:    opt,
 		points: geom.NewPointSet(dims),
 		uf:     &unionfind.UF{},
-		ix:     newAnyIndex(dims, 0, opt),
-	}, nil
+	}
+	e.ix = e.newIndex(dims, 0)
+	return e, nil
 }
 
-// Len returns the number of points absorbed so far.
-func (e *AnyEvaluator) Len() int { return e.points.Len() }
+// newIndex instantiates the Points_IX strategy, wiring the All-Pairs
+// variant to the evaluator's liveness bitmap (the other strategies
+// unregister deleted points from their index instead).
+func (e *AnyEvaluator) newIndex(dims, sizeHint int) anyIndex {
+	ix := newAnyIndex(dims, sizeHint, e.opt)
+	if _, ok := ix.(anyAllPairs); ok {
+		ix = anyAllPairs{alive: &e.alive}
+	}
+	return ix
+}
+
+// Len returns the number of live points (appended and not removed).
+func (e *AnyEvaluator) Len() int { return e.points.Len() - e.dead }
+
+// LiveAt returns the point with live id i (the id space Result and
+// Remove use). The view is read-only and valid until the next
+// mutation.
+func (e *AnyEvaluator) LiveAt(i int) geom.Point {
+	if e.live != nil {
+		return e.points.At(int(e.live[i]))
+	}
+	return e.points.At(i)
+}
+
+// materializeLive switches the identity mapping to an explicit one —
+// the first Morton-reordered batch or the first removal needs it.
+func (e *AnyEvaluator) materializeLive() {
+	if e.live != nil {
+		return
+	}
+	e.live = make([]int32, e.points.Len(), e.points.Len()+16)
+	for i := range e.live {
+		e.live[i] = int32(i)
+	}
+}
 
 // Append absorbs a batch of points (copied into the evaluator's own
 // storage): each point probes the live index for its within-ε
@@ -233,23 +355,32 @@ func (e *AnyEvaluator) Append(ps *geom.PointSet) error {
 	if ps.Dims() != e.points.Dims() {
 		return fmt.Errorf("core: appended points have dimension %d, want %d", ps.Dims(), e.points.Dims())
 	}
+	if err := ps.CheckFinite(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
 	base := e.points.Len()
 	batch := ps
 	if bperm := mortonPermFor(ps, e.opt); bperm != nil {
 		batch = ps.Gather(bperm)
-		if e.perm == nil {
-			// First reordered batch: materialize the identity prefix.
-			e.perm = make([]int32, base, base+ps.Len())
-			for i := range e.perm {
-				e.perm[i] = int32(i)
-			}
+		e.materializeLive()
+		// Arrival order of the reordered batch: position base+j holds
+		// the batch point bperm[j], so arrival offset o lives at the
+		// position the inverse permutation names.
+		inv := make([]int32, len(bperm))
+		for j, orig := range bperm {
+			inv[orig] = int32(j)
 		}
-		for _, orig := range bperm {
-			e.perm = append(e.perm, int32(base)+orig)
+		for _, j := range inv {
+			e.live = append(e.live, int32(base)+j)
 		}
-	} else if e.perm != nil {
+	} else if e.live != nil {
 		for k := 0; k < ps.Len(); k++ {
-			e.perm = append(e.perm, int32(base+k))
+			e.live = append(e.live, int32(base+k))
+		}
+	}
+	if e.alive != nil {
+		for k := 0; k < ps.Len(); k++ {
+			e.alive = append(e.alive, true)
 		}
 	}
 	e.points.AppendSet(batch)
@@ -262,10 +393,14 @@ func (e *AnyEvaluator) Append(ps *geom.PointSet) error {
 
 // Result materializes the current connected components in the same
 // deterministic order as the one-shot operator (groups by smallest
-// member index, members ascending, ids in original arrival order —
-// the Morton reordering of grid-strategy batches is invisible here).
-// The returned result owns its slices; calling Result repeatedly or
-// interleaving it with Append is safe.
+// member index, members ascending, ids in original arrival order over
+// the live points — the Morton reordering of grid-strategy batches and
+// any removals are invisible here). The returned result owns its
+// slices; calling Result repeatedly or interleaving it with Append and
+// Remove is safe.
 func (e *AnyEvaluator) Result() *Result {
-	return &Result{Groups: groupsFromUFPerm(e.uf, e.points.Len(), e.perm)}
+	if e.live == nil {
+		return &Result{Groups: groupsFromUF(e.uf, e.points.Len())}
+	}
+	return &Result{Groups: groupsFromUFLive(e.uf, e.live)}
 }

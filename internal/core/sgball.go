@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"github.com/sgb-db/sgb/internal/geom"
 )
 
@@ -34,6 +36,9 @@ func sgbAllSet(ps *geom.PointSet, opt Options) (*Result, error) {
 	res := &Result{}
 	if ps == nil || ps.Len() == 0 {
 		return res, nil
+	}
+	if err := ps.CheckFinite(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 
 	st := &sgbAllState{

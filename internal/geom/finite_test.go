@@ -1,0 +1,29 @@
+package geom
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestCheckFinite covers the ingestion guard: finite sets pass, and
+// the first offending coordinate is reported by point and axis.
+func TestCheckFinite(t *testing.T) {
+	ok := FromPoints([]Point{{0, 1}, {-2.5, 3e8}})
+	if err := ok.CheckFinite(); err != nil {
+		t.Fatalf("finite set rejected: %v", err)
+	}
+	if err := NewPointSet(3).CheckFinite(); err != nil {
+		t.Fatalf("empty set rejected: %v", err)
+	}
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		ps := FromPoints([]Point{{0, 0}, {1, bad}})
+		err := ps.CheckFinite()
+		if err == nil {
+			t.Fatalf("CheckFinite accepted %v", bad)
+		}
+		if !strings.Contains(err.Error(), "point 1") || !strings.Contains(err.Error(), "coordinate 1") {
+			t.Fatalf("error %q does not locate the offending coordinate", err)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package geom
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // PointSet is flat storage for a sequence of points of uniform
 // dimensionality: one contiguous []float64 backing buffer with stride
@@ -180,6 +183,22 @@ func (s *PointSet) Points() []Point {
 		out[i] = s.At(i)
 	}
 	return out
+}
+
+// CheckFinite reports the first non-finite coordinate in the set, if
+// any. NaN and ±Inf coordinates have no place in a similarity
+// grouping: NaN compares false with everything (so a point could be
+// "within ε of no point including itself"), and both poison the
+// ε-grid's integer cell quantization and the Morton key bit-spread.
+// The operators reject them at ingestion instead of computing garbage.
+func (s *PointSet) CheckFinite() error {
+	d := s.dims
+	for i, v := range s.data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("geom: point %d has non-finite coordinate %d (%v)", i/d, i%d, v)
+		}
+	}
+	return nil
 }
 
 // Dist computes δ(points[i], points[j]) under m.

@@ -405,6 +405,31 @@ func (t *Table) Remove(c []int64, id int32) {
 	}
 }
 
+// RemovePoint unregisters id from the home cell of p — the inverse of
+// AddPoint, used by decremental SGB-Any maintenance when a point is
+// deleted from the live set.
+func (t *Table) RemovePoint(p []float64, id int32) {
+	switch t.dims {
+	case 1:
+		x := t.cellIdx(p[0])
+		if si := t.findSlot1(hashNext(hashSeed, x), x); si >= 0 {
+			t.removeFromCell(si, id)
+		}
+	case 2:
+		x, y := t.cellIdx(p[0]), t.cellIdx(p[1])
+		if si := t.findSlot2(hashNext(hashNext(hashSeed, x), y), x, y); si >= 0 {
+			t.removeFromCell(si, id)
+		}
+	case 3:
+		x, y, z := t.cellIdx(p[0]), t.cellIdx(p[1]), t.cellIdx(p[2])
+		if si := t.findSlot3(hashNext(hashNext(hashNext(hashSeed, x), y), z), x, y, z); si >= 0 {
+			t.removeFromCell(si, id)
+		}
+	default:
+		t.Remove(t.CellOf(p, t.cur), id)
+	}
+}
+
 // AddRange registers id in every cell of the inclusive range [lo, hi].
 // The range walk is inlined per dimensionality — single loop nest for
 // d <= 3, an odometer for higher d — so registration makes no indirect

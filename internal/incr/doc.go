@@ -1,11 +1,13 @@
 // Package incr provides incremental similarity group-by maintenance:
 // the Incremental handle keeps a live grouping that absorbs appended
-// point batches, so after every Append the grouping equals a one-shot
-// SGB evaluation over the concatenation of all batches — without ever
-// regrouping from scratch. It is the subsystem behind the public
+// point batches and sheds removed points, so after every Append,
+// Remove, or window eviction the grouping equals a one-shot SGB
+// evaluation over the surviving points in arrival order — without
+// ever regrouping from scratch (SGB-Any; SGB-All deletion replays,
+// see below). It is the subsystem behind the public
 // sgb.NewIncrementalAll / NewIncrementalAny constructors and the SQL
-// engine's SET incremental INSERT-maintenance path (db.go's per-table
-// cache).
+// engine's SET incremental INSERT/DELETE-maintenance path (db.go's
+// per-table cache).
 //
 // Why this is sound, per operator:
 //
@@ -14,7 +16,10 @@
 //     order-independent SGB semantics, PAPERS.md), and the live
 //     ε-grid/R-tree plus the Union-Find forest both support appends
 //     natively — so appending just keeps running the same per-point
-//     step (core.AnyEvaluator).
+//     step (core.AnyEvaluator). The same semantics make deletion
+//     well-defined and local: removing a point can only split its own
+//     component, so Remove dissolves and reclusters just the affected
+//     components (core/decremental.go).
 //   - SGB-All: the operator is order-sensitive, but its processing
 //     order IS arrival order, which appending extends. The retained
 //     state (groups, finder index, arbitration PRNG) after k points is
@@ -23,15 +28,24 @@
 //     (core.AllEvaluator). FORM-NEW-GROUP's end-of-input recursion
 //     over the deferred set S′ is the one end-of-stream step; Result
 //     replays it on a throwaway clone so the retained main-pass state
-//     stays appendable.
+//     stays appendable. Deletion, by contrast, changes which points
+//     were present during arbitration, so Remove replays the
+//     surviving points — the only maintenance that stays bit-identical
+//     to a from-scratch run.
+//
+// Sliding windows ride on Remove: Window(n) evicts oldest-first down
+// to n live points, WindowBy(pred) evicts the longest oldest-first
+// prefix matching a predicate. Ids are live ids throughout — Result
+// numbers survivors 0..Len()-1 in arrival order and Remove accepts
+// those numbers, renumbering compactly afterwards.
 //
 // Invariants the handle enforces:
 //
-//   - Options are fixed at creation; Append/Result fail with
+//   - Options are fixed at creation; Append/Remove/Result fail with
 //     ErrOptionsMutated if the exposed Opt field was modified (retained
 //     state embodies ε, metric, overlap, strategy, and seed).
-//   - Dimensionality is fixed by the first non-empty batch; later
-//     mismatches are rejected.
+//   - Dimensionality is fixed by the first non-empty batch (even
+//     across a full eviction); later mismatches are rejected.
 //   - Results own their slices: a materialized Result is never aliased
-//     by later appends.
+//     by later appends or removals.
 package incr

@@ -40,20 +40,28 @@ func (s Semantics) String() string {
 // mutation is refused. Create a new handle to change options.
 var ErrOptionsMutated = errors.New("incr: Options mutated after creation; incremental state embodies the original options — create a new Incremental instead")
 
-// Incremental maintains a similarity grouping under appends. Create
-// one with New, feed it batches with Append or AppendSet, and read the
-// current grouping with Result — equivalent, at every step, to a
-// one-shot evaluation over the concatenation of everything appended so
-// far (identical components for SGB-Any; identical groups, member
-// order, and JOIN-ANY arbitration draws for SGB-All under equal
-// seeds).
+// Incremental maintains a similarity grouping under appends and
+// removals. Create one with New, feed it batches with Append or
+// AppendSet, delete points with Remove (or the sliding-window
+// conveniences Window and WindowBy), and read the current grouping
+// with Result — equivalent, at every step, to a one-shot evaluation
+// over the surviving points in arrival order (identical components for
+// SGB-Any; identical groups, member order, and JOIN-ANY arbitration
+// draws for SGB-All under equal seeds).
 //
-// The dimensionality is fixed by the first non-empty batch; until
-// then the handle is empty and Result returns an empty grouping.
-// Appends evaluate sequentially (Options.Parallelism is ignored): the
-// point of incremental maintenance is that per-append work scales
-// with the batch, not the retained set, so there is nothing worth
-// sharding. An Incremental is not safe for concurrent use.
+// Point ids are live ids: Result numbers the surviving points
+// 0..Len()-1 in arrival order, Remove accepts those numbers, and after
+// a removal the survivors renumber compactly — the id space always
+// matches what a from-scratch evaluation over the survivors would
+// report.
+//
+// The dimensionality is fixed by the first non-empty batch (and stays
+// fixed even if every point is later removed); until then the handle
+// is empty and Result returns an empty grouping. Appends evaluate
+// sequentially (Options.Parallelism is ignored): the point of
+// incremental maintenance is that per-append work scales with the
+// batch, not the retained set, so there is nothing worth sharding. An
+// Incremental is not safe for concurrent use.
 type Incremental struct {
 	// Opt is the options snapshot the handle was created from, exposed
 	// for inspection. It must not be modified: Append and Result fail
@@ -91,7 +99,7 @@ func New(sem Semantics, opt core.Options) (*Incremental, error) {
 // Semantics returns the operator the handle maintains.
 func (x *Incremental) Semantics() Semantics { return x.sem }
 
-// Len returns the number of points appended so far.
+// Len returns the number of live points (appended and not removed).
 func (x *Incremental) Len() int {
 	switch {
 	case x.all != nil:
@@ -167,6 +175,95 @@ func (x *Incremental) ensure(dims int) error {
 	}
 	x.dims = dims
 	return nil
+}
+
+// Remove deletes the points with the given live ids (the numbering
+// Result reports: surviving points 0..Len()-1 in arrival order) and
+// repairs the grouping. For SGB-Any the repair is localized to the
+// victims' components (deletion can only split a component); for
+// SGB-All the arbitration is replayed over the survivors, the only
+// maintenance that stays bit-identical to a from-scratch run (see
+// core's decremental notes). Ids renumber compactly after the call.
+// An empty batch is a no-op; out-of-range or duplicate ids fail
+// without mutating the handle.
+func (x *Incremental) Remove(ids []int) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	if x.Opt != x.snap {
+		return ErrOptionsMutated
+	}
+	switch {
+	case x.all != nil:
+		return x.all.Remove(ids)
+	case x.any != nil:
+		return x.any.Remove(ids)
+	default:
+		return fmt.Errorf("incr: Remove id out of range [0, 0)")
+	}
+}
+
+// Window evicts oldest-first until at most n points remain — the
+// count-based sliding window. It returns how many points were evicted.
+func (x *Incremental) Window(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("incr: window size must be >= 0, got %d", n)
+	}
+	if x.Opt != x.snap {
+		return 0, ErrOptionsMutated
+	}
+	evict := x.Len() - n
+	if evict <= 0 {
+		return 0, nil
+	}
+	ids := make([]int, evict)
+	for i := range ids {
+		ids[i] = i
+	}
+	if err := x.Remove(ids); err != nil {
+		return 0, err
+	}
+	return evict, nil
+}
+
+// WindowBy evicts the longest oldest-first prefix of live points for
+// which pred returns true — the predicate-based sliding window (expire
+// by timestamp when a coordinate carries one, by distance from a
+// moving origin, ...). Eviction stops at the first point pred keeps,
+// preserving arrival order semantics: a window is a suffix of the
+// stream. It returns how many points were evicted.
+func (x *Incremental) WindowBy(pred func(p geom.Point) bool) (int, error) {
+	if pred == nil {
+		return 0, fmt.Errorf("incr: WindowBy predicate must not be nil")
+	}
+	if x.Opt != x.snap {
+		return 0, ErrOptionsMutated
+	}
+	n := x.Len()
+	evict := 0
+	for evict < n && pred(x.liveAt(evict)) {
+		evict++
+	}
+	if evict == 0 {
+		return 0, nil
+	}
+	ids := make([]int, evict)
+	for i := range ids {
+		ids[i] = i
+	}
+	if err := x.Remove(ids); err != nil {
+		return 0, err
+	}
+	return evict, nil
+}
+
+// liveAt returns the point with live id i; only called with a live
+// evaluator (Len() > 0 implies one exists).
+func (x *Incremental) liveAt(i int) geom.Point {
+	if x.all != nil {
+		return x.all.LiveAt(i)
+	}
+	return x.any.LiveAt(i)
 }
 
 // Result materializes the current grouping. The result owns its

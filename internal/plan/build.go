@@ -53,6 +53,19 @@ func NewBuilder(cat *storage.Catalog) *Builder {
 	return &Builder{Catalog: cat, SGBAlgorithm: core.GridIndex}
 }
 
+// CompileTableExpr compiles an expression against a base table's row
+// layout — the DELETE ... WHERE evaluation path, where the predicate
+// runs row by row against the stored tuples rather than through an
+// operator tree. Subqueries (WHERE id IN (SELECT ...)) plan against
+// the builder's catalog as usual.
+func (b *Builder) CompileTableExpr(t *storage.Table, e sqlparser.Expr) (exec.Scalar, error) {
+	env := make(Env, len(t.Schema))
+	for i, c := range t.Schema {
+		env[i] = Column{Qual: t.Name, Name: c.Name}
+	}
+	return compileScalar(e, env, b)
+}
+
 // BuildSelect compiles a SELECT into an operator tree.
 func (b *Builder) BuildSelect(sel *sqlparser.SelectStmt) (*CompiledQuery, error) {
 	op, env, err := b.planSelect(sel)

@@ -135,6 +135,15 @@ type DropTableStmt struct{ Name string }
 
 func (*DropTableStmt) stmt() {}
 
+// DeleteStmt is DELETE FROM name [WHERE expr]. A nil Where deletes
+// every row.
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+func (*DeleteStmt) stmt() {}
+
 // SetStmt is SET name = value (also SET name TO value): a session
 // setting such as ALGORITHM or PARALLELISM. Value keeps the raw token
 // text ("grid", "4", "-1"); the engine interprets it per setting.

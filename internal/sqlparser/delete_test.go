@@ -1,0 +1,54 @@
+package sqlparser
+
+import "testing"
+
+// TestParseDelete covers the DELETE FROM grammar.
+func TestParseDelete(t *testing.T) {
+	stmt, err := Parse("DELETE FROM sensors WHERE x < 3 AND id IN (1, 2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	del, ok := stmt.(*DeleteStmt)
+	if !ok {
+		t.Fatalf("parsed %T, want *DeleteStmt", stmt)
+	}
+	if del.Table != "sensors" || del.Where == nil {
+		t.Fatalf("parsed %+v", del)
+	}
+	if got := del.Where.String(); got != "((x < 3) AND (id IN (1, 2)))" {
+		t.Fatalf("Where = %s", got)
+	}
+
+	stmt, err = Parse("delete from t;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if del := stmt.(*DeleteStmt); del.Table != "t" || del.Where != nil {
+		t.Fatalf("bare delete parsed %+v", del)
+	}
+
+	for _, bad := range []string{
+		"DELETE sensors",
+		"DELETE FROM",
+		"DELETE FROM t WHERE",
+		"DELETE FROM t extra",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q): want error", bad)
+		}
+	}
+
+	// DELETE is not reserved: schemas using it as an identifier still
+	// parse (the statement dispatch matches it only in lead position).
+	stmt, err = Parse("SELECT delete FROM t WHERE delete > 1")
+	if err != nil {
+		t.Fatalf("identifier use of delete: %v", err)
+	}
+	sel := stmt.(*SelectStmt)
+	if ref, ok := sel.Items[0].Expr.(*ColumnRef); !ok || ref.Name != "delete" {
+		t.Fatalf("projection parsed as %#v, want column ref delete", sel.Items[0].Expr)
+	}
+	if _, err := Parse("CREATE TABLE delete (x INT)"); err != nil {
+		t.Fatalf("table named delete: %v", err)
+	}
+}

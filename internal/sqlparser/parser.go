@@ -95,6 +95,11 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseInsert()
 	case p.atKeyword("DROP"):
 		return p.parseDropTable()
+	case p.atIdentWord("DELETE"):
+		// DELETE, like SET below, is deliberately NOT a reserved word —
+		// existing schemas may use "delete" as a column or table name.
+		// Statement-lead dispatch off the bare identifier is unambiguous.
+		return p.parseDelete()
 	case p.atIdentWord("SET"):
 		// SET is deliberately NOT a reserved word — existing schemas may
 		// use "set" (or "to") as column or table names. No other
@@ -102,7 +107,7 @@ func (p *parser) parseStatement() (Statement, error) {
 		// on the leading word is unambiguous.
 		return p.parseSet()
 	default:
-		return nil, p.errorf("expected SELECT, CREATE, INSERT, DROP, or SET, found %q", p.peek().Text)
+		return nil, p.errorf("expected SELECT, CREATE, INSERT, DELETE, DROP, or SET, found %q", p.peek().Text)
 	}
 }
 
@@ -524,6 +529,28 @@ func (p *parser) parseInsert() (Statement, error) {
 		if !p.accept(TokSymbol, ",") {
 			break
 		}
+	}
+	return stmt, nil
+}
+
+// parseDelete parses DELETE FROM name [WHERE expr].
+func (p *parser) parseDelete() (Statement, error) {
+	p.next() // the DELETE word, verified by the caller
+	if err := p.expect(TokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.Kind != TokIdent {
+		return nil, p.errorf("expected table name, found %q", t.Text)
+	}
+	p.next()
+	stmt := &DeleteStmt{Table: t.Text}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
 	}
 	return stmt, nil
 }

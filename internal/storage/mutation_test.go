@@ -1,0 +1,83 @@
+package storage
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sgb-db/sgb/internal/types"
+)
+
+func testTable() *Table {
+	t := NewTable("t", Schema{{Name: "id", Type: types.KindInt}, {Name: "x", Type: types.KindFloat}})
+	for i := 0; i < 6; i++ {
+		t.MustInsert(types.Row{types.Int(int64(i)), types.Float(float64(i))})
+	}
+	return t
+}
+
+// TestDeleteRows covers compaction order, validation, and the
+// untouched-on-error guarantee.
+func TestDeleteRows(t *testing.T) {
+	tab := testTable()
+	if err := tab.DeleteRows([]int{1, 4}); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 2, 3, 5}
+	if tab.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", tab.Len(), len(want))
+	}
+	for i, id := range want {
+		if tab.Rows[i][0].I != id {
+			t.Fatalf("row %d = %v, want id %d", i, tab.Rows[i], id)
+		}
+	}
+	if err := tab.DeleteRows(nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][]int{{-1}, {4}, {1, 1}, {2, 1}} {
+		gen := tab.Generation()
+		if err := tab.DeleteRows(bad); err == nil {
+			t.Fatalf("DeleteRows(%v): want error", bad)
+		}
+		if tab.Generation() != gen || tab.Len() != 4 {
+			t.Fatalf("failed DeleteRows(%v) mutated the table", bad)
+		}
+	}
+}
+
+// TestGeneration pins the counter contract: every successful mutation
+// bumps it, failed ones do not, and a delete + reinsert restoring the
+// row count still leaves a different generation — the property the
+// engine's incremental cache staleness fix rests on.
+func TestGeneration(t *testing.T) {
+	tab := testTable()
+	g0 := tab.Generation()
+	if g0 == 0 {
+		t.Fatal("inserts did not bump the generation")
+	}
+	if err := tab.DeleteRows([]int{5}); err != nil {
+		t.Fatal(err)
+	}
+	g1 := tab.Generation()
+	if g1 <= g0 {
+		t.Fatalf("delete did not bump: %d -> %d", g0, g1)
+	}
+	tab.MustInsert(types.Row{types.Int(99), types.Float(9)})
+	if tab.Len() != 6 {
+		t.Fatalf("Len = %d, want restored 6", tab.Len())
+	}
+	if tab.Generation() <= g1 || tab.Generation() == g0 {
+		t.Fatalf("delete+reinsert restored generation %d (was %d)", tab.Generation(), g0)
+	}
+	// Failed mutations leave the counter alone.
+	gen := tab.Generation()
+	if err := tab.Insert(types.Row{types.Int(1)}); err == nil {
+		t.Fatal("want arity error")
+	}
+	if err := tab.Insert(types.Row{types.Int(1), types.Float(math.NaN())}); err == nil {
+		t.Fatal("want non-finite error")
+	}
+	if tab.Generation() != gen {
+		t.Fatal("failed inserts bumped the generation")
+	}
+}

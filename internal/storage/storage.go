@@ -1,14 +1,18 @@
 // Package storage provides the in-memory relational substrate: column
 // schemas, row-oriented tables, and the catalog the planner resolves
 // table names against. The paper's prototype lives inside PostgreSQL's
-// heap storage; here an append-only in-memory table plays that role
-// (the SGB experiments are CPU-bound on the operators, not on I/O).
+// heap storage; here an in-memory table plays that role (the SGB
+// experiments are CPU-bound on the operators, not on I/O). Rows append
+// in insertion order and delete by compaction, and every mutation
+// bumps a per-table generation counter that the engine's incremental
+// grouping cache keys on.
 package storage
 
 import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -46,11 +50,17 @@ func (s Schema) Names() []string {
 	return out
 }
 
-// Table is an append-only, in-memory relation.
+// Table is an in-memory relation: rows append in insertion order, and
+// DeleteRows compacts them preserving that order. Every mutation bumps
+// a monotonic generation counter, which the engine's incremental
+// grouping cache keys on — two reads of a table observing the same
+// generation have observed the same rows.
 type Table struct {
 	Name   string
 	Schema Schema
 	Rows   []types.Row
+
+	gen int64
 }
 
 // NewTable creates an empty table.
@@ -58,9 +68,19 @@ func NewTable(name string, schema Schema) *Table {
 	return &Table{Name: name, Schema: schema}
 }
 
+// Generation returns the table's monotonic mutation counter. It bumps
+// on every Insert and DeleteRows, so cached derived state (the
+// engine's incremental grouping entries) can detect any mutation it
+// did not itself track — including a delete followed by inserts that
+// restore the old row count, which a length check alone cannot see.
+func (t *Table) Generation() int64 { return t.gen }
+
 // Insert appends a row after arity and kind checks (integers are
 // coerced to floats for FLOAT columns and vice versa is rejected;
-// NULLs are accepted everywhere).
+// NULLs are accepted everywhere). Non-finite float values (NaN, ±Inf)
+// are rejected: they would poison similarity grouping over the column
+// (NaN compares false with everything; both break the ε-grid's cell
+// quantization), and no supported workload produces them legitimately.
 func (t *Table) Insert(row types.Row) error {
 	if len(row) != len(t.Schema) {
 		return fmt.Errorf("storage: %s expects %d values, got %d", t.Name, len(t.Schema), len(row))
@@ -71,6 +91,9 @@ func (t *Table) Insert(row types.Row) error {
 		}
 		want := t.Schema[i].Type
 		if v.Kind == want {
+			if want == types.KindFloat && !finite(v.F) {
+				return fmt.Errorf("storage: %s.%s rejects non-finite value %v", t.Name, t.Schema[i].Name, v.F)
+			}
 			continue
 		}
 		if want == types.KindFloat && v.Kind == types.KindInt {
@@ -81,6 +104,45 @@ func (t *Table) Insert(row types.Row) error {
 			t.Name, t.Schema[i].Name, want, v.Kind)
 	}
 	t.Rows = append(t.Rows, row)
+	t.gen++
+	return nil
+}
+
+// finite reports whether f is neither NaN nor ±Inf.
+func finite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
+// DeleteRows removes the rows at the given indices (sorted ascending,
+// distinct, in range), compacting the survivors in order, and bumps
+// the generation counter once. It validates before mutating, so a
+// failed call leaves the table untouched.
+func (t *Table) DeleteRows(idx []int) error {
+	if len(idx) == 0 {
+		return nil
+	}
+	for k, i := range idx {
+		if i < 0 || i >= len(t.Rows) {
+			return fmt.Errorf("storage: %s: delete index %d out of range [0, %d)", t.Name, i, len(t.Rows))
+		}
+		if k > 0 && idx[k-1] >= i {
+			return fmt.Errorf("storage: %s: delete indices must be sorted ascending and distinct", t.Name)
+		}
+	}
+	kept := t.Rows[:0]
+	next := 0
+	for i, row := range t.Rows {
+		if next < len(idx) && i == idx[next] {
+			next++
+			continue
+		}
+		kept = append(kept, row)
+	}
+	// Release the trailing row references so deleted rows are
+	// collectible.
+	for i := len(kept); i < len(t.Rows); i++ {
+		t.Rows[i] = nil
+	}
+	t.Rows = kept
+	t.gen++
 	return nil
 }
 

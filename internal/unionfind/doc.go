@@ -19,6 +19,10 @@
 //   - Add grows the forest one singleton at a time, which is what lets
 //     incremental SGB-Any (internal/core's AnyEvaluator) absorb
 //     appended points without rebuilding.
+//   - Reset (with the DropSets bookkeeping prologue) detaches whole
+//     sets back into singletons, which is what lets decremental
+//     SGB-Any dissolve exactly the components a deletion touched and
+//     re-union their survivors.
 //
 // Union is commutative and associative over the resulting partition, so
 // any merge order — sequential, sharded, or append-interleaved — yields

@@ -75,6 +75,25 @@ func (u *UF) Union(x, y int) int {
 // Same reports whether x and y are in the same set.
 func (u *UF) Same(x, y int) bool { return u.Find(x) == u.Find(y) }
 
+// Reset detaches x into a fresh singleton set and counts it as one.
+// It is only sound as a batch operation over entire sets: the caller
+// must Reset every member of each affected set (after decrementing
+// count once per affected set via DropSets), otherwise surviving
+// parent pointers would still lead into the detached element. The
+// decremental SGB-Any maintenance uses exactly that discipline — it
+// resets all members of every component touched by a deletion and then
+// re-unions the survivors.
+func (u *UF) Reset(x int) {
+	u.parent[x] = int32(x)
+	u.rank[x] = 0
+	u.count++
+}
+
+// DropSets lowers the set count by n — the bookkeeping prologue of a
+// Reset batch: the caller is about to dissolve n whole sets, and each
+// Reset re-counts one element as a fresh singleton.
+func (u *UF) DropSets(n int) { u.count -= n }
+
 // Edge is one union request (a within-ε pair) produced by a parallel
 // evaluation stage; batches of edges are applied to a shared forest by
 // UnionEdges during the single-threaded merge.

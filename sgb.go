@@ -10,8 +10,9 @@
 //   - the standalone operator API (GroupByAll, GroupByAny) for grouping
 //     slices of multi-dimensional points directly, and
 //
-//   - an embedded SQL engine (Open / DB.Query) that accepts the paper's
-//     extended GROUP BY syntax:
+//   - an embedded SQL engine (Open / DB.Query) with INSERT / DELETE
+//     mutation, incremental group maintenance (SET incremental = on),
+//     and the paper's extended GROUP BY syntax:
 //
 //     SELECT count(*) FROM gps
 //     GROUP BY lat, lon DISTANCE-TO-ALL LINF WITHIN 3
@@ -147,18 +148,28 @@ func GroupByAnySet(points *PointSet, opt Options) (*Result, error) {
 }
 
 // ConnectedComponents is the brute-force reference implementation of
-// the SGB-Any semantics, exposed for verification and testing.
+// the SGB-Any semantics, exposed for verification and testing. Unlike
+// the operator entry points it performs no input validation — a
+// non-finite coordinate is not rejected but simply compares within ε
+// of nothing (its point ends up a singleton); feed it the inputs the
+// operators accepted.
 func ConnectedComponents(points []Point, metric Metric, eps float64) []Group {
 	return core.ConnectedComponents(points, metric, eps)
 }
 
-// Incremental maintains a similarity grouping under appends: feed it
-// point batches with Append (or AppendSet) and read the live grouping
-// with Result. At every step the grouping equals a one-shot
-// GroupByAll / GroupByAny over the concatenation of all batches so far
-// — identical components for SGB-Any, and identical groups, member
-// order, and JOIN-ANY arbitration draws for SGB-All under equal seeds.
-// See internal/incr and ARCHITECTURE.md for the maintenance invariants.
+// Incremental maintains a similarity grouping under appends and
+// removals: feed it point batches with Append (or AppendSet), delete
+// points with Remove or the sliding-window conveniences Window /
+// WindowBy (oldest-first eviction), and read the live grouping with
+// Result. At every step the grouping equals a one-shot GroupByAll /
+// GroupByAny over the surviving points in arrival order — identical
+// components for SGB-Any (whose deletions recluster only the affected
+// components), and identical groups, member order, and JOIN-ANY
+// arbitration draws for SGB-All under equal seeds (whose deletions
+// replay the survivors; arbitration is presence-sensitive). Result ids
+// are live ids: survivors number 0..Len()-1 in arrival order and
+// renumber compactly after removals. See internal/incr and
+// ARCHITECTURE.md for the maintenance invariants.
 type Incremental = incr.Incremental
 
 // ErrOptionsMutated is returned by Incremental.Append / Result when

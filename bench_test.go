@@ -14,6 +14,8 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 
 	sgb "github.com/sgb-db/sgb"
@@ -609,4 +611,58 @@ func BenchmarkHarness(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkRecovery measures crash-restart to first grouping answer on
+// a persistent database: a warm start (checkpoint + short WAL tail,
+// incremental evaluator revived from the snapshot) against a cold one
+// (snapshots stripped: full WAL replay, regroup from scratch). The
+// BENCH_<n>.json "recovery" family records the same pair at full size.
+func BenchmarkRecovery(b *testing.B) {
+	const n = 8192
+	warm := b.TempDir()
+	query, err := benchkit.SetupRecoveryDir(warm, n, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cold := b.TempDir()
+	if err := copyFlatDir(warm, cold); err != nil {
+		b.Fatal(err)
+	}
+	if err := benchkit.StripSnapshots(cold); err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name, dir string
+	}{{"Warm/SnapshotTail", warm}, {"Cold/FullReplay", cold}} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := benchkit.TimeRecovery(tc.dir, query); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// copyFlatDir clones a flat directory (benchmark fixture helper).
+func copyFlatDir(src, dst string) error {
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }

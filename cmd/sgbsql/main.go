@@ -18,6 +18,11 @@
 //	sgb> SET seed = 7;              -- JOIN-ANY arbitration seed
 //	sgb> SET incremental = on;      -- maintain SGB groupings across INSERTs
 //
+// With -data DIR the database is persistent: mutations append to a
+// write-ahead log in DIR, CHECKPOINT (and SET checkpoint_every)
+// snapshot the state, and the next start recovers everything the log
+// captured. Quitting (EOF, \q, or Ctrl-C) syncs the log before exit.
+//
 // See docs/sql.md for the full dialect reference.
 package main
 
@@ -26,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -39,15 +45,48 @@ func main() {
 		demo     = flag.Bool("demo", false, "load the Figure 2 demo table 'gps'")
 		tpchSF   = flag.Float64("tpch", 0, "load TPC-H-like tables at this scale factor")
 		checkins = flag.Int("checkin", 0, "load this many synthetic check-ins as 'checkins'")
+		dataDir  = flag.String("data", "", "persist the database in this directory (WAL + checkpoints)")
 	)
 	flag.Parse()
 
-	db := sgb.Open()
+	var db *sgb.DB
+	if *dataDir != "" {
+		var err error
+		db, err = sgb.OpenDir(*dataDir)
+		if err != nil {
+			fatal(err)
+		}
+		printRecovery(db.Recovery(), *dataDir)
+	} else {
+		db = sgb.Open()
+	}
+	// Quitting any way — EOF, \q, or Ctrl-C — syncs and closes the WAL
+	// so the last acknowledged statement is on disk.
+	quit := func(code int) {
+		if err := db.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "sgbsql: close:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+		os.Exit(code)
+	}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		<-sigc
+		fmt.Println()
+		quit(0)
+	}()
 	if *demo {
-		must(db.Exec("CREATE TABLE gps (id INT, lat FLOAT, lon FLOAT)"))
-		must(db.Exec(`INSERT INTO gps VALUES
-			(1, 2, 5), (2, 3, 6), (3, 7, 5), (4, 8, 6), (5, 5, 4)`))
-		fmt.Println("loaded demo table gps (5 points of the paper's Figure 2)")
+		if _, err := db.TableLen("gps"); err == nil {
+			fmt.Println("demo table gps already recovered from -data; keeping it")
+		} else {
+			must(db.Exec("CREATE TABLE gps (id INT, lat FLOAT, lon FLOAT)"))
+			must(db.Exec(`INSERT INTO gps VALUES
+				(1, 2, 5), (2, 3, 6), (3, 7, 5), (4, 8, 6), (5, 5, 4)`))
+			fmt.Println("loaded demo table gps (5 points of the paper's Figure 2)")
+		}
 	}
 	if *tpchSF > 0 {
 		ds := tpch.Generate(tpch.ScaleRows(*tpchSF))
@@ -68,6 +107,9 @@ func main() {
 	}
 	fmt.Println(`type SQL ending with ';' — \q quits, \d lists tables`)
 	fmt.Println(`session settings: SET algorithm = allpairs|bounds|rtree|grid; SET parallelism = N; SET seed = N; SET incremental = on|off`)
+	if *dataDir != "" {
+		fmt.Println(`durability: SET durability = always|interval|off; SET checkpoint_every = N; CHECKPOINT`)
+	}
 
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
@@ -77,13 +119,13 @@ func main() {
 		fmt.Print(prompt)
 		if !scanner.Scan() {
 			fmt.Println()
-			return
+			quit(0)
 		}
 		line := scanner.Text()
 		trimmed := strings.TrimSpace(line)
 		switch trimmed {
 		case `\q`, "quit", "exit":
-			return
+			quit(0)
 		case `\d`:
 			for _, t := range db.Tables() {
 				n, _ := db.TableLen(t)
@@ -130,6 +172,27 @@ func execute(db *sgb.DB, sql string) {
 		return
 	}
 	fmt.Printf("ok (%d rows affected, %v)\n", n, time.Since(start).Round(time.Microsecond))
+}
+
+// printRecovery summarizes what OpenDir reconstructed from the data
+// directory.
+func printRecovery(ri sgb.RecoveryInfo, dir string) {
+	if ri.SnapshotPath == "" && ri.RecordsReplayed == 0 {
+		fmt.Printf("opened %s (fresh database)\n", dir)
+		return
+	}
+	fmt.Printf("recovered %s:", dir)
+	if ri.SnapshotPath != "" {
+		fmt.Printf(" snapshot through seq %d", ri.SnapshotSeq)
+		if ri.EvaluatorsRestored > 0 {
+			fmt.Printf(" (%d incremental evaluators restored)", ri.EvaluatorsRestored)
+		}
+	}
+	fmt.Printf(", %d WAL records (%d rows) replayed", ri.RecordsReplayed, ri.RowsReplayed)
+	if ri.SnapshotsSkipped > 0 {
+		fmt.Printf(", %d corrupt snapshots skipped", ri.SnapshotsSkipped)
+	}
+	fmt.Println()
 }
 
 func must(n int, err error) {

@@ -14,6 +14,7 @@ import (
 	"github.com/sgb-db/sgb/internal/sqlparser"
 	"github.com/sgb-db/sgb/internal/storage"
 	"github.com/sgb-db/sgb/internal/types"
+	"github.com/sgb-db/sgb/internal/wal"
 )
 
 // Value is a SQL value produced by queries.
@@ -41,9 +42,21 @@ type DB struct {
 	// instead of evicting each other; each entry is additionally
 	// stamped with the storage generation it is synchronized with, so
 	// any mutation the cache did not track invalidates it. Entries are
-	// dropped with their table.
+	// dropped with their table, and the cache holds at most incrCap
+	// entries, evicting the least recently used (SET incr_cache_size).
 	incrCache map[incrKey]*incrEntry
+	incrCap   int
+	incrClock int64 // monotonic use counter driving LRU eviction
+	// dur is non-nil for a persistent database (OpenDir): mutations
+	// append to its write-ahead log and CHECKPOINT snapshots through it.
+	dur *durable
 }
+
+// defaultIncrCacheCap bounds the incremental grouping cache: enough
+// for a handful of distinct similarity queries per table without
+// letting a query-generating workload accumulate evaluators (each one
+// retains a full copy of its table's grouping attributes).
+const defaultIncrCacheCap = 8
 
 // incrKey addresses one cached incremental grouping state.
 type incrKey struct {
@@ -66,6 +79,7 @@ type incrEntry struct {
 	inc      *incr.Incremental
 	consumed int   // how many of the table's rows the state has absorbed
 	gen      int64 // table generation the entry is synchronized with
+	lastUse  int64 // DB.incrClock reading at the entry's last query
 }
 
 // Open creates an empty database. The session defaults to the ε-grid
@@ -76,6 +90,41 @@ func Open() *DB {
 		cat:       storage.NewCatalog(),
 		session:   QueryOptions{Algorithm: GridIndex},
 		incrCache: make(map[incrKey]*incrEntry),
+		incrCap:   defaultIncrCacheCap,
+	}
+}
+
+// cacheAdd inserts an incremental-grouping entry, evicting the least
+// recently used entries to stay within the cap.
+func (db *DB) cacheAdd(key incrKey, e *incrEntry) {
+	for len(db.incrCache) >= db.incrCap {
+		var victim incrKey
+		oldest := int64(1<<63 - 1)
+		for k, v := range db.incrCache {
+			if v.lastUse < oldest {
+				oldest, victim = v.lastUse, k
+			}
+		}
+		delete(db.incrCache, victim)
+	}
+	db.cacheTouch(e)
+	db.incrCache[key] = e
+}
+
+// cacheTouch stamps an entry as just used.
+func (db *DB) cacheTouch(e *incrEntry) {
+	db.incrClock++
+	e.lastUse = db.incrClock
+}
+
+// dropIncrEntries removes every cached grouping entry of the named
+// table (lower-cased key space).
+func (db *DB) dropIncrEntries(name string) {
+	name = strings.ToLower(name)
+	for k := range db.incrCache {
+		if k.table == name {
+			delete(db.incrCache, k)
+		}
 	}
 }
 
@@ -123,13 +172,15 @@ func (db *DB) Exec(sql string) (int, error) {
 	switch s := stmt.(type) {
 	case *sqlparser.CreateTableStmt:
 		schema := make(storage.Schema, len(s.Columns))
+		cols := make([]wal.ColDef, len(s.Columns))
 		for i, c := range s.Columns {
 			schema[i] = storage.Column{Name: c.Name, Type: c.Type}
+			cols[i] = wal.ColDef{Name: c.Name, Kind: c.Type}
 		}
 		if err := db.cat.Create(storage.NewTable(s.Name, schema)); err != nil {
 			return 0, err
 		}
-		return 0, nil
+		return 0, db.logRecord(wal.CreateTable{Name: s.Name, Cols: cols})
 
 	case *sqlparser.DropTableStmt:
 		if err := db.cat.Drop(s.Name); err != nil {
@@ -138,13 +189,11 @@ func (db *DB) Exec(sql string) (int, error) {
 		// A re-created table of the same name must not inherit the old
 		// table's grouping state (the entry's table-identity guard
 		// would catch it too; dropping eagerly frees the memory now).
-		name := strings.ToLower(s.Name)
-		for k := range db.incrCache {
-			if k.table == name {
-				delete(db.incrCache, k)
-			}
-		}
-		return 0, nil
+		db.dropIncrEntries(s.Name)
+		return 0, db.logRecord(wal.DropTable{Name: s.Name})
+
+	case *sqlparser.CheckpointStmt:
+		return 0, db.Checkpoint()
 
 	case *sqlparser.InsertStmt:
 		return db.execInsert(s)
@@ -189,9 +238,11 @@ func (db *DB) execInsert(s *sqlparser.InsertStmt) (int, error) {
 	}
 	preGen := t.Generation()
 	n := 0
+	var insErr error
 	for _, exprRow := range s.Rows {
 		if len(exprRow) != len(colIdx) {
-			return n, fmt.Errorf("sgb: INSERT expects %d values, got %d", len(colIdx), len(exprRow))
+			insErr = fmt.Errorf("sgb: INSERT expects %d values, got %d", len(colIdx), len(exprRow))
+			break
 		}
 		row := make(types.Row, len(t.Schema))
 		for i := range row {
@@ -200,18 +251,32 @@ func (db *DB) execInsert(s *sqlparser.InsertStmt) (int, error) {
 		for i, e := range exprRow {
 			v, err := evalConstExpr(e)
 			if err != nil {
-				return n, err
+				insErr = err
+				break
 			}
 			row[colIdx[i]] = v
 		}
+		if insErr != nil {
+			break
+		}
 		if err := t.Insert(row); err != nil {
-			db.refreshAppendGen(t, preGen)
-			return n, err
+			insErr = err
+			break
 		}
 		n++
 	}
 	db.refreshAppendGen(t, preGen)
-	return n, nil
+	// Log whatever prefix of the statement actually applied — the rows
+	// are read back from the table, post type-coercion, so replay
+	// through the same insert path reproduces the stored bytes exactly.
+	// A failing statement may thus be partially durable, matching the
+	// partial in-memory effect it had.
+	if n > 0 {
+		if lerr := db.logRecord(wal.Insert{Table: t.Name, Rows: t.Rows[len(t.Rows)-n:]}); lerr != nil && insErr == nil {
+			insErr = lerr
+		}
+	}
+	return n, insErr
 }
 
 // refreshAppendGen re-synchronizes the table's cached grouping entries
@@ -277,6 +342,16 @@ func (db *DB) execDelete(s *sqlparser.DeleteStmt) (int, error) {
 	if err := t.DeleteRows(doomed); err != nil {
 		return 0, err
 	}
+	db.noteDelete(t, preGen, doomed)
+	return len(doomed), db.logRecord(wal.Delete{Table: t.Name, Idx: doomed})
+}
+
+// noteDelete maintains the table's cached incremental grouping states
+// after rows were deleted: entries that were in sync (gen == preGen)
+// receive the deleted row ids through the evaluator's decremental
+// Remove, entries that were not are dropped and rebuild on their next
+// query. WAL replay shares this path with live DELETE statements.
+func (db *DB) noteDelete(t *storage.Table, preGen int64, doomed []int) {
 	for key, e := range db.incrCache {
 		if e.table != t {
 			continue
@@ -304,7 +379,6 @@ func (db *DB) execDelete(s *sqlparser.DeleteStmt) (int, error) {
 		e.consumed -= len(fed)
 		e.gen = t.Generation()
 	}
-	return len(doomed), nil
 }
 
 // evalConstExpr evaluates a row-independent expression (literals,
@@ -360,8 +434,49 @@ func (db *DB) execSet(s *sqlparser.SetStmt) error {
 		default:
 			return fmt.Errorf("sgb: incremental must be on or off, got %q", s.Value)
 		}
+	case "incr_cache_size":
+		n, err := strconv.Atoi(s.Value)
+		if err != nil || n < 1 {
+			return fmt.Errorf("sgb: incr_cache_size must be a positive integer, got %q", s.Value)
+		}
+		db.incrCap = n
+		// Shrinking evicts down immediately, least recently used first.
+		for len(db.incrCache) > db.incrCap {
+			var victim incrKey
+			oldest := int64(1<<63 - 1)
+			for k, e := range db.incrCache {
+				if e.lastUse < oldest {
+					oldest, victim = e.lastUse, k
+				}
+			}
+			delete(db.incrCache, victim)
+		}
+	case "durability":
+		if db.dur == nil {
+			return fmt.Errorf("sgb: SET durability requires a persistent database (OpenDir)")
+		}
+		switch val {
+		case "always":
+			return db.dur.log.SetPolicy(wal.SyncAlways)
+		case "interval":
+			return db.dur.log.SetPolicy(wal.SyncInterval)
+		case "off":
+			return db.dur.log.SetPolicy(wal.SyncOff)
+		default:
+			return fmt.Errorf("sgb: durability must be always, interval, or off, got %q", s.Value)
+		}
+	case "checkpoint_every":
+		if db.dur == nil {
+			return fmt.Errorf("sgb: SET checkpoint_every requires a persistent database (OpenDir)")
+		}
+		n, err := strconv.Atoi(s.Value)
+		if err != nil || n < 0 {
+			return fmt.Errorf("sgb: checkpoint_every must be a non-negative integer (0 disables), got %q", s.Value)
+		}
+		db.dur.checkpointEvery = n
 	default:
-		return fmt.Errorf("sgb: unknown setting %q (want algorithm, parallelism, seed, or incremental)", s.Name)
+		return fmt.Errorf("sgb: unknown setting %q (want algorithm, parallelism, seed, incremental, "+
+			"incr_cache_size, durability, or checkpoint_every)", s.Name)
 	}
 	return nil
 }
@@ -449,7 +564,9 @@ func (db *DB) sgbIncrGroupFunc(table, exprKey string, anySem bool, opt core.Opti
 				return nil, err
 			}
 			e = &incrEntry{table: t, inc: inc, gen: t.Generation()}
-			db.incrCache[key] = e
+			db.cacheAdd(key, e)
+		} else {
+			db.cacheTouch(e)
 		}
 		if points.Len() > e.consumed {
 			if err := e.inc.AppendSet(points.Slice(e.consumed, points.Len())); err != nil {

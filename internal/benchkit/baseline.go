@@ -6,6 +6,8 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -137,6 +139,37 @@ func WriteBaseline(w io.Writer, cfg Config) error {
 		return err
 	}
 	b.Entries = append(b.Entries, BaselineEntry{Family: "window", Series: "Any/Oneshot", N: wsize, Eps: eps, Millis: millis(d), Groups: g})
+
+	// Family "recovery": crash-restart to first grouping answer — warm
+	// (checkpoint + WAL tail + revived evaluator) versus cold (full WAL
+	// replay + regroup from scratch) on one prepared directory.
+	rn := cfg.scaled(32000)
+	rdir, err := os.MkdirTemp("", "sgb-recovery-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(rdir)
+	query, err := SetupRecoveryDir(rdir, rn, cfg.Seed+11)
+	if err != nil {
+		return err
+	}
+	coldDir := filepath.Join(rdir, "cold")
+	if err := copyDir(rdir, coldDir); err != nil {
+		return err
+	}
+	if err := StripSnapshots(coldDir); err != nil {
+		return err
+	}
+	d, g, err = bestOf3(func() (time.Duration, int, error) { return TimeRecovery(rdir, query) })
+	if err != nil {
+		return err
+	}
+	b.Entries = append(b.Entries, BaselineEntry{Family: "recovery", Series: "Warm/SnapshotTail", N: rn, Eps: 0.5, Millis: millis(d), Groups: g})
+	d, g, err = bestOf3(func() (time.Duration, int, error) { return TimeRecovery(coldDir, query) })
+	if err != nil {
+		return err
+	}
+	b.Entries = append(b.Entries, BaselineEntry{Family: "recovery", Series: "Cold/FullReplay", N: rn, Eps: 0.5, Millis: millis(d), Groups: g})
 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

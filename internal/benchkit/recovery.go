@@ -1,0 +1,147 @@
+package benchkit
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	sgb "github.com/sgb-db/sgb"
+)
+
+// The "recovery" family measures crash-restart cost on a persistent
+// database: a warm start (newest checkpoint + the short WAL tail past
+// it, incremental evaluator revived from the snapshot) against a cold
+// one (no snapshots, full WAL replay, grouping rebuilt from scratch).
+// The paper's engine lives inside PostgreSQL and inherits its
+// recovery; here the durability subsystem is ours, so the speedup of
+// checkpointed evaluator state over recomputation is an artifact worth
+// tracking.
+
+// recoveryQuery is the grouping the recovery workload resumes: a
+// clustered SGB-Any grouping dense enough that regrouping dominates a
+// cold start.
+const recoveryQuery = "SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 0.5"
+
+// SetupRecoveryDir builds a persistent database in dir: n clustered
+// points checkpointed together with their incremental SGB-Any
+// evaluator, plus one tail batch logged after the checkpoint. It
+// returns the query a recovered session re-runs.
+func SetupRecoveryDir(dir string, n int, seed int64) (string, error) {
+	db, err := sgb.OpenDir(dir)
+	if err != nil {
+		return "", err
+	}
+	defer db.Close()
+	for _, stmt := range []string{
+		"SET durability = off", // setup is not the measured part
+		"SET checkpoint_every = 0",
+		"SET incremental = on",
+		"CREATE TABLE pts (id INT, x FLOAT, y FLOAT)",
+	} {
+		if _, err := db.Exec(stmt); err != nil {
+			return "", err
+		}
+	}
+	const batch = 1024
+	const tail = 256            // rows logged past the checkpoint (the replayed WAL tail)
+	span := clusterSpan(n) / 50 // well past subcritical: regrouping must chase dense neighborhoods
+	pts := ClusterPoints(n+tail, span, seed)
+	insert := func(lo, hi int) error {
+		var b strings.Builder
+		b.WriteString("INSERT INTO pts VALUES ")
+		for i := lo; i < hi; i++ {
+			if i > lo {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "(%d, %.6f, %.6f)", i, pts.At(i)[0], pts.At(i)[1])
+		}
+		_, err := db.Exec(b.String())
+		return err
+	}
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		if err := insert(lo, hi); err != nil {
+			return "", err
+		}
+	}
+	// Group once so the evaluator exists, checkpoint it, then log one
+	// batch past the checkpoint — the WAL tail a warm start replays.
+	if _, err := db.Query(recoveryQuery); err != nil {
+		return "", err
+	}
+	if _, err := db.Exec("CHECKPOINT"); err != nil {
+		return "", err
+	}
+	if err := insert(n, n+tail); err != nil {
+		return "", err
+	}
+	return recoveryQuery, nil
+}
+
+// StripSnapshots deletes every checkpoint from dir, forcing the next
+// open into a cold full-WAL replay. The WAL still holds every record
+// (SetupRecoveryDir checkpoints once, which retains all segments).
+func StripSnapshots(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".ck") {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// TimeRecovery measures crash-restart to first answer: open the
+// directory (recovery runs inside OpenDir), then re-run the grouping
+// incrementally. It returns the elapsed time and the group count.
+func TimeRecovery(dir, query string) (time.Duration, int, error) {
+	start := time.Now()
+	db, err := sgb.OpenDir(dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer db.Close()
+	if _, err := db.Exec("SET incremental = on"); err != nil {
+		return 0, 0, err
+	}
+	rows, err := db.Query(query)
+	if err != nil {
+		return 0, 0, err
+	}
+	return time.Since(start), rows.Len(), nil
+}
+
+// copyDir clones the flat recovery directory (no subdirectories).
+func copyDir(src, dst string) error {
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

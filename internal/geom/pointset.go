@@ -176,6 +176,12 @@ func (s *PointSet) Gather(indices []int32) *PointSet {
 	return out
 }
 
+// Data returns the flat backing buffer (stride Dims) — the
+// serialization view the checkpoint writer copies out. The returned
+// slice aliases the set's storage: treat it as read-only, and use it
+// before the next append (which may move the buffer).
+func (s *PointSet) Data() []float64 { return s.data }
+
 // Points materializes the set as a []Point of zero-copy views.
 func (s *PointSet) Points() []Point {
 	out := make([]Point, s.Len())

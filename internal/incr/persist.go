@@ -1,0 +1,78 @@
+package incr
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/sgb-db/sgb/internal/core"
+)
+
+// State is the portable snapshot of an Incremental handle: the
+// semantics, the creation-time options, and — once the first batch has
+// fixed the dimensionality — the underlying evaluator's exported state.
+// The checkpoint writer serializes it; Restore rebuilds a handle that
+// continues exactly where the original stood.
+type State struct {
+	Sem Semantics
+	Opt core.Options // creation-time snapshot, Stats stripped
+	// Exactly one of All/Any is non-nil once a batch has been appended;
+	// both nil for a still-empty handle.
+	All *core.AllState
+	Any *core.AnyState
+}
+
+// ExportState snapshots the handle. It fails if the public Opt field
+// was mutated (the same guard Append and Result apply — a snapshot of
+// inconsistent state would be unrecoverable garbage).
+func (x *Incremental) ExportState() (*State, error) {
+	if x.Opt != x.snap {
+		return nil, ErrOptionsMutated
+	}
+	opt := x.snap
+	opt.Stats = nil
+	s := &State{Sem: x.sem, Opt: opt}
+	switch {
+	case x.all != nil:
+		s.All = x.all.ExportState()
+	case x.any != nil:
+		s.Any = x.any.ExportState()
+	}
+	return s, nil
+}
+
+// Restore rebuilds an Incremental from a snapshot. Corrupt snapshots
+// (both evaluators present, semantics/evaluator mismatch, or an
+// evaluator state the core restore rejects) return an error.
+func Restore(s *State) (*Incremental, error) {
+	if s == nil {
+		return nil, errors.New("incr: nil state")
+	}
+	x, err := New(s.Sem, s.Opt)
+	if err != nil {
+		return nil, err
+	}
+	if s.All != nil && s.Any != nil {
+		return nil, errors.New("incr: state holds both evaluator kinds")
+	}
+	switch {
+	case s.All != nil:
+		if s.Sem != All {
+			return nil, fmt.Errorf("incr: %v state with an SGB-All evaluator", s.Sem)
+		}
+		x.all, err = core.RestoreAllEvaluator(s.All)
+		if err != nil {
+			return nil, err
+		}
+		x.dims = s.All.Dims
+	case s.Any != nil:
+		if s.Sem != Any {
+			return nil, fmt.Errorf("incr: %v state with an SGB-Any evaluator", s.Sem)
+		}
+		x.any, err = core.RestoreAnyEvaluator(s.Any)
+		if err != nil {
+			return nil, err
+		}
+		x.dims = s.Any.Dims
+	}
+	return x, nil
+}

@@ -1,0 +1,163 @@
+package incr
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/sgb-db/sgb/internal/core"
+	"github.com/sgb-db/sgb/internal/geom"
+)
+
+func incrBatch(r *rand.Rand, dims, n int) *geom.PointSet {
+	ps := geom.NewPointSetCap(dims, n)
+	for i := 0; i < n; i++ {
+		p := ps.Extend()
+		for d := range p {
+			p[d] = float64(r.Intn(10)) + 0.3*r.Float64()
+		}
+	}
+	return ps
+}
+
+func sameIncrResult(t *testing.T, label string, a, b *Incremental) {
+	t.Helper()
+	ra, err := a.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ra, rb) {
+		t.Fatalf("%s: results diverge\n original: %+v\n restored: %+v", label, ra, rb)
+	}
+}
+
+// TestIncrementalExportRestore round-trips handles of both semantics
+// mid-stream and checks restored handles stay in lockstep with the
+// originals under further appends, removals, and windowing.
+func TestIncrementalExportRestore(t *testing.T) {
+	cases := []struct {
+		name string
+		sem  Semantics
+		opt  core.Options
+	}{
+		{"any-grid", Any, core.Options{Metric: geom.L2, Eps: 1.0, Algorithm: core.GridIndex}},
+		{"all-join-any", All, core.Options{Metric: geom.LInf, Eps: 1.2, Overlap: core.JoinAny, Algorithm: core.GridIndex, Seed: 77}},
+		{"all-eliminate", All, core.Options{Metric: geom.L2, Eps: 1.2, Overlap: core.Eliminate, Algorithm: core.GridIndex}},
+		{"all-form-new", All, core.Options{Metric: geom.L2, Eps: 1.2, Overlap: core.FormNewGroup, Algorithm: core.GridIndex}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(21))
+			x, err := New(tc.sem, tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for b := 0; b < 3; b++ {
+				if err := x.AppendSet(incrBatch(r, 2, 50)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := x.Window(120); err != nil {
+				t.Fatal(err)
+			}
+
+			st, err := x.ExportState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			y, err := Restore(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if y.Semantics() != tc.sem || y.Dims() != x.Dims() || y.Len() != x.Len() {
+				t.Fatalf("restored shape: sem=%v dims=%d len=%d, want %v/%d/%d",
+					y.Semantics(), y.Dims(), y.Len(), tc.sem, x.Dims(), x.Len())
+			}
+			sameIncrResult(t, "post-restore", x, y)
+
+			r2 := rand.New(rand.NewSource(9))
+			for step := 0; step < 3; step++ {
+				batch := incrBatch(r2, 2, 30)
+				if err := x.AppendSet(batch); err != nil {
+					t.Fatal(err)
+				}
+				if err := y.AppendSet(batch); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := x.Window(100); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := y.Window(100); err != nil {
+					t.Fatal(err)
+				}
+				sameIncrResult(t, "step", x, y)
+			}
+		})
+	}
+}
+
+// TestIncrementalExportEmpty round-trips a handle no batch has touched:
+// dimensionality stays unfixed and the restored handle accepts any.
+func TestIncrementalExportEmpty(t *testing.T) {
+	x, err := New(Any, core.Options{Metric: geom.L2, Eps: 0.5, Algorithm: core.GridIndex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := x.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.All != nil || st.Any != nil {
+		t.Fatal("empty handle exported an evaluator")
+	}
+	y, err := Restore(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Dims() != 0 || y.Len() != 0 {
+		t.Fatalf("restored empty handle has dims=%d len=%d", y.Dims(), y.Len())
+	}
+	if err := y.AppendSet(incrBatch(rand.New(rand.NewSource(1)), 3, 10)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalRestoreRejects covers the handle-level corruption
+// paths (the evaluator-level ones live in core's persist tests).
+func TestIncrementalRestoreRejects(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	x, err := New(All, core.Options{Metric: geom.L2, Eps: 1.0, Overlap: core.JoinAny, Algorithm: core.GridIndex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x.AppendSet(incrBatch(r, 2, 20)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := x.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Restore(nil); err == nil {
+		t.Error("nil state accepted")
+	}
+	wrongSem := *st
+	wrongSem.Sem = Any
+	if _, err := Restore(&wrongSem); err == nil {
+		t.Error("semantics/evaluator mismatch accepted")
+	}
+	badOpt := *st
+	badOpt.Opt.Eps = 0
+	if _, err := Restore(&badOpt); err == nil {
+		t.Error("invalid options accepted")
+	}
+	// A mutated handle must refuse to export.
+	x.Opt.Eps = 9
+	if _, err := x.ExportState(); err != ErrOptionsMutated {
+		t.Errorf("mutated handle exported: %v", err)
+	}
+}

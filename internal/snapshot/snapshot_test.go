@@ -1,0 +1,232 @@
+package snapshot
+
+import (
+	"math/rand"
+	"os"
+	"reflect"
+	"testing"
+
+	"github.com/sgb-db/sgb/internal/core"
+	"github.com/sgb-db/sgb/internal/geom"
+	"github.com/sgb-db/sgb/internal/incr"
+	"github.com/sgb-db/sgb/internal/storage"
+	"github.com/sgb-db/sgb/internal/types"
+)
+
+// sampleSnapshot builds a snapshot with two tables and two live
+// incremental evaluators (one per semantics), exercising every payload
+// section.
+func sampleSnapshot(t *testing.T, seq uint64) *Snapshot {
+	t.Helper()
+	pts := storage.NewTable("pts", storage.Schema{
+		{Name: "id", Type: types.KindInt},
+		{Name: "x", Type: types.KindFloat},
+		{Name: "y", Type: types.KindFloat},
+		{Name: "tag", Type: types.KindText},
+	})
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 40; i++ {
+		pts.MustInsert(types.Row{
+			types.Int(int64(i)),
+			types.Float(float64(r.Intn(8)) + 0.5*r.Float64()),
+			types.Float(float64(r.Intn(8)) + 0.5*r.Float64()),
+			types.Text("t"),
+		})
+	}
+	empty := storage.NewTable("empty", storage.Schema{{Name: "v", Type: types.KindFloat}})
+
+	mkIncr := func(sem incr.Semantics, opt core.Options) *incr.State {
+		x, err := incr.New(sem, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps := geom.NewPointSetCap(2, pts.Len())
+		for _, row := range pts.Rows {
+			p := ps.Extend()
+			p[0], p[1] = row[1].F, row[2].F
+		}
+		if err := x.AppendSet(ps); err != nil {
+			t.Fatal(err)
+		}
+		if err := x.Remove([]int{0, 3, 17}); err != nil {
+			t.Fatal(err)
+		}
+		st, err := x.ExportState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	return &Snapshot{
+		Seq:    seq,
+		Tables: []*storage.Table{pts, empty},
+		Incr: []IncrEntry{
+			{
+				Table:       "pts",
+				Fingerprint: "any|grid",
+				Consumed:    40,
+				State:       mkIncr(incr.Any, core.Options{Metric: geom.L2, Eps: 1.0, Algorithm: core.GridIndex}),
+			},
+			{
+				Table:       "pts",
+				Fingerprint: "all|join-any",
+				Consumed:    40,
+				State:       mkIncr(incr.All, core.Options{Metric: geom.LInf, Eps: 1.2, Overlap: core.JoinAny, Algorithm: core.GridIndex, Seed: 5}),
+			},
+		},
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := sampleSnapshot(t, 37)
+	path, err := Write(dir, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != want.Seq {
+		t.Fatalf("seq = %d, want %d", got.Seq, want.Seq)
+	}
+	if len(got.Tables) != len(want.Tables) {
+		t.Fatalf("tables = %d, want %d", len(got.Tables), len(want.Tables))
+	}
+	for i, wt := range want.Tables {
+		gt := got.Tables[i]
+		if gt.Name != wt.Name || !reflect.DeepEqual(gt.Schema, wt.Schema) {
+			t.Fatalf("table %d header mismatch", i)
+		}
+		if len(gt.Rows) != len(wt.Rows) {
+			t.Fatalf("table %s rows = %d, want %d", wt.Name, len(gt.Rows), len(wt.Rows))
+		}
+		for j := range wt.Rows {
+			if !reflect.DeepEqual(gt.Rows[j], wt.Rows[j]) {
+				t.Fatalf("table %s row %d mismatch", wt.Name, j)
+			}
+		}
+	}
+	if len(got.Incr) != len(want.Incr) {
+		t.Fatalf("incr entries = %d, want %d", len(got.Incr), len(want.Incr))
+	}
+	for i, we := range want.Incr {
+		ge := got.Incr[i]
+		if ge.Table != we.Table || ge.Fingerprint != we.Fingerprint || ge.Consumed != we.Consumed {
+			t.Fatalf("entry %d keys mismatch: %+v", i, ge)
+		}
+		// The decoded state must restore to a working handle producing
+		// the same grouping as one restored from the original state.
+		xa, err := incr.Restore(we.State)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xb, err := incr.Restore(ge.State)
+		if err != nil {
+			t.Fatalf("entry %d: decoded state does not restore: %v", i, err)
+		}
+		ra, _ := xa.Result()
+		rb, _ := xb.Result()
+		if !reflect.DeepEqual(ra, rb) {
+			t.Fatalf("entry %d: restored groupings diverge", i)
+		}
+	}
+}
+
+// TestCorruptionDetection flips or truncates bytes across the file and
+// checks Load always fails — a snapshot is all-or-nothing.
+func TestCorruptionDetection(t *testing.T) {
+	dir := t.TempDir()
+	path, err := Write(dir, sampleSnapshot(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := len(whole)/97 + 1
+	for pos := 0; pos < len(whole); pos += step {
+		garbled := append([]byte(nil), whole...)
+		garbled[pos] ^= 0x41
+		if err := os.WriteFile(path, garbled, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(path); err == nil {
+			t.Fatalf("flip at %d: corrupt snapshot loaded", pos)
+		}
+	}
+	for cut := 0; cut < len(whole); cut += step {
+		if err := os.WriteFile(path, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(path); err == nil {
+			t.Fatalf("truncation at %d: torn snapshot loaded", cut)
+		}
+	}
+}
+
+// TestLatestFallsBack corrupts the newest snapshot and checks Latest
+// returns the previous one, reporting the skip.
+func TestLatestFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Write(dir, sampleSnapshot(t, 10)); err != nil {
+		t.Fatal(err)
+	}
+	newest, err := Write(dir, sampleSnapshot(t, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xFF
+	if err := os.WriteFile(newest, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, path, skipped, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == nil || s.Seq != 10 {
+		t.Fatalf("Latest fell back to %+v, want seq 10", s)
+	}
+	if skipped != 1 {
+		t.Fatalf("skipped = %d, want 1", skipped)
+	}
+	if path != Path(dir, 10) {
+		t.Fatalf("path = %s", path)
+	}
+}
+
+func TestLatestEmpty(t *testing.T) {
+	s, path, skipped, err := Latest(t.TempDir() + "/nonexistent")
+	if err != nil || s != nil || path != "" || skipped != 0 {
+		t.Fatalf("Latest on missing dir: %v %v %q %d", s, err, path, skipped)
+	}
+}
+
+func TestPruneRetention(t *testing.T) {
+	dir := t.TempDir()
+	for _, seq := range []uint64{3, 9, 15, 22} {
+		if _, err := Write(dir, &Snapshot{Seq: seq}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	floor, err := Prune(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if floor != 15 {
+		t.Fatalf("retained floor = %d, want 15", floor)
+	}
+	infos, err := List(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 || infos[0].Seq != 15 || infos[1].Seq != 22 {
+		t.Fatalf("retained %+v", infos)
+	}
+}

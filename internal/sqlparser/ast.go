@@ -154,6 +154,12 @@ type SetStmt struct {
 
 func (*SetStmt) stmt() {}
 
+// CheckpointStmt is CHECKPOINT: snapshot a persistent database's state
+// now and prune the log it covers.
+type CheckpointStmt struct{}
+
+func (*CheckpointStmt) stmt() {}
+
 // Expr is a SQL expression node.
 type Expr interface {
 	expr()

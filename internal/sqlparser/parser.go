@@ -106,8 +106,13 @@ func (p *parser) parseStatement() (Statement, error) {
 		// statement form begins with a bare identifier, so dispatching
 		// on the leading word is unambiguous.
 		return p.parseSet()
+	case p.atIdentWord("CHECKPOINT"):
+		// CHECKPOINT follows the SET/DELETE pattern: a bare-identifier
+		// statement lead, not a reserved word.
+		p.next()
+		return &CheckpointStmt{}, nil
 	default:
-		return nil, p.errorf("expected SELECT, CREATE, INSERT, DELETE, DROP, or SET, found %q", p.peek().Text)
+		return nil, p.errorf("expected SELECT, CREATE, INSERT, DELETE, DROP, SET, or CHECKPOINT, found %q", p.peek().Text)
 	}
 }
 

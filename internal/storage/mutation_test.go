@@ -2,6 +2,7 @@ package storage
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"github.com/sgb-db/sgb/internal/types"
@@ -42,6 +43,30 @@ func TestDeleteRows(t *testing.T) {
 		if tab.Generation() != gen || tab.Len() != 4 {
 			t.Fatalf("failed DeleteRows(%v) mutated the table", bad)
 		}
+	}
+}
+
+// TestDeleteRowsDuplicateIndex pins the distinct rejection for
+// duplicated indices: a duplicate means the caller double-counted a
+// row, and the error must say so rather than blaming sort order.
+func TestDeleteRowsDuplicateIndex(t *testing.T) {
+	tab := testTable()
+	err := tab.DeleteRows([]int{0, 2, 2, 4})
+	if err == nil {
+		t.Fatal("duplicate delete index accepted")
+	}
+	if !strings.Contains(err.Error(), "duplicate delete index 2") {
+		t.Fatalf("duplicate error reads %q, want the duplicate called out", err)
+	}
+	err = tab.DeleteRows([]int{3, 1})
+	if err == nil {
+		t.Fatal("unsorted delete indices accepted")
+	}
+	if !strings.Contains(err.Error(), "sorted ascending") || strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("disorder error reads %q, want the sortable mistake called out", err)
+	}
+	if tab.Len() != 6 {
+		t.Fatal("failed deletes mutated the table")
 	}
 }
 

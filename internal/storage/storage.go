@@ -123,8 +123,17 @@ func (t *Table) DeleteRows(idx []int) error {
 		if i < 0 || i >= len(t.Rows) {
 			return fmt.Errorf("storage: %s: delete index %d out of range [0, %d)", t.Name, i, len(t.Rows))
 		}
-		if k > 0 && idx[k-1] >= i {
-			return fmt.Errorf("storage: %s: delete indices must be sorted ascending and distinct", t.Name)
+		if k > 0 {
+			// Distinguish duplicates from mere disorder: a duplicate
+			// usually means the caller double-counted a row (and silently
+			// deduplicating would hide that bug), while disorder is a
+			// sortable mistake.
+			if idx[k-1] == i {
+				return fmt.Errorf("storage: %s: duplicate delete index %d", t.Name, i)
+			}
+			if idx[k-1] > i {
+				return fmt.Errorf("storage: %s: delete indices must be sorted ascending (%d after %d)", t.Name, i, idx[k-1])
+			}
 		}
 	}
 	kept := t.Rows[:0]
@@ -239,49 +248,62 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// ReadCSV loads a table previously produced by WriteCSV.
+// ReadCSV loads a table previously produced by WriteCSV. Every
+// rejection carries its position — the header column or the 1-based
+// data row and column name — so a bad cell in a large file is
+// findable: malformed cells, non-finite floats, ragged rows, and a
+// missing or malformed header all report where, never panic.
 func ReadCSV(name string, r io.Reader) (*Table, error) {
 	cr := csv.NewReader(r)
 	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("storage: empty CSV input (missing header)")
+	}
 	if err != nil {
 		return nil, fmt.Errorf("storage: reading CSV header: %w", err)
 	}
 	schema := make(Schema, len(header))
 	for i, h := range header {
 		parts := strings.SplitN(h, ":", 2)
-		if len(parts) != 2 {
-			return nil, fmt.Errorf("storage: malformed CSV header cell %q", h)
+		if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+			return nil, fmt.Errorf("storage: CSV header column %d: malformed cell %q (want name:type)", i+1, h)
 		}
 		kind, err := types.ParseKind(parts[1])
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("storage: CSV header column %d: %w", i+1, err)
 		}
 		schema[i] = Column{Name: parts[0], Type: kind}
 	}
 	t := NewTable(name, schema)
-	for {
+	for rowNum := 1; ; rowNum++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("storage: reading CSV row: %w", err)
+			// Ragged rows land here: the csv reader enforces the header's
+			// field count on every record.
+			return nil, fmt.Errorf("storage: CSV row %d: %w", rowNum, err)
 		}
 		row := make(types.Row, len(rec))
 		for i, cell := range rec {
 			v, err := parseCell(cell, schema[i].Type)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("storage: CSV row %d, column %q: %w", rowNum, schema[i].Name, err)
 			}
 			row[i] = v
 		}
 		if err := t.Insert(row); err != nil {
-			return nil, err
+			// Insert rejections (non-finite floats, kind mismatches) carry
+			// the column; add the row.
+			return nil, fmt.Errorf("storage: CSV row %d: %w", rowNum, err)
 		}
 	}
 	return t, nil
 }
 
+// parseCell parses one CSV cell; errors are unpositioned (ReadCSV
+// wraps them with row and column).
 func parseCell(cell string, kind types.Kind) (types.Value, error) {
 	if cell == "NULL" {
 		return types.Null(), nil
@@ -290,13 +312,13 @@ func parseCell(cell string, kind types.Kind) (types.Value, error) {
 	case types.KindInt:
 		i, err := strconv.ParseInt(cell, 10, 64)
 		if err != nil {
-			return types.Value{}, fmt.Errorf("storage: bad int %q", cell)
+			return types.Value{}, fmt.Errorf("bad int %q", cell)
 		}
 		return types.Int(i), nil
 	case types.KindFloat:
 		f, err := strconv.ParseFloat(cell, 64)
 		if err != nil {
-			return types.Value{}, fmt.Errorf("storage: bad float %q", cell)
+			return types.Value{}, fmt.Errorf("bad float %q", cell)
 		}
 		return types.Float(f), nil
 	case types.KindText:
@@ -308,10 +330,10 @@ func parseCell(cell string, kind types.Kind) (types.Value, error) {
 		case "false":
 			return types.Bool(false), nil
 		}
-		return types.Value{}, fmt.Errorf("storage: bad bool %q", cell)
+		return types.Value{}, fmt.Errorf("bad bool %q", cell)
 	case types.KindDate:
 		return types.ParseDate(cell)
 	default:
-		return types.Value{}, fmt.Errorf("storage: unsupported CSV kind %s", kind)
+		return types.Value{}, fmt.Errorf("unsupported CSV kind %s", kind)
 	}
 }

@@ -138,3 +138,40 @@ func TestReadCSVErrors(t *testing.T) {
 		t.Errorf("NULL cell: %v, %v", tab, err)
 	}
 }
+
+// TestReadCSVErrorPositions pins that every rejection names where it
+// happened — header column, or data row plus column — and that no
+// malformed input panics.
+func TestReadCSVErrorPositions(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string // substrings the error must contain
+	}{
+		{"empty input", "", []string{"empty CSV input"}},
+		{"typeless header cell", "a:INT,b\n", []string{"header column 2", `"b"`}},
+		{"empty header name", ":INT\n", []string{"header column 1"}},
+		{"unknown header type", "a:WIDGET\n", []string{"header column 1"}},
+		{"bad int cell", "a:INT,b:INT\n1,2\n3,x\n", []string{"row 2", `column "b"`, "bad int"}},
+		{"bad float cell", "a:FLOAT\n0.5\nnope\n", []string{"row 2", `column "a"`, "bad float"}},
+		{"bad bool cell", "a:BOOL\nmaybe\n", []string{"row 1", `column "a"`, "bad bool"}},
+		{"bad date cell", "a:DATE\n1995-13-01\n", []string{"row 1", `column "a"`}},
+		{"non-finite float", "a:FLOAT\n1.5\n+Inf\n", []string{"row 2", "non-finite"}},
+		{"NaN float", "a:FLOAT\nNaN\n", []string{"row 1", "non-finite"}},
+		{"ragged row short", "a:INT,b:INT\n1,2\n3\n", []string{"row 2"}},
+		{"ragged row long", "a:INT,b:INT\n1,2\n3,4,5\n", []string{"row 2"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadCSV("t", strings.NewReader(tc.src))
+			if err == nil {
+				t.Fatalf("ReadCSV accepted %q", tc.src)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q does not mention %q", err, want)
+				}
+			}
+		})
+	}
+}

@@ -128,6 +128,31 @@ func (u *UF) Absorb(o *UF, global []int32) {
 	}
 }
 
+// Snapshot returns copies of the forest's internal arrays and its set
+// count, for serialization. The copies do not alias the forest; later
+// mutations leave them untouched.
+func (u *UF) Snapshot() (parent []int32, rank []int8, count int) {
+	parent = append([]int32(nil), u.parent...)
+	rank = append([]int8(nil), u.rank...)
+	return parent, rank, u.count
+}
+
+// Restore rebuilds a forest from a Snapshot, adopting (not copying) the
+// slices. It validates that every parent pointer is in range and that
+// count is plausible, so a corrupt snapshot cannot build a forest whose
+// Find loops out of bounds.
+func Restore(parent []int32, rank []int8, count int) (*UF, bool) {
+	if len(parent) != len(rank) || count < 0 || count > len(parent) {
+		return nil, false
+	}
+	for _, p := range parent {
+		if p < 0 || int(p) >= len(parent) {
+			return nil, false
+		}
+	}
+	return &UF{parent: parent, rank: rank, count: count}, true
+}
+
 // Sets returns the current partition as a map from root id to the
 // sorted-by-insertion slice of member ids. Intended for result
 // extraction and tests; O(n).

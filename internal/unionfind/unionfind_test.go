@@ -140,3 +140,49 @@ func BenchmarkUnionFind(b *testing.B) {
 		_ = u.Find(9999)
 	}
 }
+
+func TestSnapshotRestore(t *testing.T) {
+	u := New(6)
+	u.Union(0, 1)
+	u.Union(2, 3)
+	u.Union(1, 3)
+	parent, rank, count := u.Snapshot()
+	v, ok := Restore(parent, rank, count)
+	if !ok {
+		t.Fatal("Restore rejected a valid snapshot")
+	}
+	if v.Count() != u.Count() || v.Len() != u.Len() {
+		t.Fatalf("restored count/len = %d/%d, want %d/%d", v.Count(), v.Len(), u.Count(), u.Len())
+	}
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if u.Same(i, j) != v.Same(i, j) {
+				t.Fatalf("partition diverges at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Snapshot copies: mutating the restored forest leaves u alone.
+	v.Union(4, 5)
+	if u.Count() == v.Count() {
+		t.Fatal("snapshot aliases the source forest")
+	}
+}
+
+func TestRestoreRejectsCorrupt(t *testing.T) {
+	cases := []struct {
+		parent []int32
+		rank   []int8
+		count  int
+	}{
+		{[]int32{0, 1}, []int8{0}, 2},     // length mismatch
+		{[]int32{0, 5}, []int8{0, 0}, 2},  // parent out of range
+		{[]int32{0, -1}, []int8{0, 0}, 2}, // negative parent
+		{[]int32{0, 1}, []int8{0, 0}, 3},  // count too large
+		{[]int32{0, 1}, []int8{0, 0}, -1}, // negative count
+	}
+	for i, c := range cases {
+		if _, ok := Restore(c.parent, c.rank, c.count); ok {
+			t.Fatalf("case %d: corrupt snapshot accepted", i)
+		}
+	}
+}

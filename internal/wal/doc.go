@@ -1,0 +1,43 @@
+// Package wal implements the engine's write-ahead log: an append-only,
+// segmented log of logical table mutations (CREATE TABLE, INSERT,
+// DELETE, DROP TABLE) that makes acknowledged statements survive a
+// process crash. Together with package snapshot it forms the
+// durability subsystem — recovery loads the newest valid checkpoint
+// and replays the log tail through the engine's ordinary mutation
+// paths, rather than regrouping every table from scratch.
+//
+// # Framing
+//
+// Each record is one frame: a 4-byte little-endian payload length, a
+// 4-byte CRC32-C of the payload, then the payload (record type byte
+// followed by the record body, values encoded by the row codec in
+// codec.go). Frames never span segments. The reader validates length
+// and checksum per frame and stops cleanly at the first torn or
+// corrupt frame — a crash mid-write can only ever cost the suffix from
+// the torn frame on, never a prefix, and corruption is detected rather
+// than replayed.
+//
+// # Segments
+//
+// The log rotates into fixed-size segment files named
+// wal-<firstSeq>.seg; each segment's header records the sequence
+// number of its first frame, so replay can skip whole segments below a
+// checkpoint's covered sequence and checkpointing can delete segments
+// the newest retained snapshots fully cover (Prune).
+//
+// # Sync policy
+//
+// Append durability is tunable (SET durability at the SQL layer):
+// SyncAlways fsyncs after every append (every acknowledged statement
+// survives), SyncInterval fsyncs when the configured interval has
+// elapsed since the last sync (bounded loss window, much cheaper), and
+// SyncOff leaves flushing to the OS (contents survive process crashes
+// but not machine crashes). Close and rotation always sync.
+//
+// # Fault injection
+//
+// Options.OpenFile lets tests interpose a failpoint writer (FaultFile)
+// that tears or garbles a write at a chosen byte offset or fails the
+// Nth fsync, driving the crash-recovery kill-matrix tests without
+// killing the process.
+package wal

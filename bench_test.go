@@ -172,6 +172,34 @@ func BenchmarkParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelPhases — the per-phase breakdown of the parallel
+// SGB-All pipeline on the Fig9a workload: wall time per phase
+// (partition / connect / arbitrate / merge, reported as *-ms/op
+// metrics) at each worker count. The sequential residue (partition +
+// merge) bounds the achievable speedup; the breakdown makes a scaling
+// regression attributable to a phase instead of a guess.
+func BenchmarkParallelPhases(b *testing.B) {
+	pts := benchPoints(4000, 1)
+	for _, w := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("All/Grid/w=%d", w), func(b *testing.B) {
+			var st sgb.Stats
+			opt := sgb.Options{Metric: sgb.L2, Eps: 0.5, Overlap: sgb.JoinAny,
+				Algorithm: sgb.GridIndex, Seed: 1, Parallelism: w, Stats: &st}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sgb.GroupByAll(pts, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			perOp := func(nanos int64) float64 { return float64(nanos) / 1e6 / float64(b.N) }
+			b.ReportMetric(perOp(st.PartitionNanos), "partition-ms/op")
+			b.ReportMetric(perOp(st.ConnectNanos), "connect-ms/op")
+			b.ReportMetric(perOp(st.ArbitrateNanos), "arbitrate-ms/op")
+			b.ReportMetric(perOp(st.MergeNanos), "merge-ms/op")
+		})
+	}
+}
+
 // BenchmarkIncremental — appending a fixed-size batch (256 points) to
 // an Incremental handle preloaded with base points, against the
 // one-shot cost of regrouping the whole set. Point density is held

@@ -37,16 +37,35 @@ type BaselineEntry struct {
 	// Groups is the output group count (a correctness fingerprint: two
 	// baselines for one seed must agree).
 	Groups int `json:"groups"`
+	// Oversubscribed marks scaling entries whose worker count exceeds
+	// the schedulable CPUs of the recording machine (gomaxprocs):
+	// the workers time-slice one core, so the entry measures sharding
+	// overhead, not scaling — comparisons across baselines must skip it.
+	Oversubscribed bool `json:"oversubscribed,omitempty"`
+	// Phases breaks a parallel SGB-All scaling entry into its pipeline
+	// phases (from the fastest timed run).
+	Phases *PhaseMillis `json:"phase_ms,omitempty"`
+}
+
+// PhaseMillis is the per-phase wall time of one parallel SGB-All run.
+type PhaseMillis struct {
+	Partition float64 `json:"partition"`
+	Connect   float64 `json:"connect"`
+	Arbitrate float64 `json:"arbitrate"`
+	Merge     float64 `json:"merge"`
 }
 
 // Baseline is the full snapshot written by WriteBaseline.
 type Baseline struct {
 	// CreatedUnix is the recording time (Unix seconds).
 	CreatedUnix int64 `json:"created_unix"`
-	// GoOS / GoArch / CPUs describe the recording machine.
-	GoOS   string `json:"goos"`
-	GoArch string `json:"goarch"`
-	CPUs   int    `json:"cpus"`
+	// GoOS / GoArch / CPUs describe the recording machine; GoMaxProcs
+	// is the schedulable-CPU limit the run saw (≤ CPUs under cgroup or
+	// GOMAXPROCS caps), the bound that decides oversubscription.
+	GoOS       string `json:"goos"`
+	GoArch     string `json:"goarch"`
+	CPUs       int    `json:"cpus"`
+	GoMaxProcs int    `json:"gomaxprocs"`
 	// Entries holds the measured series points.
 	Entries []BaselineEntry `json:"entries"`
 }
@@ -62,6 +81,7 @@ func WriteBaseline(w io.Writer, cfg Config) error {
 		GoOS:        runtime.GOOS,
 		GoArch:      runtime.GOARCH,
 		CPUs:        runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
 	}
 
 	// Family "grid": the Fig9a-workload strategy duel (sequential).
@@ -96,13 +116,32 @@ func WriteBaseline(w io.Writer, cfg Config) error {
 			if anySem {
 				series = "Any"
 			}
-			d, g, err := bestOf3(func() (time.Duration, int, error) { return timeParallel(spts, eps, w, anySem) })
+			var best core.Stats
+			var bestD time.Duration
+			d, g, err := bestOf3(func() (time.Duration, int, error) {
+				var st core.Stats
+				d, g, err := timeParallel(spts, eps, w, anySem, &st)
+				if err == nil && (bestD == 0 || d < bestD) {
+					bestD, best = d, st
+				}
+				return d, g, err
+			})
 			if err != nil {
 				return err
 			}
-			b.Entries = append(b.Entries, BaselineEntry{
+			entry := BaselineEntry{
 				Family: "scaling", Series: seriesName(series, w), N: len(spts), Eps: eps, Millis: millis(d), Groups: g,
-			})
+				Oversubscribed: w > b.GoMaxProcs,
+			}
+			if !anySem && w > 1 {
+				entry.Phases = &PhaseMillis{
+					Partition: float64(best.PartitionNanos) / 1e6,
+					Connect:   float64(best.ConnectNanos) / 1e6,
+					Arbitrate: float64(best.ArbitrateNanos) / 1e6,
+					Merge:     float64(best.MergeNanos) / 1e6,
+				}
+			}
+			b.Entries = append(b.Entries, entry)
 		}
 	}
 

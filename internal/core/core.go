@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"github.com/sgb-db/sgb/internal/geom"
 	"github.com/sgb-db/sgb/internal/partition"
@@ -98,19 +99,20 @@ type Options struct {
 	// Stats, when non-nil, accumulates operation counts for the run.
 	Stats *Stats
 
-	// Parallelism selects the worker count of the partition /
-	// shard-local evaluate / merge pipeline. 0 (the default) means
-	// GOMAXPROCS, engaged only for the GridIndex strategy (within its
-	// dimensionality range) and only once the input is large enough to
-	// amortize the sharding overhead — explicitly selected comparison
-	// strategies (All-Pairs, Bounds-Checking, R-tree) keep their
-	// sequential evaluation shape so the paper's strategy experiments
-	// measure what they name. 1 forces the sequential path; any value
-	// ≥ 2 forces that many workers for any strategy and input size.
-	// Negative values are rejected by Validate. Groupings are identical
-	// at every worker count: SGB-Any components are order-independent,
-	// and parallel SGB-All only precomputes the probe/refine distance
-	// work, keeping the paper's sequential arbitration order.
+	// Parallelism selects the worker count of the partition / connect /
+	// arbitrate / merge pipeline. 0 (the default) means GOMAXPROCS,
+	// engaged only for the GridIndex strategy and only once the input
+	// is large enough to amortize the sharding overhead — explicitly
+	// selected comparison strategies (All-Pairs, Bounds-Checking,
+	// R-tree) keep their sequential evaluation shape so the paper's
+	// strategy experiments measure what they name. 1 forces the
+	// sequential path; any value ≥ 2 forces that many workers for any
+	// strategy and input size. Negative values are rejected by
+	// Validate. Groupings are bit-identical at every worker count:
+	// SGB-Any components are order-independent, and parallel SGB-All
+	// arbitrates whole ε-connected components on workers and merges
+	// their outputs back into the sequential processing order (keyed
+	// JOIN-ANY draws make components independent; see parallelall.go).
 	Parallelism int
 
 	// IndexHysteresis tunes when the on-the-fly index refreshes a
@@ -190,6 +192,15 @@ type Stats struct {
 	GroupsCreated        int64
 	GroupMerges          int64 // SGB-Any merges
 	RecursionDepth       int   // FORM-NEW-GROUP recursion depth reached
+
+	// Per-phase wall-clock of the parallel SGB-All pipeline (zero when
+	// the run stayed sequential). The split shows where a worker sweep
+	// stops scaling: partition and merge are the sequential residue,
+	// connect and arbitrate are the parallel sections.
+	PartitionNanos int64 // multi-axis ε-tile planning
+	ConnectNanos   int64 // per-tile + frontier ε-component discovery
+	ArbitrateNanos int64 // per-batch traced arbitration
+	MergeNanos     int64 // provenance-key sort + result assembly
 }
 
 func (s *Stats) addDist(n int64) {
@@ -233,6 +244,34 @@ func (s *Stats) noteDepth(d int) {
 	}
 }
 
+// Phases of the parallel SGB-All pipeline, for notePhase.
+const (
+	phasePartition = iota
+	phaseConnect
+	phaseArbitrate
+	phaseMerge
+)
+
+// notePhase charges the wall-clock since *start to the given pipeline
+// phase and advances *start — nil-safe like the counters.
+func (s *Stats) notePhase(phase int, start *time.Time) {
+	now := time.Now()
+	if s != nil {
+		d := now.Sub(*start).Nanoseconds()
+		switch phase {
+		case phasePartition:
+			s.PartitionNanos += d
+		case phaseConnect:
+			s.ConnectNanos += d
+		case phaseArbitrate:
+			s.ArbitrateNanos += d
+		case phaseMerge:
+			s.MergeNanos += d
+		}
+	}
+	*start = now
+}
+
 // merge folds a worker-private Stats into s. Parallel stages hand each
 // worker its own counter block so the hot path never shares cache
 // lines; the coordinator merges after the workers join.
@@ -250,6 +289,10 @@ func (s *Stats) merge(o *Stats) {
 	if o.RecursionDepth > s.RecursionDepth {
 		s.RecursionDepth = o.RecursionDepth
 	}
+	s.PartitionNanos += o.PartitionNanos
+	s.ConnectNanos += o.ConnectNanos
+	s.ArbitrateNanos += o.ArbitrateNanos
+	s.MergeNanos += o.MergeNanos
 }
 
 // Group is one output group; Members are indices into the input slice,
@@ -301,19 +344,31 @@ func checkInput(points []geom.Point) (int, error) {
 // rng is a small deterministic PRNG (splitmix64) used for the JOIN-ANY
 // arbitration; math/rand would also do, but an explicit generator keeps
 // the operator self-contained and its state obvious.
+//
+// Draws are KEYED, not streamed: splitmix64 is a counter-based
+// generator (the state advances by a fixed odd constant γ per step), so
+// the k-th value of the stream is a pure function mix(state + (k+1)·γ)
+// of the seed state. JOIN-ANY keys every draw by the drawing point's
+// live rank (its position among the surviving points in arrival order)
+// instead of consuming a shared sequential stream. The draws stay
+// deterministic per (seed, point sequence) — and, crucially, they stop
+// depending on HOW MANY other points happened to face a multi-candidate
+// choice earlier, which is what lets the parallel pipeline arbitrate
+// ε-connected components independently and the decremental path replay
+// survivors, both bit-identical to a sequential run.
 type rng struct{ state uint64 }
 
-func newRNG(seed int64) *rng { return &rng{state: uint64(seed)*0x9E3779B97F4A7C15 + 1} }
+const splitmixGamma = 0x9E3779B97F4A7C15
 
-func (r *rng) next() uint64 {
-	r.state += 0x9E3779B97F4A7C15
-	z := r.state
+func newRNG(seed int64) *rng { return &rng{state: uint64(seed)*splitmixGamma + 1} }
+
+// drawAt returns the keyed uniform draw in [0, n) for key k ≥ 0: the
+// (k+1)-th output of the splitmix64 stream seeded at r.state. r.state
+// itself never advances.
+func (r *rng) drawAt(k int, n int) int {
+	z := r.state + (uint64(k)+1)*splitmixGamma
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	return z ^ (z >> 31)
-}
-
-// intn returns a uniform value in [0, n).
-func (r *rng) intn(n int) int {
-	return int(r.next() % uint64(n))
+	z ^= z >> 31
+	return int(z % uint64(n))
 }

@@ -241,7 +241,11 @@ func (e *AllEvaluator) Remove(ids []int) error {
 // replay rebuilds the arbitration state from scratch over the live
 // points of pts in arrival order, seeding the PRNG exactly as a
 // one-shot run would. The old state is discarded wholesale (groups,
-// finder, deferred set); the point log is shared.
+// finder, deferred set); the point log is shared. JOIN-ANY draws are
+// keyed by live rank, so each survivor draws exactly the value a
+// from-scratch run over the survivors would hand it — the rank map
+// below is what aligns stored indices (with holes) to that compact
+// numbering.
 func (e *AllEvaluator) replay(pts *geom.PointSet) {
 	st := &sgbAllState{
 		points:     pts,
@@ -256,6 +260,13 @@ func (e *AllEvaluator) replay(pts *geom.PointSet) {
 	st.finder = newFinder(st)
 	e.st = st
 	if e.live != nil {
+		st.rank = make([]int32, pts.Len())
+		for i := range st.rank {
+			st.rank[i] = -1 // tombstoned positions never draw
+		}
+		for k, pos := range e.live {
+			st.rank[pos] = int32(k)
+		}
 		for _, pos := range e.live {
 			st.processOne(int(pos))
 		}

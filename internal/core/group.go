@@ -88,14 +88,55 @@ type sgbAllState struct {
 
 	// pointGroup maps each placed input index to the id of the group
 	// currently holding it (-1 while unplaced, eliminated, or
-	// deferred). The adjacency finder of the parallel pipeline resolves
-	// neighbor points to groups through it; maintenance is one store
-	// per placement, so the sequential strategies pay nothing
-	// measurable for it.
+	// deferred). Maintenance is one store per placement, so the
+	// sequential strategies pay nothing measurable for it; the parallel
+	// pipeline's worker states share one array with component-disjoint
+	// writes.
 	pointGroup []int32
+
+	// rank maps stored point index → live rank (the point's position
+	// among the surviving points in arrival order), the key of its
+	// JOIN-ANY draw. nil means the identity: stored order IS live order,
+	// which holds for every one-shot run and for evaluators that never
+	// removed a point. The decremental replay populates it so a
+	// replayed survivor draws with the same key a from-scratch run over
+	// the survivors would use.
+	rank []int32
+
+	// trace, when non-nil, records the provenance keys the parallel
+	// SGB-All merge sorts by (see parallelall.go). Sequential runs leave
+	// it nil.
+	trace *allTrace
 
 	hullPts     []geom.Point       // scratch member-point views for hull rebuilds
 	hullScratch convexhull.Scratch // reusable sort/chain buffers for hull rebuilds
+}
+
+// drawKey returns the JOIN-ANY draw key of stored point pi: its live
+// rank.
+func (st *sgbAllState) drawKey(pi int) int {
+	if st.rank != nil {
+		return int(st.rank[pi])
+	}
+	return pi
+}
+
+// eliminatePoint records m as dropped by ELIMINATE (and its event key,
+// when the parallel pipeline is tracing).
+func (st *sgbAllState) eliminatePoint(m int) {
+	st.eliminated = append(st.eliminated, m)
+	if st.trace != nil {
+		st.trace.elimKeys = append(st.trace.elimKeys, st.trace.eventKey())
+	}
+}
+
+// deferPoint records m as deferred into the FORM-NEW-GROUP set S′ (and
+// its event key, when the parallel pipeline is tracing).
+func (st *sgbAllState) deferPoint(m int) {
+	st.deferred = append(st.deferred, m)
+	if st.trace != nil {
+		st.trace.deferKeys = append(st.trace.deferKeys, st.trace.eventKey())
+	}
 }
 
 // finder abstracts FindCloseGroups over the strategies.
@@ -200,6 +241,9 @@ func (st *sgbAllState) newGroupFor(pi int) *group {
 	g.hullDirty = true
 	st.groups = append(st.groups, g)
 	st.pointGroup[pi] = int32(g.id)
+	if st.trace != nil {
+		st.trace.noteGroup()
+	}
 	st.opt.Stats.addCreated(1)
 	st.finder.groupCreated(st, g)
 	return g

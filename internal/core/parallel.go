@@ -9,78 +9,83 @@ import (
 	"github.com/sgb-db/sgb/internal/unionfind"
 )
 
-// This file is the parallel arm of the evaluation pipeline:
+// This file is the parallel arm of the SGB-Any pipeline (SGB-All's
+// parallel pipeline lives in parallelall.go and shares the frontier
+// machinery below):
 //
-//	partition  — stripe the input into ε-aligned slabs (internal/partition)
-//	evaluate   — per-shard SGB-Any runs on worker goroutines, each into
-//	             a private Union-Find over the shard's sub-PointSet
-//	boundary   — per-cut band probes emitting cross-shard within-ε
-//	             edges, also on workers
-//	merge      — a single-threaded Union-Find reduction folding shard
-//	             partitions and boundary edges into the global forest
+//	partition — cut the input into multi-axis ε-tiles (internal/partition)
+//	evaluate  — per-tile SGB-Any runs on worker goroutines, each into
+//	            a private Union-Find over the tile's sub-PointSet
+//	frontier  — probes over the frontier band emitting cross-tile
+//	            within-ε edges, chunked across workers against one
+//	            bulk-loaded read-only ε-grid
+//	merge     — a single-threaded Union-Find reduction folding tile
+//	            partitions and frontier edges into the global forest
 //
 // SGB-Any's connected-component semantics are order-independent, so
-// the sharded evaluation is exact: every ε-edge of the similarity
-// graph is either intra-shard (found by the shard-local run) or spans
-// one cut between adjacent slabs (found by the boundary probe).
-
-// sgbAnyParallel runs the sharded SGB-Any pipeline with the given
-// worker count. It reports false when the input cannot be split into
-// at least two ε-aligned slabs (the caller then evaluates
-// sequentially).
+// the tiled evaluation is exact: every ε-edge of the similarity graph
+// is either intra-tile (found by the tile-local run) or has both
+// endpoints in the frontier (found by the frontier probe) — the
+// partition invariant proved in internal/partition.
+//
+// sgbAnyParallel runs the tiled SGB-Any pipeline with the given worker
+// count. It reports false when the input cannot be split into at least
+// two ε-tiles (the caller then evaluates sequentially).
 func sgbAnyParallel(ps *geom.PointSet, opt Options, uf *unionfind.UF, workers int) bool {
 	plan := partition.Split(ps, opt.Eps, workers)
 	if plan == nil {
 		return false
 	}
 
-	type shardResult struct {
+	type tileResult struct {
 		uf    *unionfind.UF
 		stats Stats
 	}
-	shardRes := make([]shardResult, len(plan.Shards))
-	boundEdges := make([][]unionfind.Edge, len(plan.Bounds))
-	boundStats := make([]Stats, len(plan.Bounds))
+	tileRes := make([]tileResult, len(plan.Tiles))
+	frontEdges := make([][]unionfind.Edge, workers)
+	frontStats := make([]Stats, workers)
+	ftab := frontierGrid(ps, opt.Eps, plan.Frontier)
 
-	// Evaluate and boundary stages share the worker pool: both are
+	// Evaluate and frontier stages share the worker pool: both are
 	// read-only over the input and write only worker-private state.
 	var wg sync.WaitGroup
-	for si := range plan.Shards {
+	for ti := range plan.Tiles {
 		wg.Add(1)
-		go func(si int) {
+		go func(ti int) {
 			defer wg.Done()
-			sh := &plan.Shards[si]
+			tile := &plan.Tiles[ti]
 			local := opt
-			local.Stats = &shardRes[si].stats
-			shardRes[si].uf = unionfind.New(sh.Points.Len())
-			sgbAnyLocal(sh.Points, local, shardRes[si].uf)
-		}(si)
+			local.Stats = &tileRes[ti].stats
+			tileRes[ti].uf = unionfind.New(tile.Points.Len())
+			sgbAnyLocal(tile.Points, local, tileRes[ti].uf)
+		}(ti)
 	}
-	for bi := range plan.Bounds {
+	for wi := 0; wi < workers; wi++ {
 		wg.Add(1)
-		go func(bi int) {
+		go func(wi int) {
 			defer wg.Done()
-			boundEdges[bi] = boundaryEdges(ps, opt, plan.Bounds[bi], &boundStats[bi])
-		}(bi)
+			lo, hi := chunkRange(len(plan.Frontier), workers, wi)
+			frontEdges[wi] = frontierEdges(ps, opt, plan, ftab, lo, hi, &frontStats[wi])
+		}(wi)
 	}
 	wg.Wait()
 
-	// Merge: fold shard partitions and boundary edges into the shared
+	// Merge: fold tile partitions and frontier edges into the shared
 	// forest. Union-Find merging is order-independent, so the final
 	// components are identical to a sequential run.
-	for si := range plan.Shards {
-		uf.Absorb(shardRes[si].uf, plan.Shards[si].Global)
-		opt.Stats.merge(&shardRes[si].stats)
+	for ti := range plan.Tiles {
+		uf.Absorb(tileRes[ti].uf, plan.Tiles[ti].Global)
+		opt.Stats.merge(&tileRes[ti].stats)
 	}
-	for bi := range plan.Bounds {
-		opt.Stats.addMerge(int64(uf.UnionEdges(boundEdges[bi])))
-		opt.Stats.merge(&boundStats[bi])
+	for wi := range frontEdges {
+		opt.Stats.addMerge(int64(uf.UnionEdges(frontEdges[wi])))
+		opt.Stats.merge(&frontStats[wi])
 	}
 	return true
 }
 
 // sgbAnyLocal runs one SGB-Any evaluation over a (sub-)PointSet into
-// uf — the shard-local evaluate stage, shared with the sequential path
+// uf — the tile-local evaluate stage, shared with the sequential path
 // in sgbAnySet. It drives the same resumable anyIndex step as the
 // incremental evaluator, over the whole input at once.
 func sgbAnyLocal(ps *geom.PointSet, opt Options, uf *unionfind.UF) {
@@ -90,33 +95,51 @@ func sgbAnyLocal(ps *geom.PointSet, opt Options, uf *unionfind.UF) {
 	}
 }
 
-// boundaryEdges emits the within-ε pairs crossing one cut: left-band
-// points are indexed in an ε-grid (the hashed-key table supports any
-// dimensionality), right-band points probe it. Bands hold only the
-// points of the two cells touching the cut, so this is a sliver of the
-// input.
-func boundaryEdges(ps *geom.PointSet, opt Options, b partition.Boundary, stats *Stats) []unionfind.Edge {
-	if len(b.Left) == 0 || len(b.Right) == 0 {
+// frontierGrid bulk-loads the plan's frontier points into an ε-grid
+// (ids are positions into the frontier list; the hashed-key table
+// supports any dimensionality, and the Morton-major slab layout keeps
+// the workers' probe chains prefetch-friendly). The table is read-only
+// afterwards: workers probe it concurrently with private Cursors.
+func frontierGrid(ps *geom.PointSet, eps float64, frontier []int32) *grid.Table {
+	fps := ps.Gather(frontier)
+	return grid.BulkLoad(fps, eps)
+}
+
+// frontierEdges emits the within-ε pairs crossing tile boundaries for
+// the frontier positions in [lo, hi): every such pair has both
+// endpoints in the frontier (the partition invariant), each point
+// probes the shared frontier grid for its band neighbors, and a pair
+// is kept once — by its higher-id endpoint — when the endpoints land
+// in different tiles and pass the exact distance test.
+func frontierEdges(ps *geom.PointSet, opt Options, plan *partition.Plan, ftab *grid.Table, lo, hi int, stats *Stats) []unionfind.Edge {
+	if lo >= hi {
 		return nil
 	}
 	metric, eps := opt.Metric, opt.Eps
 	var edges []unionfind.Edge
-	tab := grid.NewCap(ps.Dims(), eps, len(b.Left))
-	for _, l := range b.Left {
-		tab.AddPoint(ps.At(int(l)), l)
-	}
 	var cur grid.Cursor
 	var buf []int32
-	for _, r := range b.Right {
-		p := ps.At(int(r))
+	for fi := lo; fi < hi; fi++ {
+		gi := plan.Frontier[fi]
+		p := ps.At(int(gi))
 		stats.addProbe(1)
-		buf = tab.CollectBox(&cur, p, eps, buf[:0])
-		for _, l := range buf {
+		buf = ftab.CollectBox(&cur, p, eps, buf[:0])
+		for _, fj := range buf {
+			gj := plan.Frontier[fj]
+			if gj >= gi || plan.TileOf[gj] == plan.TileOf[gi] {
+				continue
+			}
 			stats.addDist(1)
-			if metric.Within(p, ps.At(int(l)), eps) {
-				edges = append(edges, unionfind.Edge{A: r, B: l})
+			if metric.Within(p, ps.At(int(gj)), eps) {
+				edges = append(edges, unionfind.Edge{A: gi, B: gj})
 			}
 		}
 	}
 	return edges
+}
+
+// chunkRange splits n items into k near-equal contiguous chunks and
+// returns the half-open bounds of chunk i.
+func chunkRange(n, k, i int) (int, int) {
+	return i * n / k, (i + 1) * n / k
 }

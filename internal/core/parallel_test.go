@@ -2,11 +2,11 @@ package core
 
 import (
 	"math/rand"
+	"os"
 	"reflect"
 	"testing"
 
 	"github.com/sgb-db/sgb/internal/geom"
-	"github.com/sgb-db/sgb/internal/grid"
 )
 
 // The randomized parallel↔sequential equivalence suite: the parallel
@@ -84,7 +84,7 @@ func TestParallelAllEquivalence(t *testing.T) {
 						if err != nil {
 							t.Fatal(err)
 						}
-						for _, workers := range []int{2, 5} {
+						for _, workers := range []int{2, 5, 8} {
 							parOpt := base
 							parOpt.Algorithm = alg
 							parOpt.Parallelism = workers
@@ -141,47 +141,98 @@ func TestParallelCliquesValid(t *testing.T) {
 	}
 }
 
-// TestAdjacencyBudget pins the auto-parallelism memory guard: a dense
-// input whose ε-adjacency would be quadratic must not fit, and the
-// operator must still answer correctly through the sequential
-// fallback; sparse inputs fit.
-func TestAdjacencyBudget(t *testing.T) {
-	n := 10000
-	dense := geom.NewPointSetCap(2, n)
+// TestParallelDenseSingleTile pins the degenerate-input fallback: a
+// dense blob occupying one ε-cell cannot be partitioned, so the
+// parallel dispatch must decline and the sequential path must still
+// answer — identically to a forced-sequential run.
+func TestParallelDenseSingleTile(t *testing.T) {
+	n := 2000
+	pts := make([]geom.Point, n)
 	r := rand.New(rand.NewSource(13))
-	for i := 0; i < n; i++ {
-		p := dense.Extend()
-		p[0], p[1] = r.Float64()*0.1, r.Float64()*0.1
+	for i := range pts {
+		pts[i] = geom.Point{r.Float64() * 0.1, r.Float64() * 0.1}
 	}
-	opt := Options{Metric: geom.L2, Eps: 1, Algorithm: GridIndex}
-	tab := grid.New(2, opt.Eps)
-	for i := 0; i < n; i++ {
-		tab.AddPoint(dense.At(i), int32(i))
+	base := Options{Metric: geom.L2, Eps: 1, Overlap: JoinAny, Algorithm: GridIndex, Seed: 3}
+	seqOpt := base
+	seqOpt.Parallelism = 1
+	seq, err := SGBAll(pts, seqOpt)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if adjacencyFits(dense, opt, tab) {
-		t.Fatal("fully connected 10k-point adjacency (~100M edges) must exceed the budget")
+	parOpt := base
+	parOpt.Parallelism = 4
+	parOpt.Stats = &Stats{}
+	got, err := SGBAll(pts, parOpt)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if adj := buildAdjacency(dense, opt, 2, true); adj != nil {
-		t.Fatal("auto build must refuse over-budget adjacency")
+	if !reflect.DeepEqual(got.Groups, seq.Groups) {
+		t.Fatal("single-tile fallback grouping differs from sequential")
 	}
-	// Explicit parallelism skips the guard.
-	expl := opt
-	expl.Parallelism = 2
-	if adj := buildAdjacency(dense, expl, 2, true); adj == nil {
-		t.Fatal("explicit parallelism must honor the request")
+	if parOpt.Stats.ArbitrateNanos != 0 {
+		t.Fatal("a declined split must not record parallel phase timings")
 	}
+}
 
-	sparse := geom.NewPointSetCap(2, n)
-	for i := 0; i < n; i++ {
-		p := sparse.Extend()
-		p[0], p[1] = r.Float64()*100, r.Float64()*100
+// TestParallelAllStress is the conflict-heavy randomized stress suite
+// the CI race job runs (SGB_STRESS=1, -race): clustered inputs tuned
+// so most points face multi-candidate arbitration and overlap
+// processing, at 8+ workers, deep-equal against the sequential run
+// including eliminated rows and PRNG-sensitive member order. Without
+// SGB_STRESS a single quick round runs so the suite never goes fully
+// unexercised.
+func TestParallelAllStress(t *testing.T) {
+	rounds := 1
+	if os.Getenv("SGB_STRESS") != "" {
+		rounds = 12
 	}
-	tab2 := grid.New(2, opt.Eps)
-	for i := 0; i < n; i++ {
-		tab2.AddPoint(sparse.At(i), int32(i))
-	}
-	if !adjacencyFits(sparse, opt, tab2) {
-		t.Fatal("sparse adjacency should fit the budget")
+	r := rand.New(rand.NewSource(59))
+	for round := 0; round < rounds; round++ {
+		d := 2 + round%2
+		// Clustered blobs two ε apart with dense cores: intra-cluster
+		// points are mutual candidates of several groups, cluster rims
+		// overlap neighboring groups — the arbitration-heavy regime.
+		nClusters := 6 + r.Intn(6)
+		eps := 0.3 + r.Float64()*0.2
+		var pts []geom.Point
+		for c := 0; c < nClusters; c++ {
+			center := make(geom.Point, d)
+			for j := range center {
+				center[j] = r.Float64() * 6
+			}
+			for i, m := 0, 40+r.Intn(120); i < m; i++ {
+				p := make(geom.Point, d)
+				for j := range p {
+					p[j] = center[j] + (r.Float64()-0.5)*3*eps
+				}
+				pts = append(pts, p)
+			}
+		}
+		seed := r.Int63()
+		for _, ov := range []Overlap{JoinAny, Eliminate, FormNewGroup} {
+			base := Options{Metric: geom.L2, Eps: eps, Overlap: ov, Algorithm: GridIndex, Seed: seed}
+			seqOpt := base
+			seqOpt.Parallelism = 1
+			seq, err := SGBAll(pts, seqOpt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{8, 13} {
+				parOpt := base
+				parOpt.Parallelism = workers
+				got, err := SGBAll(pts, parOpt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got.Groups, seq.Groups) {
+					t.Fatalf("round=%d overlap=%v workers=%d n=%d eps=%.3f seed=%d: groups differ (%d vs %d)",
+						round, ov, workers, len(pts), eps, seed, len(got.Groups), len(seq.Groups))
+				}
+				if !reflect.DeepEqual(got.Eliminated, seq.Eliminated) {
+					t.Fatalf("round=%d overlap=%v workers=%d: eliminated rows differ", round, ov, workers)
+				}
+			}
+		}
 	}
 }
 
@@ -233,10 +284,11 @@ func TestParallelismAutoThreshold(t *testing.T) {
 	}
 }
 
-// TestParallelStatsProbesNotInflated pins the probe accounting of the
-// parallel SGB-All path: exactly one index probe per input point (from
-// the adjacency build), matching the sequential path's count.
-func TestParallelStatsProbesNotInflated(t *testing.T) {
+// TestParallelPhaseTimings pins the per-phase accounting of the
+// parallel SGB-All pipeline: a parallel run records wall-clock in
+// every phase, a sequential run records none, and merging worker
+// stats folds the nanos.
+func TestParallelPhaseTimings(t *testing.T) {
 	r := rand.New(rand.NewSource(41))
 	pts := randTestPoints(r, 500, 2, 6)
 	st := &Stats{}
@@ -245,7 +297,29 @@ func TestParallelStatsProbesNotInflated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.IndexProbes != int64(len(pts)) {
-		t.Fatalf("parallel SGB-All probes = %d, want %d (one per point)", st.IndexProbes, len(pts))
+	for name, v := range map[string]int64{
+		"partition": st.PartitionNanos,
+		"connect":   st.ConnectNanos,
+		"arbitrate": st.ArbitrateNanos,
+		"merge":     st.MergeNanos,
+	} {
+		if v <= 0 {
+			t.Fatalf("parallel run recorded no %s time", name)
+		}
+	}
+	seqStats := &Stats{}
+	_, err = SGBAll(pts, Options{Metric: geom.L2, Eps: 0.4, Overlap: JoinAny,
+		Algorithm: GridIndex, Parallelism: 1, Seed: 1, Stats: seqStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqStats.PartitionNanos != 0 || seqStats.ArbitrateNanos != 0 {
+		t.Fatal("sequential run must not record parallel phase timings")
+	}
+	var merged Stats
+	merged.merge(st)
+	merged.merge(st)
+	if merged.ConnectNanos != 2*st.ConnectNanos {
+		t.Fatal("Stats.merge must fold phase nanos")
 	}
 }

@@ -138,7 +138,12 @@ type AllState struct {
 	Live []int32 // stored indices in arrival order; nil = identity
 	Dead int
 
-	RandState  uint64  // splitmix64 position of the JOIN-ANY PRNG
+	// RandState is the splitmix64 seed state of the JOIN-ANY PRNG.
+	// Draws are keyed per live rank (core.go: rng.drawAt), so this is a
+	// constant of the evaluation — the seed base, not a stream cursor —
+	// but it is still state: Options.Seed alone does not reconstruct it
+	// for snapshots taken by future format versions.
+	RandState uint64
 	StageFloor int     // FORM-NEW-GROUP stage freeze floor
 	Eliminated []int32 // stored indices dropped by ELIMINATE
 	Deferred   []int32 // S′: stored indices deferred by FORM-NEW-GROUP
@@ -222,6 +227,17 @@ func RestoreAllEvaluator(s *AllState) (*AllEvaluator, error) {
 	st.pointGroup = make([]int32, n)
 	for i := range st.pointGroup {
 		st.pointGroup[i] = -1
+	}
+	if live != nil {
+		// Rebuild the stored-index → live-rank map the JOIN-ANY draws
+		// key on (identical to the one the decremental replay builds).
+		st.rank = make([]int32, n)
+		for i := range st.rank {
+			st.rank[i] = -1
+		}
+		for k, pos := range live {
+			st.rank[pos] = int32(k)
+		}
 	}
 	// Rebuild the group set at its original ids: rect rows are sized for
 	// every id up front (holes get poisoned rows, exactly as removal

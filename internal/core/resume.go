@@ -128,6 +128,10 @@ func (e *AllEvaluator) Append(ps *geom.PointSet) error {
 		st.pointGroup = append(st.pointGroup, -1)
 		if e.live != nil {
 			e.live = append(e.live, int32(i))
+			// A point appended after removals draws at its live rank,
+			// exactly as a from-scratch run over the survivors plus this
+			// batch would key it.
+			st.rank = append(st.rank, int32(len(e.live)-1))
 		}
 	}
 	for pi := base; pi < n; pi++ {
@@ -152,7 +156,7 @@ func (e *AllEvaluator) Result() *Result {
 		st = st.finalizeClone()
 		next := st.deferred
 		st.deferred = nil
-		st.run(next, 1)
+		st.run(next, nil, 1)
 	}
 	res := materializeAll(st, true)
 	if e.live != nil {
@@ -193,6 +197,7 @@ func (st *sgbAllState) finalizeClone() *sgbAllState {
 		eliminated: append([]int(nil), st.eliminated...),
 		deferred:   append([]int(nil), st.deferred...),
 		pointGroup: append([]int32(nil), st.pointGroup...),
+		rank:       st.rank, // read-only: the recursion only draws through it
 		rects:      append([]float64(nil), st.rects...),
 	}
 	for i, g := range st.groups {

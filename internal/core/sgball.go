@@ -41,6 +41,18 @@ func sgbAllSet(ps *geom.PointSet, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 
+	// Pipeline dispatch: with more than one worker, whole ε-connected
+	// components arbitrate concurrently on worker-private states and
+	// their outputs merge back into the sequential processing order —
+	// bit-identical groups for every ON-OVERLAP semantics (see
+	// parallelall.go). The parallel path declines degenerate inputs
+	// (everything in one ε-tile), which then run sequentially below.
+	if w := opt.workers(ps.Len()); w > 1 {
+		if r, ok := sgbAllParallel(ps, opt, w); ok {
+			return r, nil
+		}
+	}
+
 	st := &sgbAllState{
 		points:     ps,
 		opt:        opt,
@@ -51,28 +63,13 @@ func sgbAllSet(ps *geom.PointSet, opt Options) (*Result, error) {
 	for i := range st.pointGroup {
 		st.pointGroup[i] = -1
 	}
-	// Pipeline dispatch: with more than one worker the candidate-probe/
-	// refine distance work is precomputed as ε-adjacency on worker
-	// goroutines, and the arbitration loop below runs over the
-	// adjacency finder — same sequential order, same groups, for every
-	// ON-OVERLAP semantics (see adjfinder.go). Otherwise (or when the
-	// auto mode's adjacency memory budget says no) the strategy
-	// selected by opt.Algorithm probes incrementally.
-	st.finder = nil
-	if w := opt.workers(ps.Len()); w > 1 {
-		if adj := buildAdjacency(ps, opt, w, opt.Overlap != FormNewGroup); adj != nil {
-			st.finder = newAdjFinder(adj)
-		}
-	}
-	if st.finder == nil {
-		st.finder = newFinder(st)
-	}
+	st.finder = newFinder(st)
 
 	order := make([]int, ps.Len())
 	for i := range order {
 		order[i] = i
 	}
-	st.run(order, 0)
+	st.run(order, nil, 0)
 	return materializeAll(st, false), nil
 }
 
@@ -81,7 +78,9 @@ func sgbAllSet(ps *geom.PointSet, opt Options) (*Result, error) {
 // grouped by a recursive pass that only considers groups formed at its
 // own recursion stage ("form new groups out of the points in Oset"),
 // exactly as Example 1 creates the singleton group g3{a5}.
-func (st *sgbAllState) run(order []int, depth int) {
+// keys, when tracing, carries the occurrence key of each order entry
+// (nil at depth 0, where a point's key is just itself).
+func (st *sgbAllState) run(order []int, keys [][]int32, depth int) {
 	st.opt.Stats.noteDepth(depth)
 	// Groups created before this stage are frozen for candidacy: the
 	// recursive pass must not re-admit deferred points into the groups
@@ -97,7 +96,7 @@ func (st *sgbAllState) run(order []int, depth int) {
 		st.finder.stageReset(st)
 	}
 
-	st.processPoints(order)
+	st.processPoints(order, keys)
 
 	// FORM-NEW-GROUP: recursively group the deferred set S′ until it is
 	// empty. Each stage strictly shrinks S′ (a deferred point implies at
@@ -105,14 +104,30 @@ func (st *sgbAllState) run(order []int, depth int) {
 	if st.opt.Overlap == FormNewGroup && len(st.deferred) > 0 {
 		next := st.deferred
 		st.deferred = nil
-		st.run(next, depth+1)
+		var nextKeys [][]int32
+		if st.trace != nil {
+			nextKeys = st.trace.deferKeys
+			st.trace.deferKeys = nil
+		}
+		st.run(next, nextKeys, depth+1)
 	}
 }
 
 // processPoints runs the main per-point arbitration loop of
 // Procedure 1 over the given input order, one processOne per point.
-func (st *sgbAllState) processPoints(order []int) {
-	for _, pi := range order {
+func (st *sgbAllState) processPoints(order []int, keys [][]int32) {
+	if st.trace == nil {
+		for _, pi := range order {
+			st.processOne(pi)
+		}
+		return
+	}
+	for oi, pi := range order {
+		if keys == nil {
+			st.trace.beginStage0(int32(pi))
+		} else {
+			st.trace.beginOccurrence(keys[oi])
+		}
 		st.processOne(pi)
 	}
 }
@@ -143,13 +158,13 @@ func (st *sgbAllState) processGroupingAll(pi int, candidates []*group) {
 	default:
 		switch st.opt.Overlap {
 		case JoinAny:
-			st.insert(pi, candidates[st.rand.intn(len(candidates))])
+			st.insert(pi, candidates[st.rand.drawAt(st.drawKey(pi), len(candidates))])
 		case Eliminate:
 			// ProcessEliminate: drop pi from the output.
-			st.eliminated = append(st.eliminated, pi)
+			st.eliminatePoint(pi)
 		case FormNewGroup:
 			// ProcessNewGroup: defer pi into S′ for the recursive pass.
-			st.deferred = append(st.deferred, pi)
+			st.deferPoint(pi)
 		}
 	}
 }
@@ -176,13 +191,13 @@ func (st *sgbAllState) processOverlap(pi int, overlaps []*group) {
 		case Eliminate:
 			for _, m := range g.members {
 				if victims[m] {
-					st.eliminated = append(st.eliminated, m)
+					st.eliminatePoint(m)
 				}
 			}
 		case FormNewGroup:
 			for _, m := range g.members {
 				if victims[m] {
-					st.deferred = append(st.deferred, m)
+					st.deferPoint(m)
 				}
 			}
 		}

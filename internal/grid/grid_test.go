@@ -415,3 +415,54 @@ func TestSlabChainLongCell(t *testing.T) {
 		t.Fatalf("after chained removals: got %d ids, want %d (%v)", len(got), len(want), got)
 	}
 }
+
+// TestBulkLoadMatchesIncremental checks that a bulk-loaded table
+// answers probes with exactly the id sets of an AddPoint-built one —
+// the Morton-major layout is a performance property, not a semantic
+// one — and that it stays mutable afterwards.
+func TestBulkLoadMatchesIncremental(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, d := range []int{1, 2, 3, 5} {
+		n := 400
+		ps := geom.NewPointSetCap(d, n)
+		for i := 0; i < n; i++ {
+			p := ps.Extend()
+			for j := range p {
+				p[j] = r.Float64()*8 - 4
+			}
+		}
+		bulk := BulkLoad(ps, 0.5)
+		inc := New(d, 0.5)
+		for i := 0; i < n; i++ {
+			inc.AddPoint(ps.At(i), int32(i))
+		}
+		if bulk.OccupiedCells() != inc.OccupiedCells() {
+			t.Fatalf("d=%d: bulk %d cells vs incremental %d", d, bulk.OccupiedCells(), inc.OccupiedCells())
+		}
+		var cur Cursor
+		var b1, b2 []int32
+		for i := 0; i < n; i++ {
+			b1 = bulk.CollectBox(&cur, ps.At(i), 0.5, b1[:0])
+			b2 = inc.CollectBox(&cur, ps.At(i), 0.5, b2[:0])
+			slices.Sort(b1)
+			slices.Sort(b2)
+			if !slices.Equal(b1, b2) {
+				t.Fatalf("d=%d probe %d: bulk %v vs incremental %v", d, i, b1, b2)
+			}
+		}
+		// Mutability after bulk load: remove half, re-probe.
+		for i := 0; i < n; i += 2 {
+			bulk.RemovePoint(ps.At(i), int32(i))
+			inc.RemovePoint(ps.At(i), int32(i))
+		}
+		for i := 1; i < n; i += 7 {
+			b1 = bulk.CollectBox(&cur, ps.At(i), 0.5, b1[:0])
+			b2 = inc.CollectBox(&cur, ps.At(i), 0.5, b2[:0])
+			slices.Sort(b1)
+			slices.Sort(b2)
+			if !slices.Equal(b1, b2) {
+				t.Fatalf("d=%d post-remove probe %d: bulk %v vs incremental %v", d, i, b1, b2)
+			}
+		}
+	}
+}

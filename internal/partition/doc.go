@@ -1,28 +1,39 @@
 // Package partition implements the spatial sharding stage of the
-// parallel similarity group-by pipeline: partition → shard-local
-// evaluate → merge. Points are split into contiguous stripes of
-// ε-sized grid cells along one axis, so every shard occupies a slab of
-// space at least ε wide. Two points in different shards can then be
-// within ε of each other only when (a) the shards are adjacent and
-// (b) both points fall in the two boundary cells touching the cut — the
-// ε-bands the merge stage probes. This makes shard-local evaluation
-// plus a boundary merge exact for connected-component (SGB-Any)
-// semantics: every ε-edge of the similarity graph is either
-// intra-shard or a band-to-band edge across one cut.
+// parallel similarity group-by pipeline: partition → tile-local
+// evaluate → merge. Points are split into axis-aligned blocks of
+// ε-sized grid cells ("ε-tiles"): split counts are allocated greedily
+// across axes in proportion to their occupied-cell extent, and each
+// split axis is cut at point-count quantiles. Multi-axis tiling is
+// what keeps every worker fed when no single axis is wide — the
+// failure mode of stripe partitioning, where a widest axis a few cells
+// across capped the shard count regardless of the requested
+// parallelism.
 //
-// Invariants:
+// Cuts lie on ε-cell boundaries, so two points in different tiles are
+// separated by at least one cut on some axis, and a within-ε pair
+// bounds its per-axis gap by ε — each endpoint must then lie in one of
+// the two cell layers touching that cut. Those points form the
+// FRONTIER. Tile-local evaluation plus a frontier merge is therefore
+// exact for connected-component (SGB-Any) semantics, and the same
+// frontier reasoning bounds where cross-tile coupling can occur at all
+// in the parallel SGB-All pipeline (internal/core/parallelall.go).
 //
-//   - Each cut lies on an ε-cell boundary along the chosen (widest)
-//     axis, and adjacent shards' slabs are disjoint; every input index
-//     appears in exactly one shard.
-//   - Shard.Global maps shard-local indices back to input indices, so
-//     worker-private Union-Finds fold into the global forest without
-//     translation tables (unionfind.Absorb).
-//   - Boundary bands contain exactly the points of the two cell layers
-//     touching a cut — a sliver of the input for any non-degenerate ε.
+// Invariants (exercised by partition_test.go at d ∈ {2, 3, 5}):
+//
+//   - Exact cover: every input index appears in exactly one tile, and
+//     tile interiors are disjoint blocks of the ε-cell lattice.
+//   - Tile.Global maps tile-local indices back to input indices in
+//     ascending order, so tile-local processing order matches global
+//     input order restricted to the tile, and worker-private
+//     Union-Finds fold into the global forest without translation
+//     tables (unionfind.Absorb).
+//   - ε-band membership: every cross-tile within-ε pair (under L2 or
+//     L∞) has both endpoints in Plan.Frontier.
+//   - Gather correctness: Tile.Points.At(i) equals the source point at
+//     Tile.Global[i].
 //
 // The package is deliberately independent of the operator core: it
-// knows points, ε, and a shard count, and returns compact sub-PointSets
-// plus the local→global index maps and the boundary bands. The core
-// supplies the shard-local algorithm and the Union-Find reduction.
+// knows points, ε, and a tile-count target, and returns compact
+// sub-PointSets plus the local→global maps and the frontier. The core
+// supplies the tile-local algorithm and the merge.
 package partition

@@ -9,34 +9,38 @@ import (
 	"github.com/sgb-db/sgb/internal/geom"
 )
 
-// Shard is one slab of the input: a compact PointSet holding the
-// shard's points (gathered in ascending global order) plus the mapping
-// from local index to global input index.
-type Shard struct {
+// Tile is one block of the multi-axis partitioning: a compact PointSet
+// holding the tile's points (gathered in ascending global order) plus
+// the mapping from local index to global input index.
+type Tile struct {
 	Points *geom.PointSet
 	// Global maps local point index → global input index. It is
-	// ascending, so shard-local evaluation order matches global input
-	// order restricted to the shard.
+	// ascending, so tile-local evaluation order matches global input
+	// order restricted to the tile.
 	Global []int32
 }
 
-// Boundary is the ε-band pair around one cut between adjacent shards:
-// Left holds the global ids of points in the last cell of the lower
-// shard, Right those in the first cell of the upper shard. Every
-// cross-shard within-ε pair has its endpoints in these two bands.
-type Boundary struct {
-	Left, Right []int32
-}
-
-// Plan is a complete spatial partitioning of a PointSet.
+// Plan is a complete spatial partitioning of a PointSet into axis-
+// aligned blocks of ε-cells ("ε-tiles").
 type Plan struct {
-	// Axis is the stripe axis (the dimension with the widest extent in
-	// cells, so cuts have the most room).
-	Axis int
-	// Shards holds the slabs in ascending coordinate order.
-	Shards []Shard
-	// Bounds[i] is the band pair between Shards[i] and Shards[i+1].
-	Bounds []Boundary
+	// Splits[d] is the number of coordinate intervals axis d was cut
+	// into (1 = uncut). The tile lattice is their cross product; Tiles
+	// holds its non-empty cells.
+	Splits []int
+	// Tiles holds the non-empty tiles in row-major lattice order.
+	Tiles []Tile
+	// TileOf maps global input index → index into Tiles.
+	TileOf []int32
+	// Frontier holds, in ascending order, the global ids of every point
+	// whose ε-cell touches a cut on some split axis (the cell just
+	// below or just above the cut). Every cross-tile within-ε pair has
+	// BOTH endpoints in Frontier: two points in different tiles are
+	// separated by a cut on some axis, and being within ε bounds their
+	// per-axis gap by ε, so each lies in one of the two cell layers
+	// touching that cut.
+	Frontier []int32
+	// IsFrontier flags Frontier membership per global input index.
+	IsFrontier []bool
 }
 
 // Workers resolves a Parallelism setting: 0 means GOMAXPROCS, any
@@ -48,12 +52,15 @@ func Workers(parallelism int) int {
 	return parallelism
 }
 
-// Split partitions ps into up to k stripes of ε-cells along the widest
-// axis, cutting at point-count quantiles so shards stay balanced under
-// skew. It returns nil when no exact partitioning into at least two
-// shards exists — fewer than two occupied cells along every axis, k < 2,
-// or an empty input — in which case the caller should evaluate
-// sequentially.
+// Split partitions ps into up to k ε-tiles: split counts are allocated
+// greedily across axes in proportion to their extent in ε-cells (an
+// axis with few occupied cells takes few or no cuts instead of
+// starving the plan, the failure mode of single-axis striping), and
+// each split axis is cut at point-count quantiles so tiles stay
+// balanced under skew. It returns nil when no partitioning into at
+// least two non-empty tiles exists — fewer than two occupied cells on
+// every axis, k < 2, or an empty input — in which case the caller
+// should evaluate sequentially.
 func Split(ps *geom.PointSet, eps float64, k int) *Plan {
 	n := ps.Len()
 	if n == 0 || k < 2 || !(eps > 0) {
@@ -62,79 +69,168 @@ func Split(ps *geom.PointSet, eps float64, k int) *Plan {
 	dims := ps.Dims()
 	inv := 1 / eps
 
-	// Pick the stripe axis: widest extent in cells.
-	axis, bestSpan := -1, int64(0)
+	// Per-point ε-cell index per axis, and each axis's occupied span.
+	cells := make([][]int64, dims)
+	spans := make([]int64, dims)
 	for d := 0; d < dims; d++ {
-		lo, hi := math.Inf(1), math.Inf(-1)
+		cd := make([]int64, n)
+		lo, hi := int64(math.MaxInt64), int64(math.MinInt64)
 		for i := 0; i < n; i++ {
-			v := ps.At(i)[d]
-			if v < lo {
-				lo = v
+			c := cellOf(ps.At(i)[d], inv)
+			cd[i] = c
+			if c < lo {
+				lo = c
 			}
-			if v > hi {
-				hi = v
+			if c > hi {
+				hi = c
 			}
 		}
-		span := cellOf(hi, inv) - cellOf(lo, inv)
-		if span > bestSpan || axis < 0 {
-			axis, bestSpan = d, span
+		cells[d], spans[d] = cd, hi-lo
+	}
+
+	// Allocate split counts: repeatedly give another split to the axis
+	// with the largest remaining per-interval span, until the lattice
+	// has at least k cells or no axis can be cut further (an axis
+	// spanning s+1 cells supports at most s+1 intervals).
+	splits := make([]int, dims)
+	for d := range splits {
+		splits[d] = 1
+	}
+	for product(splits) < k {
+		best, bestScore := -1, 0.0
+		for d := 0; d < dims; d++ {
+			if int64(splits[d]) > spans[d] {
+				continue // every interval would need < 1 cell
+			}
+			if score := float64(spans[d]) / float64(splits[d]); best < 0 || score > bestScore {
+				best, bestScore = d, score
+			}
 		}
-	}
-	if bestSpan < 1 {
-		// Every point shares one cell on every axis: nothing to cut.
-		return nil
-	}
-
-	// Per-point stripe cell, plus a sorted copy for quantile cuts.
-	cells := make([]int64, n)
-	for i := 0; i < n; i++ {
-		cells[i] = cellOf(ps.At(i)[axis], inv)
-	}
-	sorted := append([]int64(nil), cells...)
-	slices.Sort(sorted)
-
-	// Cuts are "last cell of shard s": strictly increasing, below the
-	// global maximum (so every shard keeps at least one cell).
-	var cuts []int64
-	for s := 1; s < k; s++ {
-		c := sorted[s*n/k]
-		if c >= sorted[n-1] {
+		if best < 0 {
 			break
 		}
-		if len(cuts) > 0 && c <= cuts[len(cuts)-1] {
+		splits[best]++
+	}
+
+	// Cut each split axis at point-count quantiles of its cell values.
+	// cuts[d][i] is the last cell of interval i (strictly increasing,
+	// below the axis maximum, so every interval keeps at least one
+	// cell); deduplication under skew may leave fewer intervals than
+	// requested.
+	cuts := make([][]int64, dims)
+	anyCut := false
+	var sortScratch []int64
+	for d := 0; d < dims; d++ {
+		if splits[d] < 2 {
+			splits[d] = 1
 			continue
 		}
-		cuts = append(cuts, c)
+		sortScratch = append(sortScratch[:0], cells[d]...)
+		slices.Sort(sortScratch)
+		var cd []int64
+		for s := 1; s < splits[d]; s++ {
+			c := sortScratch[s*n/splits[d]]
+			if c >= sortScratch[n-1] {
+				// The quantile landed on the top cell; cutting just
+				// below it keeps the upper interval non-empty (the span
+				// check guarantees max-1 ≥ min).
+				c = sortScratch[n-1] - 1
+			}
+			if len(cd) > 0 && c <= cd[len(cd)-1] {
+				continue
+			}
+			cd = append(cd, c)
+		}
+		cuts[d] = cd
+		splits[d] = len(cd) + 1
+		if len(cd) > 0 {
+			anyCut = true
+		}
 	}
-	if len(cuts) == 0 {
+	if !anyCut {
 		return nil
 	}
 
-	nShards := len(cuts) + 1
-	shardOf := func(c int64) int {
-		// First shard whose cut is ≥ c; the last shard is unbounded.
-		return sort.Search(len(cuts), func(i int) bool { return cuts[i] >= c })
+	// Row-major lattice id per point, plus frontier membership: a point
+	// is frontier when, on some split axis, its cell is the last cell
+	// of a bounded-above interval or the first cell above a cut.
+	latticeSize := product(splits)
+	latticeID := make([]int32, n)
+	isFrontier := make([]bool, n)
+	for i := 0; i < n; i++ {
+		id := 0
+		for d := 0; d < dims; d++ {
+			cd := cuts[d]
+			if len(cd) == 0 {
+				continue
+			}
+			c := cells[d][i]
+			iv := sort.Search(len(cd), func(j int) bool { return cd[j] >= c })
+			id = id*(len(cd)+1) + iv
+			if (iv < len(cd) && c == cd[iv]) || (iv > 0 && c == cd[iv-1]+1) {
+				isFrontier[i] = true
+			}
+		}
+		latticeID[i] = int32(id)
 	}
 
-	plan := &Plan{Axis: axis, Shards: make([]Shard, nShards), Bounds: make([]Boundary, len(cuts))}
+	// Compact the non-empty lattice cells into Tiles (row-major order)
+	// and bucket the points (ascending global order within each tile).
+	tileIndex := make([]int32, latticeSize)
+	for i := range tileIndex {
+		tileIndex[i] = -1
+	}
+	counts := make([]int, 0, k)
 	for i := 0; i < n; i++ {
-		c := cells[i]
-		s := shardOf(c)
-		sh := &plan.Shards[s]
-		sh.Global = append(sh.Global, int32(i))
-		// Band membership: the last cell of shard s feeds Bounds[s].Left,
-		// the cell just above cut s-1 feeds Bounds[s-1].Right.
-		if s < len(cuts) && c == cuts[s] {
-			plan.Bounds[s].Left = append(plan.Bounds[s].Left, int32(i))
-		}
-		if s > 0 && c == cuts[s-1]+1 {
-			plan.Bounds[s-1].Right = append(plan.Bounds[s-1].Right, int32(i))
+		id := latticeID[i]
+		if tileIndex[id] < 0 {
+			tileIndex[id] = -2 // occupied, index assigned below
 		}
 	}
-	for s := range plan.Shards {
-		plan.Shards[s].Points = ps.Gather(plan.Shards[s].Global)
+	nTiles := 0
+	for id := range tileIndex {
+		if tileIndex[id] == -2 {
+			tileIndex[id] = int32(nTiles)
+			counts = append(counts, 0)
+			nTiles++
+		}
+	}
+	if nTiles < 2 {
+		return nil
+	}
+	plan := &Plan{
+		Splits:     splits,
+		Tiles:      make([]Tile, nTiles),
+		TileOf:     make([]int32, n),
+		IsFrontier: isFrontier,
+	}
+	for i := 0; i < n; i++ {
+		t := tileIndex[latticeID[i]]
+		plan.TileOf[i] = t
+		counts[t]++
+	}
+	for t := range plan.Tiles {
+		plan.Tiles[t].Global = make([]int32, 0, counts[t])
+	}
+	for i := 0; i < n; i++ {
+		t := plan.TileOf[i]
+		plan.Tiles[t].Global = append(plan.Tiles[t].Global, int32(i))
+		if isFrontier[i] {
+			plan.Frontier = append(plan.Frontier, int32(i))
+		}
+	}
+	for t := range plan.Tiles {
+		plan.Tiles[t].Points = ps.Gather(plan.Tiles[t].Global)
 	}
 	return plan
+}
+
+func product(xs []int) int {
+	p := 1
+	for _, x := range xs {
+		p *= x
+	}
+	return p
 }
 
 // cellOf quantizes one coordinate to its ε-cell index (the same

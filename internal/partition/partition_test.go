@@ -19,9 +19,9 @@ func randSet(r *rand.Rand, n, d int, span float64) *geom.PointSet {
 }
 
 // TestSplitPartitionsInput checks the structural invariants: every
-// input index lands in exactly one shard, shard Global maps are
-// ascending, shard points match their sources, and shards are
-// non-empty.
+// input index lands in exactly one tile (exact cover), tile Global
+// maps are ascending, gathered sub-PointSets match their sources,
+// tiles are non-empty, and TileOf agrees with the tile buckets.
 func TestSplitPartitionsInput(t *testing.T) {
 	r := rand.New(rand.NewSource(3))
 	for _, d := range []int{1, 2, 3, 5} {
@@ -31,89 +31,105 @@ func TestSplitPartitionsInput(t *testing.T) {
 			if plan == nil {
 				t.Fatalf("d=%d k=%d: expected a plan for a 20-cell-wide input", d, k)
 			}
-			if len(plan.Shards) < 2 || len(plan.Shards) > k {
-				t.Fatalf("d=%d k=%d: got %d shards", d, k, len(plan.Shards))
+			if len(plan.Tiles) < 2 {
+				t.Fatalf("d=%d k=%d: got %d tiles", d, k, len(plan.Tiles))
 			}
-			if len(plan.Bounds) != len(plan.Shards)-1 {
-				t.Fatalf("want %d boundaries, got %d", len(plan.Shards)-1, len(plan.Bounds))
+			if got := product(plan.Splits); got < len(plan.Tiles) {
+				t.Fatalf("d=%d k=%d: %d tiles exceed the %d-cell lattice", d, k, len(plan.Tiles), got)
 			}
 			seen := make([]bool, ps.Len())
-			for si, sh := range plan.Shards {
-				if sh.Points.Len() == 0 {
-					t.Fatalf("shard %d is empty", si)
+			for ti, tile := range plan.Tiles {
+				if tile.Points.Len() == 0 {
+					t.Fatalf("tile %d is empty", ti)
 				}
-				if sh.Points.Len() != len(sh.Global) {
-					t.Fatalf("shard %d: %d points vs %d global ids", si, sh.Points.Len(), len(sh.Global))
+				if tile.Points.Len() != len(tile.Global) {
+					t.Fatalf("tile %d: %d points vs %d global ids", ti, tile.Points.Len(), len(tile.Global))
 				}
 				prev := int32(-1)
-				for li, gi := range sh.Global {
+				for li, gi := range tile.Global {
 					if gi <= prev {
-						t.Fatalf("shard %d: Global not ascending", si)
+						t.Fatalf("tile %d: Global not ascending", ti)
 					}
 					prev = gi
 					if seen[gi] {
 						t.Fatalf("point %d assigned twice", gi)
 					}
 					seen[gi] = true
-					if !sh.Points.At(li).Equal(ps.At(int(gi))) {
-						t.Fatalf("shard %d local %d: gathered point differs from source %d", si, li, gi)
+					if plan.TileOf[gi] != int32(ti) {
+						t.Fatalf("TileOf[%d] = %d, want %d", gi, plan.TileOf[gi], ti)
+					}
+					if !tile.Points.At(li).Equal(ps.At(int(gi))) {
+						t.Fatalf("tile %d local %d: gathered point differs from source %d", ti, li, gi)
 					}
 				}
 			}
 			for i, ok := range seen {
 				if !ok {
-					t.Fatalf("point %d assigned to no shard", i)
+					t.Fatalf("point %d assigned to no tile", i)
 				}
 			}
 		}
 	}
 }
 
-// TestSplitBoundariesAreExact is the correctness core: every
-// cross-shard within-ε pair must have both endpoints in the boundary
-// bands of the cut between their (necessarily adjacent) shards.
-func TestSplitBoundariesAreExact(t *testing.T) {
+// TestSplitFrontierIsExact is the correctness core: every cross-tile
+// within-ε pair must have BOTH endpoints in the frontier, under both
+// metrics, at d ∈ {2, 3, 5}.
+func TestSplitFrontierIsExact(t *testing.T) {
 	r := rand.New(rand.NewSource(5))
-	for _, m := range []geom.Metric{geom.L2, geom.LInf} {
-		for trial := 0; trial < 5; trial++ {
-			eps := 0.2 + r.Float64()*0.5
-			ps := randSet(r, 400, 2, 8)
-			plan := Split(ps, eps, 4)
-			if plan == nil {
-				t.Fatal("expected a plan")
+	for _, d := range []int{2, 3, 5} {
+		for _, m := range []geom.Metric{geom.L2, geom.LInf} {
+			for trial := 0; trial < 3; trial++ {
+				eps := 0.2 + r.Float64()*0.5
+				ps := randSet(r, 400, d, 8)
+				plan := Split(ps, eps, 4+4*trial)
+				if plan == nil {
+					t.Fatal("expected a plan")
+				}
+				if len(plan.Frontier) == 0 {
+					t.Fatal("a split plan must have a frontier")
+				}
+				for fi, gi := range plan.Frontier {
+					if fi > 0 && gi <= plan.Frontier[fi-1] {
+						t.Fatal("frontier ids not ascending")
+					}
+					if !plan.IsFrontier[gi] {
+						t.Fatalf("IsFrontier[%d] disagrees with Frontier list", gi)
+					}
+				}
+				for i := 0; i < ps.Len(); i++ {
+					for j := i + 1; j < ps.Len(); j++ {
+						if !ps.Within(m, i, j, eps) || plan.TileOf[i] == plan.TileOf[j] {
+							continue
+						}
+						if !plan.IsFrontier[i] || !plan.IsFrontier[j] {
+							t.Fatalf("d=%d: cross-tile within-ε pair (%d,%d) not fully in frontier", d, i, j)
+						}
+					}
+				}
 			}
-			shardOf := make([]int, ps.Len())
-			for si, sh := range plan.Shards {
-				for _, gi := range sh.Global {
-					shardOf[gi] = si
-				}
-			}
-			inBand := make([]map[int32]bool, len(plan.Bounds))
-			for bi, b := range plan.Bounds {
-				inBand[bi] = make(map[int32]bool)
-				for _, l := range b.Left {
-					inBand[bi][l] = true
-				}
-				for _, r := range b.Right {
-					inBand[bi][r] = true
-				}
-			}
-			for i := 0; i < ps.Len(); i++ {
-				for j := i + 1; j < ps.Len(); j++ {
-					if !ps.Within(m, i, j, eps) || shardOf[i] == shardOf[j] {
-						continue
-					}
-					lo, hi := shardOf[i], shardOf[j]
-					if lo > hi {
-						lo, hi = hi, lo
-					}
-					if hi != lo+1 {
-						t.Fatalf("within-ε pair (%d,%d) spans non-adjacent shards %d and %d", i, j, lo, hi)
-					}
-					if !inBand[lo][int32(i)] || !inBand[lo][int32(j)] {
-						t.Fatalf("cross pair (%d,%d) not covered by boundary %d bands", i, j, lo)
-					}
-				}
+		}
+	}
+}
+
+// TestSplitMultiAxis pins the starving-axis fix: when every axis spans
+// only two occupied ε-cells, single-axis striping caps at 2 shards,
+// but the multi-axis plan reaches 2^d tiles.
+func TestSplitMultiAxis(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, d := range []int{2, 3} {
+		ps := randSet(r, 600, d, 2) // ε=1: exactly cells {0,1} per axis
+		plan := Split(ps, 1, 1<<d)
+		if plan == nil {
+			t.Fatalf("d=%d: expected a plan", d)
+		}
+		want := 1 << d
+		if len(plan.Tiles) != want {
+			t.Fatalf("d=%d: got %d tiles, want %d (every axis cut)", d, len(plan.Tiles), want)
+		}
+		for axis, s := range plan.Splits {
+			if s != 2 {
+				t.Fatalf("d=%d: axis %d split into %d intervals, want 2", d, axis, s)
 			}
 		}
 	}

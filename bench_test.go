@@ -141,6 +141,42 @@ func BenchmarkGrid(b *testing.B) {
 	})
 }
 
+// BenchmarkSweep — multi-ε query sharing on the Fig9a workload
+// (n=4000, L2, levels evenly spaced up to ε=0.5): one ε-lattice sweep
+// answering all k levels (Lattice) versus k independent one-shot runs
+// (Oneshot). The lattice builds one dendrogram below the largest level
+// and cuts each level from it; the one-shot rival pays a full grouping
+// per level.
+func BenchmarkSweep(b *testing.B) {
+	pts := benchPoints(4000, 1)
+	for _, k := range []int{2, 4, 8} {
+		levels := make([]float64, k)
+		for i := range levels {
+			levels[i] = 0.5 * float64(i+1) / float64(k)
+		}
+		b.Run(fmt.Sprintf("Lattice/k=%d", k), func(b *testing.B) {
+			opt := sgb.Options{Metric: sgb.L2, Algorithm: sgb.GridIndex}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sgb.SweepAny(pts, levels, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Oneshot/k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, eps := range levels {
+					opt := sgb.Options{Metric: sgb.L2, Eps: eps, Algorithm: sgb.GridIndex}
+					if _, err := sgb.GroupByAny(pts, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkParallel — the partition/evaluate/merge pipeline on the
 // Fig9a workload (n=4000, ε=0.5, L2): worker sweep for both operators
 // under the ε-grid strategy. w=1 is the sequential path; results are

@@ -75,8 +75,17 @@ type incrKey struct {
 // is what makes a delete followed by inserts restoring the old length
 // detectable.
 type incrEntry struct {
-	table    *storage.Table // identity guard against DROP + re-CREATE
+	table *storage.Table // identity guard against DROP + re-CREATE
+	// Exactly one of inc and lat is set. inc is single-ε incremental
+	// grouping state; lat is a shared ε-lattice dendrogram (EPS IN /
+	// SIMILARITY CUBE): its fingerprint deliberately excludes ε, so
+	// every session sweeping this table under one (metric, grouping)
+	// configuration reuses one maintained evaluator regardless of which
+	// ε levels it asks for. Lattice entries follow the same consumed /
+	// gen protocol but take no decremental maintenance — a DELETE drops
+	// them (single-linkage merges cannot be unwound locally).
 	inc      *incr.Incremental
+	lat      *core.LatticeEvaluator
 	consumed int   // how many of the table's rows the state has absorbed
 	gen      int64 // table generation the entry is synchronized with
 	lastUse  int64 // DB.incrClock reading at the entry's last query
@@ -363,6 +372,13 @@ func (db *DB) noteDelete(t *storage.Table, preGen int64, doomed []int) {
 			delete(db.incrCache, key)
 			continue
 		}
+		if e.lat != nil {
+			// No decremental single-linkage: a dendrogram merge cannot be
+			// unwound locally, so deletion invalidates the lattice entry
+			// and the next sweep rebuilds it.
+			delete(db.incrCache, key)
+			continue
+		}
 		// Row ids below consumed are exactly the evaluator's live ids;
 		// rows at or beyond consumed were never absorbed and simply
 		// vanish before they ever would be.
@@ -507,6 +523,7 @@ func (db *DB) runSelect(sel *sqlparser.SelectStmt, opt QueryOptions) (*Rows, err
 	b.SGBStats = opt.Stats
 	if opt.Incremental {
 		b.SGBIncr = db.sgbIncrGroupFunc
+		b.SGBSweep = db.sgbSweepFunc
 	}
 	cq, err := b.BuildSelect(sel)
 	if err != nil {
@@ -575,6 +592,54 @@ func (db *DB) sgbIncrGroupFunc(table, exprKey string, anySem bool, opt core.Opti
 			e.consumed = points.Len()
 		}
 		return e.inc.Result()
+	}
+}
+
+// sgbSweepFunc implements plan.Builder.SGBSweep: the EPS IN sibling of
+// sgbIncrGroupFunc. Its fingerprint covers ONLY the table, the metric,
+// and the grouping expressions — not ε, and none of the options that
+// cannot change SGB-Any components (algorithm, seed, overlap,
+// hysteresis) — so two sessions differing only in their ε lists share
+// one maintained dendrogram: the first query builds it up to its
+// ε_max, and every later sweep at or below that bound is answered
+// without a single distance computation (asserted by the Stats
+// regression test). A sweep above the cached ε_max rebuilds the entry
+// at the larger bound; INSERTs extend it through the usual consumed /
+// gen protocol; DELETE invalidates it (see noteDelete).
+func (db *DB) sgbSweepFunc(table, exprKey string, epsList []float64, opt core.Options) exec.SweepFunc {
+	st := opt.Stats // per-query counter block; never retained in the entry
+	opt.Stats = nil
+	opt.Parallelism = 0
+	key := incrKey{
+		table:       strings.ToLower(table),
+		fingerprint: fmt.Sprintf("lattice|metric=%v|by=%s", opt.Metric, exprKey),
+	}
+	epsMax := epsList[len(epsList)-1] // the planner sorts ascending
+	return func(points *geom.PointSet) ([]*core.Result, error) {
+		t, err := db.cat.Lookup(table)
+		if err != nil {
+			return nil, err
+		}
+		e := db.incrCache[key]
+		if e == nil || e.lat == nil || e.table != t || e.gen != t.Generation() ||
+			e.consumed > points.Len() || e.lat.EpsMax() < epsMax {
+			opt.Eps = epsMax
+			lat, err := core.NewLatticeEvaluator(points.Dims(), opt)
+			if err != nil {
+				return nil, err
+			}
+			e = &incrEntry{table: t, lat: lat, gen: t.Generation()}
+			db.cacheAdd(key, e)
+		} else {
+			db.cacheTouch(e)
+		}
+		if points.Len() > e.consumed {
+			if err := e.lat.AppendSet(points.Slice(e.consumed, points.Len()), st); err != nil {
+				return nil, err
+			}
+			e.consumed = points.Len()
+		}
+		return e.lat.Sweep(epsList)
 	}
 }
 

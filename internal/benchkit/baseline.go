@@ -24,7 +24,8 @@ import (
 
 // BaselineEntry is one measured series point.
 type BaselineEntry struct {
-	// Family is the benchmark family ("grid", "scaling", "incremental").
+	// Family is the benchmark family ("grid", "scaling", "incremental",
+	// "window", "sweep", "recovery").
 	Family string `json:"family"`
 	// Series names the measured configuration within the family.
 	Series string `json:"series"`
@@ -178,6 +179,11 @@ func WriteBaseline(w io.Writer, cfg Config) error {
 		return err
 	}
 	b.Entries = append(b.Entries, BaselineEntry{Family: "window", Series: "Any/Oneshot", N: wsize, Eps: eps, Millis: millis(d), Groups: g})
+
+	// Family "sweep": k-level ε-lattice sweep versus k one-shot runs.
+	if err := appendSweepFamily(b, cfg); err != nil {
+		return err
+	}
 
 	// Family "recovery": crash-restart to first grouping answer — warm
 	// (checkpoint + WAL tail + revived evaluator) versus cold (full WAL

@@ -61,10 +61,23 @@ func TestWriteBaseline(t *testing.T) {
 			groups[sem] = e.Groups
 		}
 	}
-	for _, fam := range []string{"grid", "scaling", "incremental"} {
+	for _, fam := range []string{"grid", "scaling", "incremental", "window", "sweep", "recovery"} {
 		if families[fam] == 0 {
 			t.Errorf("family %q missing from baseline", fam)
 		}
+	}
+	// Sweep-family fingerprint: the lattice sweep and the one-shot rival
+	// must agree on the group count at the shared largest level.
+	sweeps := map[string]int{} // k suffix -> groups
+	for _, e := range b.Entries {
+		if e.Family != "sweep" {
+			continue
+		}
+		parts := strings.SplitN(e.Series, "/", 2)
+		if prev, ok := sweeps[parts[1]]; ok && prev != e.Groups {
+			t.Errorf("sweep/%s: lattice and one-shot disagree on groups: %d vs %d", parts[1], prev, e.Groups)
+		}
+		sweeps[parts[1]] = e.Groups
 	}
 }
 

@@ -1,0 +1,92 @@
+package benchkit
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/sgb-db/sgb/internal/core"
+	"github.com/sgb-db/sgb/internal/geom"
+)
+
+// The "sweep" baseline family measures the ε-lattice payoff: answering
+// a k-level EPS IN list from ONE dendrogram sweep versus k independent
+// one-shot SGB-Any runs over the same points. The two series share one
+// workload per k, so their ratio is the multi-query sharing speedup
+// (the acceptance floor is 3× at k = 8, n = 32k).
+
+// SweepLevels returns the k ε levels of the sweep workload: evenly
+// spaced up to epsMax, so every level does real grouping work and the
+// largest matches the one-shot families' threshold.
+func SweepLevels(k int, epsMax float64) []float64 {
+	levels := make([]float64, k)
+	for i := range levels {
+		levels[i] = epsMax * float64(i+1) / float64(k)
+	}
+	return levels
+}
+
+// timeSweepLattice measures one lattice sweep answering every level of
+// epsList (build + k cuts). Returns the group count at the largest ε
+// as the correctness fingerprint.
+func timeSweepLattice(pts []geom.Point, epsList []float64) (time.Duration, int, error) {
+	opt := core.Options{Metric: geom.L2, Algorithm: core.GridIndex, Seed: 1, Parallelism: 1}
+	start := time.Now()
+	results, err := core.SweepAny(pts, epsList, opt)
+	if err != nil {
+		return 0, 0, err
+	}
+	return time.Since(start), results[len(results)-1].NumGroups(), nil
+}
+
+// timeSweepOneshots measures the k independent SGB-Any runs the sweep
+// replaces, one per level.
+func timeSweepOneshots(pts []geom.Point, epsList []float64) (time.Duration, int, error) {
+	var total time.Duration
+	groups := 0
+	for _, eps := range epsList {
+		d, g, err := timeSGBAny(pts, core.GridIndex, eps)
+		if err != nil {
+			return 0, 0, err
+		}
+		total += d
+		groups = g
+	}
+	return total, groups, nil
+}
+
+// appendSweepFamily records the "sweep" family: for each k, the lattice
+// sweep and its k-one-shot rival on an n-point uniform workload. The
+// Eps column carries the largest level (the shared ε_max).
+func appendSweepFamily(b *Baseline, cfg Config) error {
+	n := cfg.scaled(32000)
+	// Density 4 points per unit² — per-point degree ≈ 3 at ε_max —
+	// with the span scaled by √n so the density holds at every scale.
+	// That keeps every sweep level in the interesting regime: mostly
+	// singletons at the low levels, large-but-finite clusters just
+	// below the percolation threshold at ε_max, so each cut does
+	// non-trivial grouping work. The Fig9a density (40 per unit²) is
+	// supercritical at every level and measures nothing but one fused
+	// component.
+	span := math.Sqrt(float64(n) / 4)
+	pts := uniformPoints(n, span, cfg.Seed+13)
+	const epsMax = 0.5
+	for _, k := range []int{2, 4, 8} {
+		levels := SweepLevels(k, epsMax)
+		d, g, err := bestOf3(func() (time.Duration, int, error) { return timeSweepLattice(pts, levels) })
+		if err != nil {
+			return err
+		}
+		b.Entries = append(b.Entries, BaselineEntry{
+			Family: "sweep", Series: fmt.Sprintf("Lattice/k=%d", k), N: n, Eps: epsMax, Millis: millis(d), Groups: g,
+		})
+		d, g, err = bestOf3(func() (time.Duration, int, error) { return timeSweepOneshots(pts, levels) })
+		if err != nil {
+			return err
+		}
+		b.Entries = append(b.Entries, BaselineEntry{
+			Family: "sweep", Series: fmt.Sprintf("Oneshot/k=%d", k), N: n, Eps: epsMax, Millis: millis(d), Groups: g,
+		})
+	}
+	return nil
+}

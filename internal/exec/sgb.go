@@ -41,6 +41,24 @@ type SGB struct {
 	// equal to a one-shot evaluation over the given points.
 	Group GroupFunc
 
+	// EpsList, when non-empty, runs an ε sweep instead of a single
+	// evaluation (EPS IN (...); SGB-Any only): one shared dendrogram
+	// answers every level, and the node emits each level's aggregate
+	// rows with the level's ε prepended as output column 0 (the planner
+	// binds aggregates at base 1 and exposes the pseudo-column "eps").
+	// Levels are expected in ascending order — the planner sorts them —
+	// and rows are emitted level by level in that order.
+	EpsList []float64
+	// Cube replaces per-group aggregate rows with one rollup row per ε
+	// level: (eps, group_count, largest_group, grouped_fraction) — the
+	// SIMILARITY CUBE BY EPS output. Aggs must be empty.
+	Cube bool
+	// SweepGroup, when non-nil, computes every sweep level from shared
+	// cached state instead of core.SweepAnySet — the engine's
+	// ε-lattice cache hook (plan.Builder.SGBSweep). Results align with
+	// EpsList.
+	SweepGroup SweepFunc
+
 	out []types.Row
 	pos int
 }
@@ -48,6 +66,10 @@ type SGB struct {
 // GroupFunc computes the similarity grouping over the node's
 // materialized points (indices in the result refer into the set).
 type GroupFunc func(points *geom.PointSet) (*core.Result, error)
+
+// SweepFunc computes the grouping at every ε level of an EPS IN sweep
+// over the node's materialized points, aligned with SGB.EpsList.
+type SweepFunc func(points *geom.PointSet) ([]*core.Result, error)
 
 // Open materializes the input, extracts the grouping points, runs the
 // similarity operator (or the incremental Group hook), and folds the
@@ -99,6 +121,10 @@ func (s *SGB) Open() error {
 		rows = append(rows, row)
 	}
 
+	if len(s.EpsList) > 0 {
+		return s.openSweep(rows, points)
+	}
+
 	var res *core.Result
 	var err error
 	switch {
@@ -114,22 +140,91 @@ func (s *SGB) Open() error {
 	}
 
 	for _, g := range res.Groups {
-		accs := make([]accumulator, len(s.Aggs))
-		for i, a := range s.Aggs {
-			accs[i] = a.newAccumulator()
-		}
-		for _, m := range g.Members {
-			for _, acc := range accs {
-				if err := acc.add(rows[m]); err != nil {
-					return err
-				}
-			}
-		}
-		out := make(types.Row, len(s.Aggs))
-		for i, acc := range accs {
-			out[i] = acc.result()
+		out, err := s.foldAggs(rows, g, nil)
+		if err != nil {
+			return err
 		}
 		s.out = append(s.out, out)
+	}
+	return nil
+}
+
+// foldAggs folds the node's aggregates over one group's rows, placing
+// the results after the given prefix values (the sweep path prepends
+// the level's ε).
+func (s *SGB) foldAggs(rows []types.Row, g core.Group, prefix []types.Value) (types.Row, error) {
+	accs := make([]accumulator, len(s.Aggs))
+	for i, a := range s.Aggs {
+		accs[i] = a.newAccumulator()
+	}
+	for _, m := range g.Members {
+		for _, acc := range accs {
+			if err := acc.add(rows[m]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := make(types.Row, 0, len(prefix)+len(s.Aggs))
+	out = append(out, prefix...)
+	for _, acc := range accs {
+		out = append(out, acc.result())
+	}
+	return out, nil
+}
+
+// openSweep evaluates every EPS IN level from one shared dendrogram
+// (via the SweepGroup cache hook or core.SweepAnySet) and emits the
+// per-level output: aggregate rows with ε prepended, or — under Cube —
+// one (eps, group_count, largest_group, grouped_fraction) rollup row
+// per level.
+func (s *SGB) openSweep(rows []types.Row, points *geom.PointSet) error {
+	if !s.Any {
+		return fmt.Errorf("exec: EPS IN sweeps exist for DISTANCE-TO-ANY only")
+	}
+	var results []*core.Result
+	var err error
+	if s.SweepGroup != nil {
+		results, err = s.SweepGroup(points)
+	} else {
+		results, err = core.SweepAnySet(points, s.EpsList, s.Opt)
+	}
+	if err != nil {
+		return err
+	}
+	if len(results) != len(s.EpsList) {
+		return fmt.Errorf("exec: sweep returned %d levels, want %d", len(results), len(s.EpsList))
+	}
+	for li, res := range results {
+		eps := types.Float(s.EpsList[li])
+		if s.Cube {
+			largest, grouped := 0, 0
+			for _, g := range res.Groups {
+				if len(g.Members) > largest {
+					largest = len(g.Members)
+				}
+				if len(g.Members) >= 2 {
+					grouped += len(g.Members)
+				}
+			}
+			frac := 0.0
+			if n := len(rows); n > 0 {
+				frac = float64(grouped) / float64(n)
+			}
+			s.out = append(s.out, types.Row{
+				eps,
+				types.Int(int64(len(res.Groups))),
+				types.Int(int64(largest)),
+				types.Float(frac),
+			})
+			continue
+		}
+		for _, g := range res.Groups {
+			out, err := s.foldAggs(rows, g, []types.Value{eps})
+			if err != nil {
+				return err
+			}
+			s.out = append(s.out, out)
+		}
 	}
 	return nil
 }

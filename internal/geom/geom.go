@@ -206,6 +206,58 @@ func (m Metric) withinCoords(p, q []float64, eps float64) bool {
 	}
 }
 
+// DistKey returns the comparison key the similarity predicate tests
+// against EpsKey(eps): the squared distance for L2 (the sqrt-free form
+// withinCoords compares) and the maximum coordinate difference for L∞.
+// Keys order exactly as distances do, and DistKey(p, q) <= EpsKey(eps)
+// decides identically to Within(p, q, eps) — the accumulation shapes
+// below mirror withinCoords term for term, so boundary cases cannot
+// diverge. The ε-lattice dendrogram stores merge heights in key space
+// so that lattice cuts reproduce one-shot groupings exactly.
+func (m Metric) DistKey(p, q Point) float64 {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("geom: dimension mismatch %d vs %d", len(p), len(q)))
+	}
+	return m.distKeyCoords(p, q)
+}
+
+// distKeyCoords is DistKey over raw coordinate slices of equal length.
+// The L2 kernels accumulate in withinCoords's order without the early
+// exit (partial sums only grow, so the full sum decides every s > e2
+// rejection identically); L∞ already compares raw distances.
+func (m Metric) distKeyCoords(p, q []float64) float64 {
+	if m == L2 {
+		switch len(p) {
+		case 2:
+			dx := p[0] - q[0]
+			dy := p[1] - q[1]
+			return dx*dx + dy*dy
+		case 3:
+			dx := p[0] - q[0]
+			dy := p[1] - q[1]
+			dz := p[2] - q[2]
+			return dx*dx + dy*dy + dz*dz
+		}
+		var s float64
+		for i := range p {
+			d := p[i] - q[i]
+			s += d * d
+		}
+		return s
+	}
+	return m.distCoords(p, q)
+}
+
+// EpsKey maps a similarity threshold into DistKey's comparison space:
+// eps*eps for L2 (the exact product withinCoords compares against) and
+// eps unchanged for L∞.
+func (m Metric) EpsKey(eps float64) float64 {
+	if m == L2 {
+		return eps * eps
+	}
+	return eps
+}
+
 // Rect is an axis-aligned d-dimensional rectangle given by its lower
 // (Min) and upper (Max) corners. A Rect is valid when Min[i] <= Max[i]
 // in every dimension; an "empty" rectangle (from an intersection that

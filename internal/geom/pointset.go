@@ -216,3 +216,9 @@ func (s *PointSet) Dist(m Metric, i, j int) float64 {
 func (s *PointSet) Within(m Metric, i, j int, eps float64) bool {
 	return m.withinCoords(s.At(i), s.At(j), eps)
 }
+
+// DistKey computes the metric comparison key of (points[i], points[j])
+// — the value Within tests against m.EpsKey(eps). See Metric.DistKey.
+func (s *PointSet) DistKey(m Metric, i, j int) float64 {
+	return m.distKeyCoords(s.At(i), s.At(j))
+}

@@ -1,0 +1,24 @@
+// Package lattice answers every similarity threshold ε ≤ ε_max from
+// one pass over the data: the ε-lattice of SGB-Any groupings.
+//
+// SGB-Any groups are the connected components of the ε-proximity
+// graph, and components only merge as ε grows — groupings at ε₁ < ε₂
+// nest. One Kruskal-style sweep therefore captures the whole family:
+// enumerate candidate edges below ε_max with the uniform ε_max-cell
+// grid (probe the 3^d neighborhood of each point before registering
+// it, so each unordered pair surfaces exactly once and the O(n²) edge
+// set is never materialized), sort by distance key, and fold through a
+// Union-Find recording the height of every merge. The resulting
+// Dendrogram answers GroupsAt(ε) for any level with a binary search
+// over merge heights plus an amortized prefix replay — near-constant
+// query cost beyond the O(n) materialization of the answer itself.
+//
+// Memory stays bounded by minimum-spanning-forest compaction: under a
+// fixed total edge order, MSF(S ∪ T) ⊆ MSF(MSF(S) ∪ T), so the edge
+// buffer can be filtered to at most n−1 forest edges whenever it grows
+// — exactly, not approximately — which also makes Append incremental.
+//
+// Heights live in geom.Metric.DistKey space (squared distance for L2),
+// the same comparison basis Metric.Within uses, so lattice levels are
+// bit-for-bit identical to independent one-shot SGB-Any runs.
+package lattice

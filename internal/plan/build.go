@@ -2,6 +2,7 @@ package plan
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"github.com/sgb-db/sgb/internal/core"
@@ -46,6 +47,13 @@ type Builder struct {
 	// fingerprints the grouping expressions; opt is the fully resolved
 	// operator configuration.
 	SGBIncr func(table, exprKey string, anySem bool, opt core.Options) exec.GroupFunc
+	// SGBSweep is SGBIncr's ε-sweep sibling: consulted for EPS IN
+	// queries over the same cacheable bare-scan shape, it may return a
+	// SweepFunc backed by a shared per-table dendrogram (one lattice
+	// entry serves every ε list below its ε_max — the cache key
+	// deliberately excludes ε). epsList arrives validated and in
+	// ascending order; opt.Eps is its maximum.
+	SGBSweep func(table, exprKey string, epsList []float64, opt core.Options) exec.SweepFunc
 }
 
 // NewBuilder returns a Builder with the default (ε-grid) SGB strategy.
@@ -429,22 +437,7 @@ func (b *Builder) planSimilarityGroupBy(sel *sqlparser.SelectStmt, in plannedInp
 		groupExprs[i] = s
 	}
 
-	// ε must be a positive numeric constant.
-	epsScalar, err := compileScalar(sim.Eps, nil, b)
-	if err != nil {
-		return nil, nil, fmt.Errorf("plan: WITHIN threshold must be a constant: %v", err)
-	}
-	epsVal, err := epsScalar(nil)
-	if err != nil {
-		return nil, nil, err
-	}
-	eps, err := epsVal.AsFloat()
-	if err != nil || eps <= 0 {
-		return nil, nil, fmt.Errorf("plan: WITHIN threshold must be a positive number, got %v", epsVal)
-	}
-
 	opt := core.Options{
-		Eps:         eps,
 		Algorithm:   b.SGBAlgorithm,
 		Parallelism: b.SGBParallelism,
 		Seed:        b.SGBSeed,
@@ -468,6 +461,25 @@ func (b *Builder) planSimilarityGroupBy(sel *sqlparser.SelectStmt, in plannedInp
 		// SGB-Any has no bounds-checking variant (Section 7.1).
 		opt.Algorithm = core.OnTheFlyIndex
 	}
+
+	if len(sim.EpsList) > 0 {
+		return b.planEpsSweep(sel, in, gb, sim, groupExprs, opt)
+	}
+
+	// ε must be a positive numeric constant.
+	epsScalar, err := compileScalar(sim.Eps, nil, b)
+	if err != nil {
+		return nil, nil, fmt.Errorf("plan: WITHIN threshold must be a constant: %v", err)
+	}
+	epsVal, err := epsScalar(nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	eps, err := epsVal.AsFloat()
+	if err != nil || eps <= 0 {
+		return nil, nil, fmt.Errorf("plan: WITHIN threshold must be a positive number, got %v", epsVal)
+	}
+	opt.Eps = eps
 
 	// Similarity grouping exposes no grouping columns: every select
 	// item and the HAVING clause must be built from aggregates.
@@ -502,6 +514,106 @@ func (b *Builder) planSimilarityGroupBy(sel *sqlparser.SelectStmt, in plannedInp
 				keys[i] = ge.String()
 			}
 			sgbNode.Group = b.SGBIncr(bt.Name, strings.Join(keys, ","), sgbNode.Any, opt)
+		}
+	}
+	var op exec.Operator = sgbNode
+	if havingPred != nil {
+		op = &exec.Filter{Input: op, Pred: havingPred}
+	}
+	return &exec.Project{Input: op, Exprs: selScalars}, outEnv, nil
+}
+
+// planEpsSweep lowers the EPS IN (...) / SIMILARITY CUBE BY EPS forms
+// of the similarity clause: every level is answered from one shared
+// dendrogram, rows are emitted level by level in ascending ε order,
+// and the level's ε rides along as output column 0 — exposed to the
+// projection and HAVING as the pseudo-column "eps" (cube queries
+// instead get the fixed rollup schema and must be SELECT *).
+func (b *Builder) planEpsSweep(sel *sqlparser.SelectStmt, in plannedInput, gb *sqlparser.GroupByClause, sim *sqlparser.SimilarityClause, groupExprs []exec.Scalar, opt core.Options) (exec.Operator, Env, error) {
+	epsList := make([]float64, len(sim.EpsList))
+	for i, e := range sim.EpsList {
+		s, err := compileScalar(e, nil, b)
+		if err != nil {
+			return nil, nil, fmt.Errorf("plan: EPS IN level %d must be a constant: %v", i+1, err)
+		}
+		v, err := s(nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		f, err := v.AsFloat()
+		if err != nil {
+			return nil, nil, fmt.Errorf("plan: EPS IN level %d must be numeric, got %v", i+1, v)
+		}
+		epsList[i] = f
+	}
+	// Named validation errors shared with the Go API: non-positive,
+	// duplicate (checked before sorting so the message reflects the
+	// query's spelling).
+	if err := core.ValidateEpsList(epsList); err != nil {
+		return nil, nil, err
+	}
+	sort.Float64s(epsList)
+	opt.Eps = epsList[len(epsList)-1] // the sweep's ε_max
+
+	sgbNode := &exec.SGB{
+		Input:      in.op,
+		GroupExprs: groupExprs,
+		Any:        true,
+		Opt:        opt,
+		EpsList:    epsList,
+		Cube:       sim.Cube,
+	}
+
+	var (
+		selScalars []exec.Scalar
+		outEnv     Env
+		havingPred exec.Scalar
+		err        error
+	)
+	if sim.Cube {
+		// The cube defines its own row schema; the query must take it
+		// as-is.
+		if len(sel.Items) != 1 || !sel.Items[0].Star {
+			return nil, nil, fmt.Errorf("plan: SIMILARITY CUBE BY EPS requires SELECT * (the cube emits its own schema: eps, group_count, largest_group, grouped_fraction)")
+		}
+		if sel.Having != nil {
+			return nil, nil, fmt.Errorf("plan: HAVING is not supported with SIMILARITY CUBE BY EPS")
+		}
+		for i := 0; i < 4; i++ {
+			idx := i
+			selScalars = append(selScalars, func(row types.Row) (types.Value, error) { return row[idx], nil })
+		}
+		outEnv = Env{
+			{Name: "eps"},
+			{Name: "group_count"},
+			{Name: "largest_group"},
+			{Name: "grouped_fraction"},
+		}
+	} else {
+		binder := &aggBinder{baseEnv: in.env, sp: b, groupKeys: []string{"eps"}, aggBase: 1}
+		selScalars, outEnv, err = b.compileSelectItems(sel, binder)
+		if err != nil {
+			return nil, nil, err
+		}
+		if sel.Having != nil {
+			havingPred, err = binder.compile(sel.Having)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		sgbNode.Aggs = binder.aggs
+	}
+
+	// The shared-dendrogram cache applies to the same shape SGBIncr
+	// requires: a bare single-table scan, whose point sequence is an
+	// append-only image of the table.
+	if b.SGBSweep != nil && sel.Where == nil && len(sel.From) == 1 {
+		if bt, ok := sel.From[0].(*sqlparser.BaseTable); ok {
+			keys := make([]string, len(gb.Exprs))
+			for i, ge := range gb.Exprs {
+				keys[i] = ge.String()
+			}
+			sgbNode.SweepGroup = b.SGBSweep(bt.Name, strings.Join(keys, ","), epsList, opt)
 		}
 	}
 	var op exec.Operator = sgbNode

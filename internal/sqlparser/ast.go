@@ -99,11 +99,16 @@ type GroupByClause struct {
 	Similarity *SimilarityClause
 }
 
-// SimilarityClause carries the SGB grouping parameters.
+// SimilarityClause carries the SGB grouping parameters. Exactly one of
+// Eps (WITHIN e: a single threshold) and EpsList (EPS IN (e1, e2, ...):
+// an ε sweep, DISTANCE-TO-ANY only) is set. Cube marks a trailing
+// SIMILARITY CUBE BY EPS rollup over the sweep levels.
 type SimilarityClause struct {
 	Semantics Semantics
 	Metric    MetricName
 	Eps       Expr
+	EpsList   []Expr
+	Cube      bool
 	Overlap   OverlapAction
 }
 

@@ -381,14 +381,48 @@ func (p *parser) parseGroupBy() (*GroupByClause, error) {
 	if m, ok := p.parseMetricName(); ok {
 		sim.Metric = m
 	}
-	if err := p.expect(TokKeyword, "WITHIN"); err != nil {
-		return nil, err
+	// Threshold: WITHIN e (single ε) or EPS IN (e1, e2, ...) (ε sweep).
+	// EPS is deliberately NOT a reserved word — schemas may use "eps" as
+	// a column name — so it is recognized contextually, like SET/DELETE:
+	// in this position only WITHIN or EPS IN can follow, making the
+	// bare-identifier dispatch unambiguous.
+	if p.atIdentWord("EPS") {
+		p.next()
+		if err := p.expect(TokKeyword, "IN"); err != nil {
+			return nil, err
+		}
+		if sem == SemanticsAll {
+			return nil, p.errorf("DISTANCE-TO-ALL does not support EPS IN: ε sweeps exist for DISTANCE-TO-ANY only, whose groups nest as ε grows")
+		}
+		if err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		if p.at(TokSymbol, ")") {
+			return nil, p.errorf("EPS IN list must name at least one ε level")
+		}
+		for {
+			e, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			sim.EpsList = append(sim.EpsList, e)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := p.expect(TokKeyword, "WITHIN"); err != nil {
+			return nil, err
+		}
+		eps, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		sim.Eps = eps
 	}
-	eps, err := p.parseAdditive()
-	if err != nil {
-		return nil, err
-	}
-	sim.Eps = eps
 
 	// Table 2 spelling: trailing USING lone/ltwo.
 	if p.acceptKeyword("USING") {
@@ -423,6 +457,31 @@ func (p *parser) parseGroupBy() (*GroupByClause, error) {
 			sim.Overlap = OverlapFormNewGroup
 		default:
 			return nil, p.errorf("expected JOIN-ANY, ELIMINATE, or FORM-NEW-GROUP, found %q", p.peek().Text)
+		}
+	}
+
+	// Trailing rollup: SIMILARITY CUBE BY EPS emits one aggregate row
+	// per sweep level. SIMILARITY and CUBE are contextual identifier
+	// words (not reserved; a bare identifier here is a syntax error
+	// anyway), so the save/restore mirrors the "ON OVERLAP" handling.
+	if p.atIdentWord("SIMILARITY") {
+		save := p.i
+		p.next()
+		if p.atIdentWord("CUBE") {
+			p.next()
+			if err := p.expect(TokKeyword, "BY"); err != nil {
+				return nil, err
+			}
+			if !p.atIdentWord("EPS") {
+				return nil, p.errorf("expected EPS after SIMILARITY CUBE BY, found %q", p.peek().Text)
+			}
+			p.next()
+			if len(sim.EpsList) == 0 {
+				return nil, p.errorf("SIMILARITY CUBE BY EPS requires an EPS IN (...) sweep list")
+			}
+			sim.Cube = true
+		} else {
+			p.i = save
 		}
 	}
 	gb.Similarity = sim

@@ -1,0 +1,101 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEpsInClause(t *testing.T) {
+	sel := mustSelect(t, `
+		SELECT eps, count(*) FROM gps
+		GROUP BY lat, lon DISTANCE-TO-ANY L2 EPS IN (0.5, 1, 2.5)`)
+	sim := sel.GroupBy.Similarity
+	if sim == nil || sim.Semantics != SemanticsAny || sim.Metric != MetricL2 {
+		t.Fatalf("clause = %+v", sim)
+	}
+	if sim.Eps != nil {
+		t.Errorf("EPS IN clause also set the single-ε field: %v", sim.Eps)
+	}
+	if len(sim.EpsList) != 3 {
+		t.Fatalf("eps list = %d entries", len(sim.EpsList))
+	}
+	if sim.Cube {
+		t.Error("Cube set without SIMILARITY CUBE BY EPS")
+	}
+	// Levels stay in source order at the AST layer (the planner sorts).
+	want := []float64{0.5, 1, 2.5}
+	for i, e := range sim.EpsList {
+		lit, ok := e.(*Literal)
+		if !ok {
+			t.Fatalf("level %d is %T, want literal", i, e)
+		}
+		got := lit.Val.F
+		if lit.Val.F == 0 {
+			got = float64(lit.Val.I)
+		}
+		if got != want[i] {
+			t.Errorf("level %d = %v, want %v", i, got, want[i])
+		}
+	}
+}
+
+func TestSimilarityCubeClause(t *testing.T) {
+	sel := mustSelect(t, `
+		SELECT * FROM gps
+		GROUP BY lat, lon DISTANCE-TO-ANY EPS IN (1, 2) SIMILARITY CUBE BY EPS`)
+	sim := sel.GroupBy.Similarity
+	if sim == nil || !sim.Cube {
+		t.Fatalf("cube not parsed: %+v", sim)
+	}
+	if len(sim.EpsList) != 2 {
+		t.Errorf("eps list = %d entries", len(sim.EpsList))
+	}
+}
+
+func TestEpsInParseErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{`SELECT count(*) FROM t GROUP BY x DISTANCE-TO-ANY EPS IN ()`,
+			"at least one"},
+		{`SELECT count(*) FROM t GROUP BY x DISTANCE-TO-ALL EPS IN (1, 2)`,
+			"DISTANCE-TO-ANY only"},
+		{`SELECT * FROM t GROUP BY x DISTANCE-TO-ANY WITHIN 1 SIMILARITY CUBE BY EPS`,
+			"requires an EPS IN"},
+		{`SELECT count(*) FROM t GROUP BY x DISTANCE-TO-ANY EPS IN (1 2)`,
+			""},
+		{`SELECT count(*) FROM t GROUP BY x DISTANCE-TO-ANY EPS IN (1, 2`,
+			""},
+		{`SELECT * FROM t GROUP BY x DISTANCE-TO-ANY EPS IN (1, 2) SIMILARITY CUBE BY epsilon`,
+			""},
+		{`SELECT * FROM t GROUP BY x DISTANCE-TO-ANY EPS IN (1, 2) SIMILARITY ROLLUP BY EPS`,
+			""},
+	}
+	for _, c := range cases {
+		_, err := ParseSelect(c.src)
+		if err == nil {
+			t.Errorf("accepted %q", c.src)
+			continue
+		}
+		if c.want != "" && !strings.Contains(err.Error(), c.want) {
+			t.Errorf("parse %q: error %q does not mention %q", c.src, err, c.want)
+		}
+	}
+}
+
+// TestEpsContextualKeywords: EPS, SIMILARITY, and CUBE are contextual
+// words — plain identifier positions must keep accepting them.
+func TestEpsContextualKeywords(t *testing.T) {
+	sel := mustSelect(t, `SELECT eps, similarity FROM cube WHERE eps IN (1, 2)`)
+	if len(sel.Items) != 2 {
+		t.Fatalf("items = %d", len(sel.Items))
+	}
+	if _, ok := sel.Where.(*InExpr); !ok {
+		t.Errorf("WHERE eps IN (...) parsed as %T", sel.Where)
+	}
+	// An ordinary GROUP BY on a column named eps still works.
+	sel = mustSelect(t, `SELECT eps, count(*) FROM t GROUP BY eps`)
+	if sel.GroupBy == nil || sel.GroupBy.Similarity != nil {
+		t.Fatalf("plain GROUP BY eps: %+v", sel.GroupBy)
+	}
+}

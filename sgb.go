@@ -147,6 +147,37 @@ func GroupByAnySet(points *PointSet, opt Options) (*Result, error) {
 	return core.SGBAnySet(points, opt)
 }
 
+// SweepAny evaluates SGB-Any at every ε level of epsList from ONE
+// evaluation: a single grid-accelerated edge sweep below max(epsList)
+// builds the merge dendrogram (SGB-Any groups nest as ε grows), and
+// each level is cut from it by binary search. Results align with
+// epsList's order, each bit-identical to GroupByAny at that level —
+// same groups, same order, same members. opt.Eps is ignored; the list
+// defines the sweep's bound. The SQL spelling is
+// GROUP BY ... DISTANCE-TO-ANY EPS IN (e1, e2, ...).
+func SweepAny(points []Point, epsList []float64, opt Options) ([]*Result, error) {
+	return core.SweepAny(points, epsList, opt)
+}
+
+// SweepAnySet is SweepAny over flat point storage.
+func SweepAnySet(points *PointSet, epsList []float64, opt Options) ([]*Result, error) {
+	return core.SweepAnySet(points, epsList, opt)
+}
+
+// LatticeAny is a resumable ε-lattice evaluator: append point batches,
+// then answer GroupsAt(ε) for any ε up to the construction bound in
+// near-constant time (plus the O(n) answer materialization), query
+// per-level rollups with SummaryAt, or sweep whole lists with Sweep /
+// SweepSummaries. Unlike Incremental it retains no per-query Stats —
+// pass a counter block per Append call.
+type LatticeAny = core.LatticeEvaluator
+
+// NewLatticeAny returns an empty ε-lattice evaluator over
+// dims-dimensional points answering thresholds up to opt.Eps.
+func NewLatticeAny(dims int, opt Options) (*LatticeAny, error) {
+	return core.NewLatticeEvaluator(dims, opt)
+}
+
 // ConnectedComponents is the brute-force reference implementation of
 // the SGB-Any semantics, exposed for verification and testing. Unlike
 // the operator entry points it performs no input validation — a

@@ -710,6 +710,37 @@ func BenchmarkRecovery(b *testing.B) {
 	}
 }
 
+// BenchmarkServe measures wire-protocol serving under concurrent
+// sessions: p50/p99 request latency and throughput at several
+// connection counts, read-mostly (the shared evaluator cache's best
+// case) and mixed INSERT/DELETE/query traffic. The full 1/8/32/128
+// sweep with absolute numbers lives in `sgbbench -run serve` and the
+// baseline snapshots; this keeps a CI-sized smoke point per workload.
+func BenchmarkServe(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		conns int
+		mixed bool
+	}{
+		{"Read/c=8", 8, false},
+		{"Read/c=32", 32, false},
+		{"Mixed/c=8", 8, true},
+		{"Mixed/c=32", 32, true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := benchkit.RunServeLoad(1000, tc.conns, 256, tc.mixed, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.P50.Microseconds())/1000, "p50-ms")
+				b.ReportMetric(float64(res.P99.Microseconds())/1000, "p99-ms")
+				b.ReportMetric(res.Throughput, "req/s")
+			}
+		})
+	}
+}
+
 // copyFlatDir clones a flat directory (benchmark fixture helper).
 func copyFlatDir(src, dst string) error {
 	entries, err := os.ReadDir(src)

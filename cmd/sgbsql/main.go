@@ -23,13 +23,22 @@
 // snapshot the state, and the next start recovers everything the log
 // captured. Quitting (EOF, \q, or Ctrl-C) syncs the log before exit.
 //
-// See docs/sql.md for the full dialect reference.
+// Client/server mode: -serve ADDR serves the (optionally persistent,
+// optionally preloaded) database over TCP instead of opening the REPL
+// — each connection gets its own session, so per-connection SET state
+// never leaks between clients — and -connect ADDR runs the REPL
+// against such a server instead of an embedded database. Ctrl-C on the
+// server drains in-flight statements before closing.
+//
+// See docs/sql.md for the full dialect and wire-protocol reference.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"strings"
@@ -38,7 +47,15 @@ import (
 	sgb "github.com/sgb-db/sgb"
 	"github.com/sgb-db/sgb/internal/checkin"
 	"github.com/sgb-db/sgb/internal/tpch"
+	"github.com/sgb-db/sgb/sgbclient"
+	"github.com/sgb-db/sgb/sgbserver"
 )
+
+// runner is the statement executor the REPL drives: an embedded
+// session or a remote connection, selected by -connect.
+type runner interface {
+	Run(sql string) (*sgb.Rows, int, error)
+}
 
 func main() {
 	var (
@@ -46,8 +63,26 @@ func main() {
 		tpchSF   = flag.Float64("tpch", 0, "load TPC-H-like tables at this scale factor")
 		checkins = flag.Int("checkin", 0, "load this many synthetic check-ins as 'checkins'")
 		dataDir  = flag.String("data", "", "persist the database in this directory (WAL + checkpoints)")
+		serve    = flag.String("serve", "", "serve the database over TCP on this address (host:port) instead of the REPL")
+		connect  = flag.String("connect", "", "run the REPL against a -serve server at this address instead of an embedded database")
 	)
 	flag.Parse()
+
+	if *connect != "" {
+		if *demo || *tpchSF > 0 || *checkins > 0 || *dataDir != "" || *serve != "" {
+			fatal(errors.New("-connect takes no data flags: the server owns the database"))
+		}
+		conn, err := sgbclient.Dial(*connect)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("connected to %s (one session; SET state is private to this connection)\n", *connect)
+		repl(conn, func(code int) {
+			conn.Close()
+			os.Exit(code)
+		}, nil)
+		return
+	}
 
 	var db *sgb.DB
 	if *dataDir != "" {
@@ -60,9 +95,9 @@ func main() {
 	} else {
 		db = sgb.Open()
 	}
-	// Quitting any way — EOF, \q, or Ctrl-C — syncs and closes the WAL
-	// so the last acknowledged statement is on disk.
 	quit := func(code int) {
+		// Quitting any way — EOF, \q, or Ctrl-C — syncs and closes the
+		// WAL so the last acknowledged statement is on disk.
 		if err := db.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "sgbsql: close:", err)
 			if code == 0 {
@@ -71,13 +106,6 @@ func main() {
 		}
 		os.Exit(code)
 	}
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt)
-	go func() {
-		<-sigc
-		fmt.Println()
-		quit(0)
-	}()
 	if *demo {
 		if _, err := db.TableLen("gps"); err == nil {
 			fmt.Println("demo table gps already recovered from -data; keeping it")
@@ -105,12 +133,47 @@ func main() {
 	if tables := db.Tables(); len(tables) > 0 {
 		fmt.Printf("tables: %s\n", strings.Join(tables, ", "))
 	}
+
+	if *serve != "" {
+		ln, err := net.Listen("tcp", *serve)
+		if err != nil {
+			fatal(err)
+		}
+		srv := sgbserver.New(db)
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt)
+		go func() {
+			<-sigc
+			fmt.Println("\ndraining connections...")
+			srv.Shutdown()
+		}()
+		fmt.Printf("serving on %s — connect with: sgbsql -connect %s\n", ln.Addr(), ln.Addr())
+		if err := srv.Serve(ln); !errors.Is(err, sgbserver.ErrClosed) {
+			fmt.Fprintln(os.Stderr, "sgbsql: serve:", err)
+			quit(1)
+		}
+		quit(0)
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		<-sigc
+		fmt.Println()
+		quit(0)
+	}()
 	fmt.Println(`type SQL ending with ';' — \q quits, \d lists tables`)
 	fmt.Println(`session settings: SET algorithm = allpairs|bounds|rtree|grid; SET parallelism = N; SET seed = N; SET incremental = on|off`)
 	if *dataDir != "" {
 		fmt.Println(`durability: SET durability = always|interval|off; SET checkpoint_every = N; CHECKPOINT`)
 	}
+	repl(db.NewSession(), quit, db)
+}
 
+// repl reads ';'-terminated statements from stdin and executes them on
+// r. db is non-nil only in embedded mode, where \d can list tables
+// locally.
+func repl(r runner, quit func(int), db *sgb.DB) {
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var stmt strings.Builder
@@ -127,9 +190,13 @@ func main() {
 		case `\q`, "quit", "exit":
 			quit(0)
 		case `\d`:
-			for _, t := range db.Tables() {
-				n, _ := db.TableLen(t)
-				fmt.Printf("  %s (%d rows)\n", t, n)
+			if db == nil {
+				fmt.Println(`\d lists tables in embedded mode only`)
+			} else {
+				for _, t := range db.Tables() {
+					n, _ := db.TableLen(t)
+					fmt.Printf("  %s (%d rows)\n", t, n)
+				}
 			}
 			continue
 		}
@@ -142,36 +209,30 @@ func main() {
 		prompt = "sgb> "
 		sql := stmt.String()
 		stmt.Reset()
-		execute(db, sql)
+		execute(r, sql)
 	}
 }
 
-func execute(db *sgb.DB, sql string) {
-	upper := strings.ToUpper(strings.TrimSpace(sql))
+func execute(r runner, sql string) {
 	start := time.Now()
-	if strings.HasPrefix(upper, "SELECT") {
-		rows, err := db.Query(sql)
-		if err != nil {
-			fmt.Println("error:", err)
-			return
-		}
-		fmt.Println(strings.Join(rows.Columns, " | "))
-		for _, row := range rows.Data {
-			cells := make([]string, len(row))
-			for i, v := range row {
-				cells[i] = v.String()
-			}
-			fmt.Println(strings.Join(cells, " | "))
-		}
-		fmt.Printf("(%d rows, %v)\n", rows.Len(), time.Since(start).Round(time.Microsecond))
-		return
-	}
-	n, err := db.Exec(sql)
+	rows, n, err := r.Run(sql)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
-	fmt.Printf("ok (%d rows affected, %v)\n", n, time.Since(start).Round(time.Microsecond))
+	if rows == nil {
+		fmt.Printf("ok (%d rows affected, %v)\n", n, time.Since(start).Round(time.Microsecond))
+		return
+	}
+	fmt.Println(strings.Join(rows.Columns, " | "))
+	for _, row := range rows.Data {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		fmt.Println(strings.Join(cells, " | "))
+	}
+	fmt.Printf("(%d rows, %v)\n", rows.Len(), time.Since(start).Round(time.Microsecond))
 }
 
 // printRecovery summarizes what OpenDir reconstructed from the data

@@ -3,8 +3,8 @@ package sgb
 import (
 	"fmt"
 	"io"
-	"strconv"
 	"strings"
+	"sync"
 
 	"github.com/sgb-db/sgb/internal/core"
 	"github.com/sgb-db/sgb/internal/exec"
@@ -25,13 +25,31 @@ type Value = types.Value
 // planner, and executor all understand DISTANCE-TO-ALL / DISTANCE-TO-ANY
 // grouping, and SET statements tune the similarity executor per
 // session (SET algorithm = grid, SET parallelism = 4, SET seed = 1).
-// A DB is safe for sequential use; guard concurrent access externally.
+//
+// A DB is safe for concurrent use. Open a Session per concurrent
+// client (the wire server does this per connection) so SET state stays
+// isolated; the DB-level Exec/Query methods share one default session.
+// The concurrency discipline, bottom to top:
+//
+//   - Each table carries its own RWMutex; queries scan an immutable
+//     snapshot captured in one coherent read (storage.Table.Snapshot),
+//     so a long similarity grouping holds no lock while concurrent
+//     statements mutate the table.
+//   - wmu serializes mutation statements (INSERT, DELETE, CREATE,
+//     DROP, CHECKPOINT, Close, and the durability SET knobs) so the
+//     write-ahead log records mutations in exactly apply order.
+//     Queries never take it.
+//   - Cached incremental grouping state lives in a sharded singleflight
+//     cache (see cache.go): sessions asking the same similarity
+//     question over one table share a single maintained evaluator, and
+//     concurrent cold misses coalesce into one build.
 type DB struct {
 	cat *storage.Catalog
-	// session holds the similarity-grouping defaults applied by Query
-	// and Exec; SET statements mutate it. QueryOpt bypasses it.
-	session QueryOptions
-	// incrCache holds cached incremental grouping state for the SET
+	// wmu serializes mutation statements. Lock order: wmu, then a
+	// table's lock, then cache shard locks, then an entry's lock —
+	// always outermost first, never backwards.
+	wmu sync.Mutex
+	// cache holds the shared incremental grouping state for the SET
 	// incremental maintenance path: a similarity group-by over a bare
 	// table scan appends only the rows inserted since the previous
 	// query instead of regrouping from scratch, and DELETE feeds the
@@ -39,100 +57,36 @@ type DB struct {
 	// Entries are keyed by lower-cased table name plus a fingerprint of
 	// the query's resolved grouping configuration, so distinct
 	// similarity queries over one table maintain independent states
-	// instead of evicting each other; each entry is additionally
-	// stamped with the storage generation it is synchronized with, so
-	// any mutation the cache did not track invalidates it. Entries are
-	// dropped with their table, and the cache holds at most incrCap
-	// entries, evicting the least recently used (SET incr_cache_size).
-	incrCache map[incrKey]*incrEntry
-	incrCap   int
-	incrClock int64 // monotonic use counter driving LRU eviction
+	// instead of evicting each other. The cache is bounded (SET
+	// incr_cache_size), evicting the least recently used.
+	cache *evalCache
+	// def is the default session backing the DB-level Exec/Query API.
+	def *Session
 	// dur is non-nil for a persistent database (OpenDir): mutations
-	// append to its write-ahead log and CHECKPOINT snapshots through it.
+	// append to its write-ahead log and CHECKPOINT snapshots through
+	// it. Guarded by wmu (queries never touch it).
 	dur *durable
 }
 
-// defaultIncrCacheCap bounds the incremental grouping cache: enough
-// for a handful of distinct similarity queries per table without
-// letting a query-generating workload accumulate evaluators (each one
-// retains a full copy of its table's grouping attributes).
-const defaultIncrCacheCap = 8
-
-// incrKey addresses one cached incremental grouping state.
-type incrKey struct {
-	table       string // lower-cased table name
-	fingerprint string // semantics, options, and grouping exprs
-}
-
-// incrEntry is one cached incremental grouping state. Its invariant:
-// the entry's evaluator holds exactly the table's rows [0, consumed)
-// in order, and gen records the table generation at which that was
-// last known true. Every mutation path keeps the pair current — INSERT
-// refreshes gen (appends preserve the prefix), DELETE feeds the
-// evaluator's Remove and refreshes gen — so a generation mismatch at
-// query time means the table mutated behind the cache's back and the
-// entry must be rebuilt. Keying on the generation (not the row count)
-// is what makes a delete followed by inserts restoring the old length
-// detectable.
-type incrEntry struct {
-	table *storage.Table // identity guard against DROP + re-CREATE
-	// Exactly one of inc and lat is set. inc is single-ε incremental
-	// grouping state; lat is a shared ε-lattice dendrogram (EPS IN /
-	// SIMILARITY CUBE): its fingerprint deliberately excludes ε, so
-	// every session sweeping this table under one (metric, grouping)
-	// configuration reuses one maintained evaluator regardless of which
-	// ε levels it asks for. Lattice entries follow the same consumed /
-	// gen protocol but take no decremental maintenance — a DELETE drops
-	// them (single-linkage merges cannot be unwound locally).
-	inc      *incr.Incremental
-	lat      *core.LatticeEvaluator
-	consumed int   // how many of the table's rows the state has absorbed
-	gen      int64 // table generation the entry is synchronized with
-	lastUse  int64 // DB.incrClock reading at the entry's last query
-}
-
-// Open creates an empty database. The session defaults to the ε-grid
+// Open creates an empty database. The default session uses the ε-grid
 // strategy with automatic parallelism (workers = GOMAXPROCS on large
 // inputs) and one-shot (non-incremental) grouping; see SET incremental.
 func Open() *DB {
-	return &DB{
-		cat:       storage.NewCatalog(),
-		session:   QueryOptions{Algorithm: GridIndex},
-		incrCache: make(map[incrKey]*incrEntry),
-		incrCap:   defaultIncrCacheCap,
+	db := &DB{
+		cat:   storage.NewCatalog(),
+		cache: newEvalCache(defaultIncrCacheCap),
 	}
-}
-
-// cacheAdd inserts an incremental-grouping entry, evicting the least
-// recently used entries to stay within the cap.
-func (db *DB) cacheAdd(key incrKey, e *incrEntry) {
-	for len(db.incrCache) >= db.incrCap {
-		var victim incrKey
-		oldest := int64(1<<63 - 1)
-		for k, v := range db.incrCache {
-			if v.lastUse < oldest {
-				oldest, victim = v.lastUse, k
-			}
-		}
-		delete(db.incrCache, victim)
-	}
-	db.cacheTouch(e)
-	db.incrCache[key] = e
-}
-
-// cacheTouch stamps an entry as just used.
-func (db *DB) cacheTouch(e *incrEntry) {
-	db.incrClock++
-	e.lastUse = db.incrClock
+	db.def = db.NewSession()
+	return db
 }
 
 // dropIncrEntries removes every cached grouping entry of the named
 // table (lower-cased key space).
 func (db *DB) dropIncrEntries(name string) {
 	name = strings.ToLower(name)
-	for k := range db.incrCache {
-		if k.table == name {
-			delete(db.incrCache, k)
+	for _, it := range db.cache.items() {
+		if it.key.table == name {
+			db.cache.remove(it)
 		}
 	}
 }
@@ -157,9 +111,11 @@ type QueryOptions struct {
 	Parallelism int
 	// Seed seeds ON-OVERLAP JOIN-ANY arbitration.
 	Seed int64
-	// Stats, when non-nil, accumulates SGB operator counters. Ignored
-	// on the incremental maintenance path (cached state outlives any
-	// single query's counter block).
+	// Stats, when non-nil, accumulates SGB operator counters. On the
+	// incremental single-ε maintenance path per-query counters are
+	// ignored (cached state outlives any single query's counter block;
+	// see DB.CacheStats for the shared counters); ε-sweep queries do
+	// count their own appended work here.
 	Stats *Stats
 	// Incremental enables incremental group maintenance (SET
 	// incremental = on): similarity group-by queries over a bare
@@ -171,61 +127,49 @@ type QueryOptions struct {
 }
 
 // Exec runs a DDL/DML statement (CREATE TABLE, INSERT, DROP TABLE) or a
-// query whose results are discarded. It returns the number of affected
-// (or returned) rows.
-func (db *DB) Exec(sql string) (int, error) {
-	stmt, err := sqlparser.Parse(sql)
-	if err != nil {
-		return 0, err
+// query whose results are discarded, on the default session. It returns
+// the number of affected (or returned) rows.
+func (db *DB) Exec(sql string) (int, error) { return db.def.Exec(sql) }
+
+// execCreate runs CREATE TABLE under the writer lock.
+func (db *DB) execCreate(s *sqlparser.CreateTableStmt) error {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	schema := make(storage.Schema, len(s.Columns))
+	cols := make([]wal.ColDef, len(s.Columns))
+	for i, c := range s.Columns {
+		schema[i] = storage.Column{Name: c.Name, Type: c.Type}
+		cols[i] = wal.ColDef{Name: c.Name, Kind: c.Type}
 	}
-	switch s := stmt.(type) {
-	case *sqlparser.CreateTableStmt:
-		schema := make(storage.Schema, len(s.Columns))
-		cols := make([]wal.ColDef, len(s.Columns))
-		for i, c := range s.Columns {
-			schema[i] = storage.Column{Name: c.Name, Type: c.Type}
-			cols[i] = wal.ColDef{Name: c.Name, Kind: c.Type}
-		}
-		if err := db.cat.Create(storage.NewTable(s.Name, schema)); err != nil {
-			return 0, err
-		}
-		return 0, db.logRecord(wal.CreateTable{Name: s.Name, Cols: cols})
-
-	case *sqlparser.DropTableStmt:
-		if err := db.cat.Drop(s.Name); err != nil {
-			return 0, err
-		}
-		// A re-created table of the same name must not inherit the old
-		// table's grouping state (the entry's table-identity guard
-		// would catch it too; dropping eagerly frees the memory now).
-		db.dropIncrEntries(s.Name)
-		return 0, db.logRecord(wal.DropTable{Name: s.Name})
-
-	case *sqlparser.CheckpointStmt:
-		return 0, db.Checkpoint()
-
-	case *sqlparser.InsertStmt:
-		return db.execInsert(s)
-
-	case *sqlparser.DeleteStmt:
-		return db.execDelete(s)
-
-	case *sqlparser.SetStmt:
-		return 0, db.execSet(s)
-
-	case *sqlparser.SelectStmt:
-		rows, err := db.runSelect(s, db.session)
-		if err != nil {
-			return 0, err
-		}
-		return rows.Len(), nil
-
-	default:
-		return 0, fmt.Errorf("sgb: unsupported statement %T", stmt)
+	if err := db.cat.Create(storage.NewTable(s.Name, schema)); err != nil {
+		return err
 	}
+	return db.logRecordLocked(wal.CreateTable{Name: s.Name, Cols: cols})
 }
 
+// execDrop runs DROP TABLE under the writer lock.
+func (db *DB) execDrop(s *sqlparser.DropTableStmt) error {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	if err := db.cat.Drop(s.Name); err != nil {
+		return err
+	}
+	// A re-created table of the same name must not inherit the old
+	// table's grouping state (the entry's table-identity guard would
+	// catch it too; dropping eagerly frees the memory now). In-flight
+	// queries over the dropped table finish on their snapshots.
+	db.dropIncrEntries(s.Name)
+	return db.logRecordLocked(wal.DropTable{Name: s.Name})
+}
+
+// execInsert runs INSERT under the writer lock. The statement's rows
+// are evaluated up front (stopping at the first bad row), then the
+// valid prefix applies as one batch under the table's write lock — a
+// concurrent snapshot observes either none or all of a batch's rows
+// admitted before the first type error, never a torn statement.
 func (db *DB) execInsert(s *sqlparser.InsertStmt) (int, error) {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
 	t, err := db.cat.Lookup(s.Table)
 	if err != nil {
 		return 0, err
@@ -245,8 +189,7 @@ func (db *DB) execInsert(s *sqlparser.InsertStmt) (int, error) {
 			colIdx = append(colIdx, idx)
 		}
 	}
-	preGen := t.Generation()
-	n := 0
+	var rows []types.Row
 	var insErr error
 	for _, exprRow := range s.Rows {
 		if len(exprRow) != len(colIdx) {
@@ -268,20 +211,22 @@ func (db *DB) execInsert(s *sqlparser.InsertStmt) (int, error) {
 		if insErr != nil {
 			break
 		}
-		if err := t.Insert(row); err != nil {
-			insErr = err
-			break
-		}
-		n++
+		rows = append(rows, row)
 	}
-	db.refreshAppendGen(t, preGen)
+	preGen := t.Generation()
+	n, berr := t.InsertBatch(rows)
+	if berr != nil && insErr == nil {
+		insErr = berr
+	}
+	db.refreshAppendGen(t, preGen, t.Generation())
 	// Log whatever prefix of the statement actually applied — the rows
 	// are read back from the table, post type-coercion, so replay
 	// through the same insert path reproduces the stored bytes exactly.
 	// A failing statement may thus be partially durable, matching the
 	// partial in-memory effect it had.
 	if n > 0 {
-		if lerr := db.logRecord(wal.Insert{Table: t.Name, Rows: t.Rows[len(t.Rows)-n:]}); lerr != nil && insErr == nil {
+		stored, _ := t.Snapshot()
+		if lerr := db.logRecordLocked(wal.Insert{Table: t.Name, Rows: stored[len(stored)-n:]}); lerr != nil && insErr == nil {
 			insErr = lerr
 		}
 	}
@@ -295,22 +240,29 @@ func (db *DB) execInsert(s *sqlparser.InsertStmt) (int, error) {
 // suffix is consumed lazily at the next query). Entries that were
 // already out of sync keep their stale stamp and rebuild at query
 // time.
-func (db *DB) refreshAppendGen(t *storage.Table, preGen int64) {
-	for _, e := range db.incrCache {
+func (db *DB) refreshAppendGen(t *storage.Table, preGen, newGen int64) {
+	for _, it := range db.cache.items() {
+		e := it.e
+		e.mu.Lock()
 		if e.table == t && e.gen == preGen {
-			e.gen = t.Generation()
+			e.gen = newGen
 		}
+		e.mu.Unlock()
 	}
 }
 
-// execDelete runs DELETE FROM t [WHERE ...]: it resolves the doomed
-// row set by evaluating the predicate against every row, compacts the
-// table, and then maintains the table's cached incremental grouping
-// states — entries that were in sync receive the deleted row ids
-// through the evaluator's decremental Remove (row ids and grouping
-// live ids coincide by the entry invariant), entries that were not are
-// dropped and rebuild on their next query.
-func (db *DB) execDelete(s *sqlparser.DeleteStmt) (int, error) {
+// execDelete runs DELETE FROM t [WHERE ...] under the writer lock: it
+// resolves the doomed row set by evaluating the predicate against a
+// table snapshot (coherent with the live rows, since the writer lock
+// excludes every other mutation), compacts the table, and then
+// maintains the table's cached incremental grouping states — entries
+// that were in sync receive the deleted row ids through the
+// evaluator's decremental Remove (row ids and grouping live ids
+// coincide by the entry invariant), entries that were not are dropped
+// and rebuild on their next query.
+func (db *DB) execDelete(s *sqlparser.DeleteStmt, opt QueryOptions) (int, error) {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
 	t, err := db.cat.Lookup(s.Table)
 	if err != nil {
 		return 0, err
@@ -322,17 +274,18 @@ func (db *DB) execDelete(s *sqlparser.DeleteStmt) (int, error) {
 		// doomed rows exactly as the identical SELECT would in this
 		// session (same strategy, same JOIN-ANY seed).
 		b := plan.NewBuilder(db.cat)
-		b.SGBAlgorithm = db.session.Algorithm
-		b.SGBParallelism = db.session.Parallelism
-		b.SGBSeed = db.session.Seed
-		b.SGBStats = db.session.Stats
+		b.SGBAlgorithm = opt.Algorithm
+		b.SGBParallelism = opt.Parallelism
+		b.SGBSeed = opt.Seed
+		b.SGBStats = opt.Stats
 		pred, err = b.CompileTableExpr(t, s.Where)
 		if err != nil {
 			return 0, err
 		}
 	}
+	rows, preGen := t.Snapshot()
 	var doomed []int
-	for i, row := range t.Rows {
+	for i, row := range rows {
 		if pred != nil {
 			v, err := pred(row)
 			if err != nil {
@@ -347,12 +300,11 @@ func (db *DB) execDelete(s *sqlparser.DeleteStmt) (int, error) {
 	if len(doomed) == 0 {
 		return 0, nil
 	}
-	preGen := t.Generation()
 	if err := t.DeleteRows(doomed); err != nil {
 		return 0, err
 	}
-	db.noteDelete(t, preGen, doomed)
-	return len(doomed), db.logRecord(wal.Delete{Table: t.Name, Idx: doomed})
+	db.noteDelete(t, preGen, t.Generation(), doomed)
+	return len(doomed), db.logRecordLocked(wal.Delete{Table: t.Name, Idx: doomed})
 }
 
 // noteDelete maintains the table's cached incremental grouping states
@@ -360,23 +312,29 @@ func (db *DB) execDelete(s *sqlparser.DeleteStmt) (int, error) {
 // receive the deleted row ids through the evaluator's decremental
 // Remove, entries that were not are dropped and rebuild on their next
 // query. WAL replay shares this path with live DELETE statements.
-func (db *DB) noteDelete(t *storage.Table, preGen int64, doomed []int) {
-	for key, e := range db.incrCache {
+func (db *DB) noteDelete(t *storage.Table, preGen, newGen int64, doomed []int) {
+	for _, it := range db.cache.items() {
+		e := it.e
+		e.mu.Lock()
 		if e.table != t {
+			e.mu.Unlock()
 			continue
 		}
 		if e.gen != preGen {
 			// The entry missed an earlier mutation; it would rebuild at
 			// query time anyway, and feeding it deletions now could only
 			// corrupt it further.
-			delete(db.incrCache, key)
+			e.mu.Unlock()
+			db.cache.remove(it)
 			continue
 		}
-		if e.lat != nil {
+		if e.lat != nil || e.inc == nil {
 			// No decremental single-linkage: a dendrogram merge cannot be
 			// unwound locally, so deletion invalidates the lattice entry
-			// and the next sweep rebuilds it.
-			delete(db.incrCache, key)
+			// and the next sweep rebuilds it. An entry still mid-build
+			// (neither evaluator set) has nothing to maintain either.
+			e.mu.Unlock()
+			db.cache.remove(it)
 			continue
 		}
 		// Row ids below consumed are exactly the evaluator's live ids;
@@ -389,11 +347,13 @@ func (db *DB) noteDelete(t *storage.Table, preGen int64, doomed []int) {
 			}
 		}
 		if err := e.inc.Remove(fed); err != nil {
-			delete(db.incrCache, key)
+			e.mu.Unlock()
+			db.cache.remove(it)
 			continue
 		}
 		e.consumed -= len(fed)
-		e.gen = t.Generation()
+		e.gen = newGen
+		e.mu.Unlock()
 	}
 }
 
@@ -407,104 +367,12 @@ func evalConstExpr(e sqlparser.Expr) (types.Value, error) {
 	return cq, nil
 }
 
-// execSet applies a SET statement to the session options.
-func (db *DB) execSet(s *sqlparser.SetStmt) error {
-	val := strings.ToLower(s.Value)
-	switch strings.ToLower(s.Name) {
-	case "algorithm":
-		switch val {
-		case "allpairs", "all-pairs", "naive":
-			db.session.Algorithm = AllPairs
-		case "bounds", "boundscheck", "bounds-checking":
-			db.session.Algorithm = BoundsCheck
-		case "index", "rtree", "r-tree", "ontheflyindex":
-			db.session.Algorithm = OnTheFlyIndex
-		case "grid", "gridindex", "default":
-			db.session.Algorithm = GridIndex
-		default:
-			return fmt.Errorf("sgb: unknown algorithm %q (valid spellings: allpairs | all-pairs | naive, "+
-				"bounds | boundscheck | bounds-checking, index | rtree | r-tree | ontheflyindex, "+
-				"grid | gridindex | default)", s.Value)
-		}
-	case "parallelism":
-		n, err := strconv.Atoi(s.Value)
-		if err != nil || n < 0 {
-			return fmt.Errorf("sgb: parallelism must be a non-negative integer (0 = GOMAXPROCS), got %q", s.Value)
-		}
-		db.session.Parallelism = n
-	case "seed":
-		n, err := strconv.ParseInt(s.Value, 10, 64)
-		if err != nil {
-			return fmt.Errorf("sgb: seed must be an integer, got %q", s.Value)
-		}
-		db.session.Seed = n
-	case "incremental":
-		switch val {
-		case "on", "true", "1":
-			db.session.Incremental = true
-		case "off", "false", "0":
-			db.session.Incremental = false
-			// Stale state would keep consuming memory and could only go
-			// staler; turning the feature off clears it.
-			clear(db.incrCache)
-		default:
-			return fmt.Errorf("sgb: incremental must be on or off, got %q", s.Value)
-		}
-	case "incr_cache_size":
-		n, err := strconv.Atoi(s.Value)
-		if err != nil || n < 1 {
-			return fmt.Errorf("sgb: incr_cache_size must be a positive integer, got %q", s.Value)
-		}
-		db.incrCap = n
-		// Shrinking evicts down immediately, least recently used first.
-		for len(db.incrCache) > db.incrCap {
-			var victim incrKey
-			oldest := int64(1<<63 - 1)
-			for k, e := range db.incrCache {
-				if e.lastUse < oldest {
-					oldest, victim = e.lastUse, k
-				}
-			}
-			delete(db.incrCache, victim)
-		}
-	case "durability":
-		if db.dur == nil {
-			return fmt.Errorf("sgb: SET durability requires a persistent database (OpenDir)")
-		}
-		switch val {
-		case "always":
-			return db.dur.log.SetPolicy(wal.SyncAlways)
-		case "interval":
-			return db.dur.log.SetPolicy(wal.SyncInterval)
-		case "off":
-			return db.dur.log.SetPolicy(wal.SyncOff)
-		default:
-			return fmt.Errorf("sgb: durability must be always, interval, or off, got %q", s.Value)
-		}
-	case "checkpoint_every":
-		if db.dur == nil {
-			return fmt.Errorf("sgb: SET checkpoint_every requires a persistent database (OpenDir)")
-		}
-		n, err := strconv.Atoi(s.Value)
-		if err != nil || n < 0 {
-			return fmt.Errorf("sgb: checkpoint_every must be a non-negative integer (0 disables), got %q", s.Value)
-		}
-		db.dur.checkpointEvery = n
-	default:
-		return fmt.Errorf("sgb: unknown setting %q (want algorithm, parallelism, seed, incremental, "+
-			"incr_cache_size, durability, or checkpoint_every)", s.Name)
-	}
-	return nil
-}
+// SessionOptions returns the default session's current options (as
+// mutated by SET statements executed through DB.Exec).
+func (db *DB) SessionOptions() QueryOptions { return db.def.Options() }
 
-// SessionOptions returns the current session defaults (as mutated by
-// SET statements).
-func (db *DB) SessionOptions() QueryOptions { return db.session }
-
-// Query runs a SELECT with the session's default options.
-func (db *DB) Query(sql string) (*Rows, error) {
-	return db.QueryOpt(sql, db.session)
-}
+// Query runs a SELECT with the default session's options.
+func (db *DB) Query(sql string) (*Rows, error) { return db.def.Query(sql) }
 
 // QueryOpt runs a SELECT with explicit similarity-grouping options.
 func (db *DB) QueryOpt(sql string, opt QueryOptions) (*Rows, error) {
@@ -538,13 +406,25 @@ func (db *DB) runSelect(sel *sqlparser.SelectStmt, opt QueryOptions) (*Rows, err
 
 // sgbIncrGroupFunc implements plan.Builder.SGBIncr: it returns the
 // grouping closure the SGB executor node calls with the query's
-// materialized points. The closure finds (or creates) the cached
-// incremental state for this (table, grouping configuration) pair and
-// appends only the points beyond what the state has already absorbed.
-// Soundness rests on three facts: the planner installs the hook only
-// for bare single-table scans, the storage layer is append-only, and
-// the cache key covers the table identity, the grouping expressions,
-// and every resolved option that can influence the grouping.
+// materialized points and the snapshot generation they were scanned
+// at. The closure finds (or creates) the shared cached state for this
+// (table, grouping configuration) pair and appends only the points
+// beyond what the state has already absorbed. Soundness rests on three
+// facts: the planner installs the hook only for bare single-table
+// scans, table snapshots grow append-only between generation changes
+// the cache tracks, and the cache key covers the table identity, the
+// grouping expressions, and every resolved option that can influence
+// the grouping.
+//
+// Concurrency: the entry's lock is the singleflight slot. N sessions
+// missing on one key at once all acquire the same entry; the first
+// builds the evaluator (charging the work to the entry's shared Stats)
+// and the rest find it current and only read the result — one build
+// total, which DB.CacheStats can prove. A session whose snapshot is
+// OLDER than the entry's generation (a writer advanced the shared
+// state between the session's scan and now) never rewinds shared
+// state; it answers privately with a one-shot evaluation over its own
+// snapshot points.
 func (db *DB) sgbIncrGroupFunc(table, exprKey string, anySem bool, opt core.Options) exec.GroupFunc {
 	// Cached state outlives any single query, so per-query knobs that
 	// cannot change the grouping are normalized out of both the handle
@@ -558,40 +438,68 @@ func (db *DB) sgbIncrGroupFunc(table, exprKey string, anySem bool, opt core.Opti
 			anySem, opt.Metric, opt.Eps, opt.Overlap, opt.Algorithm, opt.Seed,
 			opt.IndexHysteresis, opt.NoHullTest, exprKey),
 	}
-	return func(points *geom.PointSet) (*core.Result, error) {
+	oneShot := func(points *geom.PointSet) (*core.Result, error) {
+		if anySem {
+			return core.SGBAnySet(points, opt)
+		}
+		return core.SGBAllSet(points, opt)
+	}
+	return func(points *geom.PointSet, gen int64) (*core.Result, error) {
 		t, err := db.cat.Lookup(table)
 		if err != nil {
 			return nil, err
 		}
-		e := db.incrCache[key]
+		if gen < 0 {
+			// Not a table-scan snapshot (hand-built plan): nothing to key
+			// cached state to.
+			return oneShot(points)
+		}
+		e := db.cache.acquire(key)
+		e.mu.Lock()
+		if e.inc != nil && e.table == t && gen < e.gen {
+			// The shared evaluator moved past this query's snapshot.
+			// Serve the old snapshot privately rather than rewind state
+			// other sessions are advancing.
+			e.mu.Unlock()
+			return oneShot(points)
+		}
 		// The generation check is the staleness guard: an entry whose
-		// stamp does not match the table's current generation missed a
+		// stamp does not match the snapshot's generation missed a
 		// mutation (a delete through a path the cache could not track, a
 		// direct storage append, ...). A row-count check alone is not
 		// enough — a delete followed by inserts restoring the old count
 		// would slip past it and serve groups over rows that no longer
 		// exist.
-		if e == nil || e.table != t || e.gen != t.Generation() || e.consumed > points.Len() {
+		if e.inc == nil || e.table != t || e.gen != gen || e.consumed > points.Len() {
 			sem := incr.All
 			if anySem {
 				sem = incr.Any
 			}
-			inc, err := incr.New(sem, opt)
+			bopt := opt
+			bopt.Stats = &e.stats
+			inc, err := incr.New(sem, bopt)
 			if err != nil {
+				e.mu.Unlock()
 				return nil, err
 			}
-			e = &incrEntry{table: t, inc: inc, gen: t.Generation()}
-			db.cacheAdd(key, e)
-		} else {
-			db.cacheTouch(e)
+			e.inc, e.lat = inc, nil
+			e.table = t
+			e.consumed = 0
+			e.gen = gen
 		}
 		if points.Len() > e.consumed {
 			if err := e.inc.AppendSet(points.Slice(e.consumed, points.Len())); err != nil {
+				// A torn append leaves the evaluator holding an unknown
+				// prefix; poison the entry so the next query rebuilds.
+				e.inc = nil
+				e.mu.Unlock()
 				return nil, err
 			}
 			e.consumed = points.Len()
 		}
-		return e.inc.Result()
+		res, err := e.inc.Result()
+		e.mu.Unlock()
+		return res, err
 	}
 }
 
@@ -605,7 +513,10 @@ func (db *DB) sgbIncrGroupFunc(table, exprKey string, anySem bool, opt core.Opti
 // without a single distance computation (asserted by the Stats
 // regression test). A sweep above the cached ε_max rebuilds the entry
 // at the larger bound; INSERTs extend it through the usual consumed /
-// gen protocol; DELETE invalidates it (see noteDelete).
+// gen protocol; DELETE invalidates it (see noteDelete). The per-query
+// Stats block counts only the work this query's append contributed;
+// the entry's shared counters accumulate the same work for
+// DB.CacheStats.
 func (db *DB) sgbSweepFunc(table, exprKey string, epsList []float64, opt core.Options) exec.SweepFunc {
 	st := opt.Stats // per-query counter block; never retained in the entry
 	opt.Stats = nil
@@ -615,31 +526,56 @@ func (db *DB) sgbSweepFunc(table, exprKey string, epsList []float64, opt core.Op
 		fingerprint: fmt.Sprintf("lattice|metric=%v|by=%s", opt.Metric, exprKey),
 	}
 	epsMax := epsList[len(epsList)-1] // the planner sorts ascending
-	return func(points *geom.PointSet) ([]*core.Result, error) {
+	oneShot := func(points *geom.PointSet) ([]*core.Result, error) {
+		o := opt
+		o.Stats = st
+		o.Eps = epsMax
+		return core.SweepAnySet(points, epsList, o)
+	}
+	return func(points *geom.PointSet, gen int64) ([]*core.Result, error) {
 		t, err := db.cat.Lookup(table)
 		if err != nil {
 			return nil, err
 		}
-		e := db.incrCache[key]
-		if e == nil || e.lat == nil || e.table != t || e.gen != t.Generation() ||
+		if gen < 0 {
+			return oneShot(points)
+		}
+		e := db.cache.acquire(key)
+		e.mu.Lock()
+		if e.lat != nil && e.table == t && gen < e.gen {
+			e.mu.Unlock()
+			return oneShot(points)
+		}
+		if e.lat == nil || e.table != t || e.gen != gen ||
 			e.consumed > points.Len() || e.lat.EpsMax() < epsMax {
-			opt.Eps = epsMax
-			lat, err := core.NewLatticeEvaluator(points.Dims(), opt)
+			bopt := opt
+			bopt.Eps = epsMax
+			lat, err := core.NewLatticeEvaluator(points.Dims(), bopt)
 			if err != nil {
+				e.mu.Unlock()
 				return nil, err
 			}
-			e = &incrEntry{table: t, lat: lat, gen: t.Generation()}
-			db.cacheAdd(key, e)
-		} else {
-			db.cacheTouch(e)
+			e.lat, e.inc = lat, nil
+			e.table = t
+			e.consumed = 0
+			e.gen = gen
 		}
 		if points.Len() > e.consumed {
-			if err := e.lat.AppendSet(points.Slice(e.consumed, points.Len()), st); err != nil {
+			var qst core.Stats
+			if err := e.lat.AppendSet(points.Slice(e.consumed, points.Len()), &qst); err != nil {
+				e.lat = nil
+				e.mu.Unlock()
 				return nil, err
 			}
 			e.consumed = points.Len()
+			e.stats.Merge(&qst)
+			if st != nil {
+				st.Merge(&qst)
+			}
 		}
-		return e.lat.Sweep(epsList)
+		res, err := e.lat.Sweep(epsList)
+		e.mu.Unlock()
+		return res, err
 	}
 }
 

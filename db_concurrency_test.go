@@ -1,0 +1,192 @@
+package sgb
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// loadUniform creates table pts with n pseudo-random 2-D points (one
+// INSERT, so the table generation is 1 afterwards).
+func loadUniform(t *testing.T, db *DB, n int, seed int64) {
+	t.Helper()
+	if _, err := db.Exec("CREATE TABLE pts (id INT, x FLOAT, y FLOAT)"); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	b.WriteString("INSERT INTO pts VALUES ")
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(%d, %g, %g)", i, r.Float64()*10, r.Float64()*10)
+	}
+	if _, err := db.Exec(b.String()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSharedCacheSingleflight is the shared-evaluator proof: many
+// sessions concurrently issuing the same (table, config) query must
+// coalesce on ONE evaluator build — the database's total distance-
+// computation count equals a single-session reference run, i.e. zero
+// duplicate similarity work across sessions.
+func TestSharedCacheSingleflight(t *testing.T) {
+	const (
+		n        = 1500
+		sessions = 8
+		queries  = 4
+		sql      = "SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 0.5 ORDER BY 1"
+	)
+
+	// Reference: one session, one build.
+	ref := Open()
+	loadUniform(t, ref, n, 17)
+	if _, err := ref.Exec("SET incremental = on"); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDist := ref.CacheStats().DistanceComputations
+	if refDist == 0 {
+		t.Fatal("reference run recorded no distance computations — the proof would be vacuous")
+	}
+	// Re-querying the maintained evaluator adds no distance work.
+	if _, err := ref.Query(sql); err != nil {
+		t.Fatal(err)
+	}
+	if got := ref.CacheStats().DistanceComputations; got != refDist {
+		t.Fatalf("repeat query on one session recomputed distances: %d -> %d", refDist, got)
+	}
+
+	// Contended: sessions × queries of the same question, all racing.
+	db := Open()
+	loadUniform(t, db, n, 17)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, sessions)
+	answers := make([]*Rows, sessions)
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sess := db.NewSession()
+			if _, err := sess.Exec("SET incremental = on"); err != nil {
+				errs[s] = err
+				return
+			}
+			<-start
+			for q := 0; q < queries; q++ {
+				rows, err := sess.Query(sql)
+				if err != nil {
+					errs[s] = err
+					return
+				}
+				answers[s] = rows
+			}
+		}(s)
+	}
+	close(start)
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			t.Fatalf("session %d: %v", s, err)
+		}
+	}
+	for s, rows := range answers {
+		if fmt.Sprint(rows.Data) != fmt.Sprint(want.Data) {
+			t.Fatalf("session %d answer diverges from reference: %v vs %v", s, rows.Data, want.Data)
+		}
+	}
+	if got := db.CacheStats().DistanceComputations; got != refDist {
+		t.Fatalf("%d sessions × %d queries cost %d distance computations, want the single-build %d (duplicate evaluator builds)",
+			sessions, queries, got, refDist)
+	}
+	if got := db.cache.len(); got != 1 {
+		t.Fatalf("cache holds %d evaluators after identical queries, want 1", got)
+	}
+}
+
+// TestCacheStatsAccumulatesMaintenance checks the proof hook keeps
+// counting across maintenance: an INSERT after the build adds distance
+// work to CacheStats instead of resetting it.
+func TestCacheStatsAccumulatesMaintenance(t *testing.T) {
+	db := Open()
+	loadUniform(t, db, 800, 23)
+	if _, err := db.Exec("SET incremental = on"); err != nil {
+		t.Fatal(err)
+	}
+	sql := "SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 0.5 ORDER BY 1"
+	if _, err := db.Query(sql); err != nil {
+		t.Fatal(err)
+	}
+	built := db.CacheStats().DistanceComputations
+	if _, err := db.Exec("INSERT INTO pts VALUES (9001, 5, 5)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(sql); err != nil {
+		t.Fatal(err)
+	}
+	after := db.CacheStats().DistanceComputations
+	if after <= built {
+		t.Fatalf("maintenance after INSERT recorded no distance work: %d -> %d", built, after)
+	}
+}
+
+// TestDBCloseIdempotentUnderQueries is the DB.Close regression test:
+// Close must be idempotent and safe to race with in-flight queries
+// (the server shutdown path closes the DB while sessions may still be
+// draining).
+func TestDBCloseIdempotentUnderQueries(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadUniform(t, db, 1200, 31)
+
+	const readers = 8
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 5; j++ {
+				// Queries never touch the durability layer, so they must
+				// succeed even while Close is tearing it down.
+				if _, err := db.Query("SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ALL L2 WITHIN 0.5"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	closeErrs := make(chan error, 2)
+	wg.Add(2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			defer wg.Done()
+			<-start
+			closeErrs <- db.Close()
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(closeErrs)
+	for err := range closeErrs {
+		if err != nil {
+			t.Fatalf("racing Close failed: %v", err)
+		}
+	}
+	// And again, sequentially, after everything settled.
+	if err := db.Close(); err != nil {
+		t.Fatalf("repeated Close: %v", err)
+	}
+}

@@ -329,8 +329,8 @@ func TestRecoveryIncrementalEvaluators(t *testing.T) {
 	if info.EvaluatorsRestored != len(queries) {
 		t.Fatalf("EvaluatorsRestored = %d, want %d", info.EvaluatorsRestored, len(queries))
 	}
-	if len(rdb.incrCache) != len(queries) {
-		t.Fatalf("recovered cache holds %d entries, want %d", len(rdb.incrCache), len(queries))
+	if rdb.cache.len() != len(queries) {
+		t.Fatalf("recovered cache holds %d entries, want %d", rdb.cache.len(), len(queries))
 	}
 	// The restored evaluators must have been maintained through the
 	// replayed tail: the incremental answers must match a cold engine.
@@ -434,28 +434,28 @@ func TestIncrCacheBounded(t *testing.T) {
 	}
 	for eps := 1; eps <= 4; eps++ {
 		mustQuery(t, db, q(eps))
-		if len(db.incrCache) > 2 {
-			t.Fatalf("cache grew to %d entries with cap 2", len(db.incrCache))
+		if db.cache.len() > 2 {
+			t.Fatalf("cache grew to %d entries with cap 2", db.cache.len())
 		}
 	}
 	// The two most recent groupings (eps 3, 4) must be the survivors:
 	// re-running them keeps the cache unchanged, while an evicted one
 	// rebuilds (still within cap).
-	survivors := make(map[incrKey]*incrEntry, len(db.incrCache))
-	for k, e := range db.incrCache {
-		survivors[k] = e
+	survivors := make(map[incrKey]*incrEntry, db.cache.len())
+	for _, it := range db.cache.items() {
+		survivors[it.key] = it.e
 	}
 	mustQuery(t, db, q(3))
 	mustQuery(t, db, q(4))
-	for k, e := range db.incrCache {
-		if survivors[k] != e {
-			t.Fatalf("recently used entry %v was evicted", k)
+	for _, it := range db.cache.items() {
+		if survivors[it.key] != it.e {
+			t.Fatalf("recently used entry %v was evicted", it.key)
 		}
 	}
 	// Shrinking the cap evicts immediately.
 	mustExec(t, db, "SET incr_cache_size = 1")
-	if len(db.incrCache) != 1 {
-		t.Fatalf("cache holds %d entries after shrinking cap to 1", len(db.incrCache))
+	if db.cache.len() != 1 {
+		t.Fatalf("cache holds %d entries after shrinking cap to 1", db.cache.len())
 	}
 	if _, err := db.Exec("SET incr_cache_size = 0"); err == nil {
 		t.Error("incr_cache_size 0 accepted")

@@ -324,8 +324,8 @@ func TestSQLSweepCacheMaintenance(t *testing.T) {
 
 	// SET incremental = off clears lattice entries with the rest.
 	mustExec(t, db, "SET incremental = off")
-	if len(db.incrCache) != 0 {
-		t.Fatalf("cache not cleared on SET incremental = off: %d entries", len(db.incrCache))
+	if db.cache.len() != 0 {
+		t.Fatalf("cache not cleared on SET incremental = off: %d entries", db.cache.len())
 	}
 }
 

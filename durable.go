@@ -19,7 +19,9 @@ import (
 // statement mutates the in-memory tables first and appends its record
 // before Exec acknowledges, so every logged frame describes a mutation
 // that replay can re-apply verbatim (INSERT rows are logged post
-// type-coercion for the same reason).
+// type-coercion for the same reason). The DB's writer lock serializes
+// every mutation statement, so log order is apply order even under
+// concurrent sessions.
 
 const (
 	// defaultCheckpointEvery is how many logged records trigger an
@@ -32,6 +34,7 @@ const (
 )
 
 // durable holds the persistent-mode state of a DB opened with OpenDir.
+// All fields are guarded by the DB's writer lock.
 type durable struct {
 	dir  string
 	log  *wal.Log
@@ -105,7 +108,7 @@ func OpenDir(dir string) (*DB, error) {
 			if err != nil {
 				continue
 			}
-			db.cacheAdd(incrKey{table: e.Table, fingerprint: e.Fingerprint},
+			db.cache.add(incrKey{table: e.Table, fingerprint: e.Fingerprint},
 				&incrEntry{table: t, inc: inc, consumed: e.Consumed, gen: t.Generation()})
 			info.EvaluatorsRestored++
 		}
@@ -132,15 +135,24 @@ func OpenDir(dir string) (*DB, error) {
 // Recovery reports what OpenDir reconstructed. The zero value means
 // the DB is in-memory (Open) or recovered from an empty directory.
 func (db *DB) Recovery() RecoveryInfo {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
 	if db.dur == nil {
 		return RecoveryInfo{}
 	}
 	return db.dur.info
 }
 
-// Close syncs and releases the write-ahead log of a persistent DB (a
-// no-op for an in-memory one). The DB must not be used afterwards.
+// Close syncs and releases the write-ahead log of a persistent DB.
+// Close is idempotent and a no-op for an in-memory database, and it is
+// safe to race with in-flight queries: queries never touch the log, so
+// they finish normally on their snapshots while — and after — the log
+// closes. A mutation statement serialized after Close applies in
+// memory only (the database degrades to in-memory mode rather than
+// failing).
 func (db *DB) Close() error {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
 	if db.dur == nil {
 		return nil
 	}
@@ -174,15 +186,10 @@ func (db *DB) applyRecord(rec wal.Record, info *RecoveryInfo) error {
 			return err
 		}
 		preGen := t.Generation()
-		for _, row := range r.Rows {
-			if err := t.Insert(row); err != nil {
-				db.refreshAppendGen(t, preGen)
-				return err
-			}
-		}
-		db.refreshAppendGen(t, preGen)
-		info.RowsReplayed += len(r.Rows)
-		return nil
+		n, err := t.InsertBatch(r.Rows)
+		db.refreshAppendGen(t, preGen, t.Generation())
+		info.RowsReplayed += n
+		return err
 
 	case wal.Delete:
 		t, err := db.cat.Lookup(r.Table)
@@ -193,7 +200,7 @@ func (db *DB) applyRecord(rec wal.Record, info *RecoveryInfo) error {
 		if err := t.DeleteRows(r.Idx); err != nil {
 			return err
 		}
-		db.noteDelete(t, preGen, r.Idx)
+		db.noteDelete(t, preGen, t.Generation(), r.Idx)
 		return nil
 
 	default:
@@ -201,13 +208,14 @@ func (db *DB) applyRecord(rec wal.Record, info *RecoveryInfo) error {
 	}
 }
 
-// logRecord appends one mutation record to the WAL (a no-op for an
-// in-memory DB) and runs the automatic checkpoint trigger. The caller
-// has already applied the mutation; a failed append therefore means
-// the statement took effect in memory but is not durable — the error
-// says so, and the poisoned log refuses further appends until the
-// database is reopened (which recovers to the last durable prefix).
-func (db *DB) logRecord(rec wal.Record) error {
+// logRecordLocked appends one mutation record to the WAL (a no-op for
+// an in-memory DB) and runs the automatic checkpoint trigger. The
+// caller holds the writer lock and has already applied the mutation; a
+// failed append therefore means the statement took effect in memory
+// but is not durable — the error says so, and the poisoned log refuses
+// further appends until the database is reopened (which recovers to
+// the last durable prefix).
+func (db *DB) logRecordLocked(rec wal.Record) error {
 	if db.dur == nil {
 		return nil
 	}
@@ -216,7 +224,7 @@ func (db *DB) logRecord(rec wal.Record) error {
 	}
 	db.dur.sinceCheckpoint++
 	if db.dur.checkpointEvery > 0 && db.dur.sinceCheckpoint >= db.dur.checkpointEvery {
-		return db.Checkpoint()
+		return db.checkpointLocked()
 	}
 	return nil
 }
@@ -228,6 +236,17 @@ func (db *DB) logRecord(rec wal.Record) error {
 // it CHECKPOINT; it also fires automatically every checkpoint_every
 // logged records.
 func (db *DB) Checkpoint() error {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	return db.checkpointLocked()
+}
+
+// checkpointLocked is Checkpoint under an already-held writer lock
+// (the automatic trigger fires mid-statement). The lock excludes every
+// concurrent mutation, so the tables and the WAL position the snapshot
+// captures are one coherent state; queries running meanwhile neither
+// block nor are blocked.
+func (db *DB) checkpointLocked() error {
 	if db.dur == nil {
 		return errors.New("sgb: CHECKPOINT requires a persistent database (OpenDir)")
 	}
@@ -244,30 +263,35 @@ func (db *DB) Checkpoint() error {
 		}
 		s.Tables = append(s.Tables, t)
 	}
-	keys := make([]incrKey, 0, len(db.incrCache))
-	for k := range db.incrCache {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].table != keys[j].table {
-			return keys[i].table < keys[j].table
+	items := db.cache.items()
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].key.table != items[j].key.table {
+			return items[i].key.table < items[j].key.table
 		}
-		return keys[i].fingerprint < keys[j].fingerprint
+		return items[i].key.fingerprint < items[j].key.fingerprint
 	})
-	for _, k := range keys {
-		e := db.incrCache[k]
-		t, err := db.cat.Lookup(k.table)
-		if err != nil || e.table != t || e.gen != t.Generation() {
-			// Stale entries rebuild at their next query anyway; a
-			// checkpointed copy would only replay into garbage.
+	for _, it := range items {
+		e := it.e
+		t, err := db.cat.Lookup(it.key.table)
+		if err != nil {
+			continue
+		}
+		e.mu.Lock()
+		if e.inc == nil || e.table != t || e.gen != t.Generation() {
+			// Lattice entries have no export format, and stale entries
+			// rebuild at their next query anyway — a checkpointed copy
+			// would only replay into garbage.
+			e.mu.Unlock()
 			continue
 		}
 		st, err := e.inc.ExportState()
+		consumed := e.consumed
+		e.mu.Unlock()
 		if err != nil {
 			continue
 		}
 		s.Incr = append(s.Incr, snapshot.IncrEntry{
-			Table: k.table, Fingerprint: k.fingerprint, Consumed: e.consumed, State: st,
+			Table: it.key.table, Fingerprint: it.key.fingerprint, Consumed: consumed, State: st,
 		})
 	}
 	if _, err := snapshot.Write(db.dur.dir, s); err != nil {

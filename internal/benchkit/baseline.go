@@ -25,7 +25,7 @@ import (
 // BaselineEntry is one measured series point.
 type BaselineEntry struct {
 	// Family is the benchmark family ("grid", "scaling", "incremental",
-	// "window", "sweep", "recovery").
+	// "window", "sweep", "recovery", "serve").
 	Family string `json:"family"`
 	// Series names the measured configuration within the family.
 	Series string `json:"series"`
@@ -46,6 +46,14 @@ type BaselineEntry struct {
 	// Phases breaks a parallel SGB-All scaling entry into its pipeline
 	// phases (from the fastest timed run).
 	Phases *PhaseMillis `json:"phase_ms,omitempty"`
+	// P50Millis / P99Millis / Throughput are the serve family's
+	// request-latency percentiles and requests-per-second; for serve
+	// entries Millis holds the whole run's wall time and N the total
+	// requests served. Oversubscribed marks connection counts above
+	// gomaxprocs, as in the scaling family.
+	P50Millis  float64 `json:"p50_ms,omitempty"`
+	P99Millis  float64 `json:"p99_ms,omitempty"`
+	Throughput float64 `json:"req_per_sec,omitempty"`
 }
 
 // PhaseMillis is the per-phase wall time of one parallel SGB-All run.
@@ -215,6 +223,31 @@ func WriteBaseline(w io.Writer, cfg Config) error {
 		return err
 	}
 	b.Entries = append(b.Entries, BaselineEntry{Family: "recovery", Series: "Cold/FullReplay", N: rn, Eps: 0.5, Millis: millis(d), Groups: g})
+
+	// Family "serve": concurrent wire-protocol serving — p50/p99 request
+	// latency and throughput over a fixed request budget at each
+	// connection count, read-mostly and mixed. Not best-of-three: one
+	// run per configuration already aggregates hundreds of requests.
+	sn, sreq := cfg.scaled(2000), cfg.scaled(512)
+	for _, mixed := range []bool{false, true} {
+		for _, conns := range serveConnSweep {
+			res, err := RunServeLoad(sn, conns, sreq, mixed, cfg.Seed+13)
+			if err != nil {
+				return err
+			}
+			series := "Read"
+			if mixed {
+				series = "Mixed"
+			}
+			b.Entries = append(b.Entries, BaselineEntry{
+				Family: "serve", Series: fmt.Sprintf("%s/c=%d", series, conns),
+				N: res.Requests, Eps: 0.5, Millis: millis(res.Wall), Groups: res.Groups,
+				Oversubscribed: conns > b.GoMaxProcs,
+				P50Millis:      millis(res.P50), P99Millis: millis(res.P99),
+				Throughput: res.Throughput,
+			})
+		}
+	}
 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -12,8 +12,8 @@ import (
 // report for each figure and table of the paper.
 func TestEveryExperimentRuns(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 15 { // fig9a–d, fig10a–d, fig11a/b, fig12a/b, table1, table2, scaling
-		t.Fatalf("registered experiments = %d, want 15", len(exps))
+	if len(exps) != 16 { // fig9a–d, fig10a–d, fig11a/b, fig12a/b, table1, table2, scaling, serve
+		t.Fatalf("registered experiments = %d, want 16", len(exps))
 	}
 	for _, e := range exps {
 		e := e
@@ -61,9 +61,16 @@ func TestWriteBaseline(t *testing.T) {
 			groups[sem] = e.Groups
 		}
 	}
-	for _, fam := range []string{"grid", "scaling", "incremental", "window", "sweep", "recovery"} {
+	for _, fam := range []string{"grid", "scaling", "incremental", "window", "sweep", "recovery", "serve"} {
 		if families[fam] == 0 {
 			t.Errorf("family %q missing from baseline", fam)
+		}
+	}
+	// Serve entries must carry the latency/throughput fields.
+	for _, e := range b.Entries {
+		if e.Family == "serve" && (e.Throughput <= 0 || e.P50Millis < 0 || e.P99Millis < e.P50Millis) {
+			t.Errorf("serve/%s: implausible load metrics: p50=%v p99=%v tput=%v",
+				e.Series, e.P50Millis, e.P99Millis, e.Throughput)
 		}
 	}
 	// Sweep-family fingerprint: the lattice sweep and the one-shot rival

@@ -272,6 +272,12 @@ func (s *Stats) notePhase(phase int, start *time.Time) {
 	*start = now
 }
 
+// Merge folds another counter block into s: counters add, the
+// recursion-depth high-water mark takes the max. The engine's shared
+// evaluator cache uses it to aggregate per-entry work counters, and
+// per-query blocks fold entry deltas through it.
+func (s *Stats) Merge(o *Stats) { s.merge(o) }
+
 // merge folds a worker-private Stats into s. Parallel stages hand each
 // worker its own counter block so the hot path never shares cache
 // lines; the coordinator merges after the workers join.

@@ -39,22 +39,38 @@ func Run(op Operator) ([]types.Row, error) {
 	}
 }
 
-// SeqScan scans an in-memory table.
+// SeqScan scans an in-memory table. Open captures the table's
+// snapshot (rows + generation) in one coherent read, so the scan —
+// and everything computed from it — observes exactly one table state
+// even while concurrent statements mutate the table.
 type SeqScan struct {
 	Table *storage.Table
+	rows  []types.Row
+	gen   int64
 	pos   int
 }
 
-// Open resets the scan.
-func (s *SeqScan) Open() error { s.pos = 0; return nil }
+// Open captures the table snapshot and resets the scan.
+func (s *SeqScan) Open() error {
+	s.rows, s.gen = s.Table.Snapshot()
+	s.pos = 0
+	return nil
+}
 
-// Next returns the next stored row. The returned slice aliases table
+// SnapshotGen returns the generation of the snapshot Open captured.
+// The engine's incremental-cache hooks use it to stamp cached
+// evaluator state with the exact table version the scanned rows came
+// from (reading Table.Generation at grouping time instead would race
+// with concurrent mutations).
+func (s *SeqScan) SnapshotGen() int64 { return s.gen }
+
+// Next returns the next snapshot row. The returned slice aliases table
 // storage; downstream operators treat rows as immutable.
 func (s *SeqScan) Next() (types.Row, error) {
-	if s.pos >= len(s.Table.Rows) {
+	if s.pos >= len(s.rows) {
 		return nil, nil
 	}
-	row := s.Table.Rows[s.pos]
+	row := s.rows[s.pos]
 	s.pos++
 	return row, nil
 }

@@ -64,12 +64,30 @@ type SGB struct {
 }
 
 // GroupFunc computes the similarity grouping over the node's
-// materialized points (indices in the result refer into the set).
-type GroupFunc func(points *geom.PointSet) (*core.Result, error)
+// materialized points (indices in the result refer into the set). gen
+// is the generation of the table snapshot the points were scanned
+// from (-1 when the input was not a table scan): cached evaluator
+// state synchronized with these points is synchronized with exactly
+// that table version, so the hook stamps entries with gen instead of
+// re-reading the live generation, which concurrent mutations may have
+// advanced past the scanned rows.
+type GroupFunc func(points *geom.PointSet, gen int64) (*core.Result, error)
 
 // SweepFunc computes the grouping at every ε level of an EPS IN sweep
-// over the node's materialized points, aligned with SGB.EpsList.
-type SweepFunc func(points *geom.PointSet) ([]*core.Result, error)
+// over the node's materialized points, aligned with SGB.EpsList. gen
+// is the scan's snapshot generation, as for GroupFunc.
+type SweepFunc func(points *geom.PointSet, gen int64) ([]*core.Result, error)
+
+// snapshotGen reports the snapshot generation of the node's input, or
+// -1 when the input does not scan a table (the planner installs the
+// cache hooks only over bare table scans, so -1 reaches a hook only in
+// hand-built plans, which then bypass cached state).
+func (s *SGB) snapshotGen() int64 {
+	if sc, ok := s.Input.(*SeqScan); ok {
+		return sc.SnapshotGen()
+	}
+	return -1
+}
 
 // Open materializes the input, extracts the grouping points, runs the
 // similarity operator (or the incremental Group hook), and folds the
@@ -129,7 +147,7 @@ func (s *SGB) Open() error {
 	var err error
 	switch {
 	case s.Group != nil:
-		res, err = s.Group(points)
+		res, err = s.Group(points, s.snapshotGen())
 	case s.Any:
 		res, err = core.SGBAnySet(points, s.Opt)
 	default:
@@ -184,7 +202,7 @@ func (s *SGB) openSweep(rows []types.Row, points *geom.PointSet) error {
 	var results []*core.Result
 	var err error
 	if s.SweepGroup != nil {
-		results, err = s.SweepGroup(points)
+		results, err = s.SweepGroup(points, s.snapshotGen())
 	} else {
 		results, err = core.SweepAnySet(points, s.EpsList, s.Opt)
 	}

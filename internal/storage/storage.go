@@ -3,9 +3,12 @@
 // table names against. The paper's prototype lives inside PostgreSQL's
 // heap storage; here an in-memory table plays that role (the SGB
 // experiments are CPU-bound on the operators, not on I/O). Rows append
-// in insertion order and delete by compaction, and every mutation
-// bumps a per-table generation counter that the engine's incremental
-// grouping cache keys on.
+// in insertion order and delete by copy-on-write replacement, and
+// every mutation bumps a per-table generation counter that the
+// engine's incremental grouping cache keys on. Tables carry their own
+// RW lock: mutations are exclusive per table, and Snapshot gives
+// concurrent readers an immutable (rows, generation) view, so a slow
+// grouping query never blocks — and is never corrupted by — writers.
 package storage
 
 import (
@@ -51,15 +54,27 @@ func (s Schema) Names() []string {
 }
 
 // Table is an in-memory relation: rows append in insertion order, and
-// DeleteRows compacts them preserving that order. Every mutation bumps
+// DeleteRows replaces them preserving that order. Every mutation bumps
 // a monotonic generation counter, which the engine's incremental
 // grouping cache keys on — two reads of a table observing the same
 // generation have observed the same rows.
+//
+// Concurrency: the mutation methods (Insert, InsertBatch, DeleteRows)
+// take the table's write lock, and Snapshot returns an immutable
+// (rows, generation) view under the read lock, so concurrent readers
+// never observe a half-applied statement. The immutability of a
+// snapshot rests on two rules: appends only ever write past the
+// snapshot's length, and DeleteRows allocates a fresh row slice
+// instead of compacting in place (copy-on-write), leaving every
+// previously handed-out view intact. Direct access to the exported
+// Rows field is reserved for single-writer contexts (data generators,
+// recovery, checkpointing under the engine's writer lock).
 type Table struct {
 	Name   string
 	Schema Schema
 	Rows   []types.Row
 
+	mu  sync.RWMutex
 	gen int64
 }
 
@@ -73,7 +88,24 @@ func NewTable(name string, schema Schema) *Table {
 // engine's incremental grouping entries) can detect any mutation it
 // did not itself track — including a delete followed by inserts that
 // restore the old row count, which a length check alone cannot see.
-func (t *Table) Generation() int64 { return t.gen }
+func (t *Table) Generation() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.gen
+}
+
+// Snapshot returns the table's rows and generation as one coherent
+// pair. The returned slice is a capacity-capped view that no later
+// mutation modifies: appends write past its length and DeleteRows
+// replaces the backing array, so the view stays exactly the rows of
+// the returned generation for as long as the caller holds it. Queries
+// read tables only through snapshots — a grouping over a snapshot
+// never blocks (and is never corrupted by) concurrent mutation.
+func (t *Table) Snapshot() ([]types.Row, int64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.Rows[:len(t.Rows):len(t.Rows)], t.gen
+}
 
 // Insert appends a row after arity and kind checks (integers are
 // coerced to floats for FLOAT columns and vice versa is rejected;
@@ -82,6 +114,30 @@ func (t *Table) Generation() int64 { return t.gen }
 // (NaN compares false with everything; both break the ε-grid's cell
 // quantization), and no supported workload produces them legitimately.
 func (t *Table) Insert(row types.Row) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.insertLocked(row)
+}
+
+// InsertBatch appends rows one statement's worth at a time: the whole
+// batch applies under one write-lock acquisition, so a concurrent
+// Snapshot observes either none of the statement's rows or the prefix
+// that had applied when the statement finished — never a mid-statement
+// state. Like the row-at-a-time path, a failing row stops the batch
+// and leaves the prefix applied; the returned count says how many rows
+// made it in.
+func (t *Table) InsertBatch(rows []types.Row) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, row := range rows {
+		if err := t.insertLocked(row); err != nil {
+			return i, err
+		}
+	}
+	return len(rows), nil
+}
+
+func (t *Table) insertLocked(row types.Row) error {
 	if len(row) != len(t.Schema) {
 		return fmt.Errorf("storage: %s expects %d values, got %d", t.Name, len(t.Schema), len(row))
 	}
@@ -112,10 +168,14 @@ func (t *Table) Insert(row types.Row) error {
 func finite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
 
 // DeleteRows removes the rows at the given indices (sorted ascending,
-// distinct, in range), compacting the survivors in order, and bumps
-// the generation counter once. It validates before mutating, so a
-// failed call leaves the table untouched.
+// distinct, in range), keeping the survivors in order, and bumps the
+// generation counter once. It validates before mutating, so a failed
+// call leaves the table untouched. The survivors land in a freshly
+// allocated slice (copy-on-write) so row views handed out by earlier
+// Snapshot calls stay intact.
 func (t *Table) DeleteRows(idx []int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if len(idx) == 0 {
 		return nil
 	}
@@ -136,7 +196,7 @@ func (t *Table) DeleteRows(idx []int) error {
 			}
 		}
 	}
-	kept := t.Rows[:0]
+	kept := make([]types.Row, 0, len(t.Rows)-len(idx))
 	next := 0
 	for i, row := range t.Rows {
 		if next < len(idx) && i == idx[next] {
@@ -144,11 +204,6 @@ func (t *Table) DeleteRows(idx []int) error {
 			continue
 		}
 		kept = append(kept, row)
-	}
-	// Release the trailing row references so deleted rows are
-	// collectible.
-	for i := len(kept); i < len(t.Rows); i++ {
-		t.Rows[i] = nil
 	}
 	t.Rows = kept
 	t.gen++
@@ -163,7 +218,11 @@ func (t *Table) MustInsert(row types.Row) {
 }
 
 // Len returns the row count.
-func (t *Table) Len() int { return len(t.Rows) }
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.Rows)
+}
 
 // Catalog maps table names (case insensitive) to tables. Safe for
 // concurrent readers with exclusive writers.
@@ -236,7 +295,8 @@ func (t *Table) WriteCSV(w io.Writer) error {
 		return err
 	}
 	rec := make([]string, len(t.Schema))
-	for _, row := range t.Rows {
+	rows, _ := t.Snapshot()
+	for _, row := range rows {
 		for i, v := range row {
 			rec[i] = v.String()
 		}

@@ -1,0 +1,218 @@
+package sgb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/sgb-db/sgb/internal/sqlparser"
+	"github.com/sgb-db/sgb/internal/wal"
+)
+
+// Session is one client's view of a DB: a private copy of the
+// similarity-grouping settings (SET algorithm / parallelism / seed /
+// incremental) over the shared catalog, cache, and log. Two sessions
+// of one DB run concurrently without clobbering each other's SET
+// state — the wire server opens one per connection — while their
+// queries share the catalog's tables and the evaluator cache's
+// maintained grouping state. The single-session library API keeps
+// working through the DB's default session (DB.Exec / DB.Query / SET
+// statements there mutate only the default session's settings).
+//
+// A Session is safe for concurrent use, but its point is isolation:
+// give each concurrent client its own.
+type Session struct {
+	db *DB
+	// mu guards opt. Sessions are normally driven by one goroutine (a
+	// connection handler), but the default session is reachable from
+	// any library caller, so settings reads snapshot under the lock.
+	mu  sync.Mutex
+	opt QueryOptions
+}
+
+// NewSession opens a session with the default settings (ε-grid
+// strategy, automatic parallelism, one-shot grouping). Sessions hold
+// no resources; drop one to discard it.
+func (db *DB) NewSession() *Session {
+	return &Session{db: db, opt: QueryOptions{Algorithm: GridIndex}}
+}
+
+// Options returns a snapshot of the session's current settings (as
+// mutated by SET statements executed on this session).
+func (s *Session) Options() QueryOptions {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.opt
+}
+
+// SetOptions replaces the session's settings wholesale — the
+// programmatic equivalent of a SET batch.
+func (s *Session) SetOptions(opt QueryOptions) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.opt = opt
+}
+
+// Query runs a SELECT with the session's settings.
+func (s *Session) Query(sql string) (*Rows, error) {
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.db.runSelect(sel, s.Options())
+}
+
+// Exec runs a DDL/DML statement (CREATE TABLE, INSERT, DROP TABLE,
+// DELETE, SET, CHECKPOINT) or a query whose results are discarded. It
+// returns the number of affected (or returned) rows.
+func (s *Session) Exec(sql string) (int, error) {
+	_, n, err := s.Run(sql)
+	return n, err
+}
+
+// Run executes any statement: a SELECT returns its rows (and their
+// count), everything else returns a nil Rows and the affected-row
+// count. The wire server and the REPL both dispatch through Run so
+// one entry point defines statement behavior.
+func (s *Session) Run(sql string) (*Rows, int, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, 0, err
+	}
+	if sel, ok := stmt.(*sqlparser.SelectStmt); ok {
+		rows, err := s.db.runSelect(sel, s.Options())
+		if err != nil {
+			return nil, 0, err
+		}
+		return rows, rows.Len(), nil
+	}
+	n, err := s.execStmt(stmt)
+	return nil, n, err
+}
+
+// execStmt dispatches a non-SELECT statement. Mutations run on the
+// shared DB under its writer lock; SET statements land on the session
+// (or the DB, for the global settings).
+func (s *Session) execStmt(stmt sqlparser.Statement) (int, error) {
+	switch st := stmt.(type) {
+	case *sqlparser.CreateTableStmt:
+		return 0, s.db.execCreate(st)
+	case *sqlparser.DropTableStmt:
+		return 0, s.db.execDrop(st)
+	case *sqlparser.CheckpointStmt:
+		return 0, s.db.Checkpoint()
+	case *sqlparser.InsertStmt:
+		return s.db.execInsert(st)
+	case *sqlparser.DeleteStmt:
+		return s.db.execDelete(st, s.Options())
+	case *sqlparser.SetStmt:
+		return 0, s.execSet(st)
+	default:
+		return 0, fmt.Errorf("sgb: unsupported statement %T", stmt)
+	}
+}
+
+// execSet applies a SET statement. The similarity-executor settings
+// (algorithm, parallelism, seed, incremental) are session-scoped: two
+// connections with different settings cannot clobber each other. The
+// engine-wide settings (incr_cache_size, durability,
+// checkpoint_every) apply to the shared DB — every session sees them.
+func (s *Session) execSet(st *sqlparser.SetStmt) error {
+	val := strings.ToLower(st.Value)
+	switch strings.ToLower(st.Name) {
+	case "algorithm":
+		var alg Algorithm
+		switch val {
+		case "allpairs", "all-pairs", "naive":
+			alg = AllPairs
+		case "bounds", "boundscheck", "bounds-checking":
+			alg = BoundsCheck
+		case "index", "rtree", "r-tree", "ontheflyindex":
+			alg = OnTheFlyIndex
+		case "grid", "gridindex", "default":
+			alg = GridIndex
+		default:
+			return fmt.Errorf("sgb: unknown algorithm %q (valid spellings: allpairs | all-pairs | naive, "+
+				"bounds | boundscheck | bounds-checking, index | rtree | r-tree | ontheflyindex, "+
+				"grid | gridindex | default)", st.Value)
+		}
+		s.mu.Lock()
+		s.opt.Algorithm = alg
+		s.mu.Unlock()
+	case "parallelism":
+		n, err := strconv.Atoi(st.Value)
+		if err != nil || n < 0 {
+			return fmt.Errorf("sgb: parallelism must be a non-negative integer (0 = GOMAXPROCS), got %q", st.Value)
+		}
+		s.mu.Lock()
+		s.opt.Parallelism = n
+		s.mu.Unlock()
+	case "seed":
+		n, err := strconv.ParseInt(st.Value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("sgb: seed must be an integer, got %q", st.Value)
+		}
+		s.mu.Lock()
+		s.opt.Seed = n
+		s.mu.Unlock()
+	case "incremental":
+		switch val {
+		case "on", "true", "1":
+			s.mu.Lock()
+			s.opt.Incremental = true
+			s.mu.Unlock()
+		case "off", "false", "0":
+			s.mu.Lock()
+			s.opt.Incremental = false
+			s.mu.Unlock()
+			// Turning maintenance off also clears the shared cache —
+			// stale state would keep consuming memory and could only go
+			// staler. This is deliberately engine-wide: other sessions
+			// still set to incremental rebuild their entries on their
+			// next query.
+			s.db.cache.clearAll()
+		default:
+			return fmt.Errorf("sgb: incremental must be on or off, got %q", st.Value)
+		}
+	case "incr_cache_size":
+		n, err := strconv.Atoi(st.Value)
+		if err != nil || n < 1 {
+			return fmt.Errorf("sgb: incr_cache_size must be a positive integer, got %q", st.Value)
+		}
+		s.db.cache.setCap(n)
+	case "durability":
+		db := s.db
+		db.wmu.Lock()
+		defer db.wmu.Unlock()
+		if db.dur == nil {
+			return fmt.Errorf("sgb: SET durability requires a persistent database (OpenDir)")
+		}
+		switch val {
+		case "always":
+			return db.dur.log.SetPolicy(wal.SyncAlways)
+		case "interval":
+			return db.dur.log.SetPolicy(wal.SyncInterval)
+		case "off":
+			return db.dur.log.SetPolicy(wal.SyncOff)
+		default:
+			return fmt.Errorf("sgb: durability must be always, interval, or off, got %q", st.Value)
+		}
+	case "checkpoint_every":
+		db := s.db
+		db.wmu.Lock()
+		defer db.wmu.Unlock()
+		if db.dur == nil {
+			return fmt.Errorf("sgb: SET checkpoint_every requires a persistent database (OpenDir)")
+		}
+		n, err := strconv.Atoi(st.Value)
+		if err != nil || n < 0 {
+			return fmt.Errorf("sgb: checkpoint_every must be a non-negative integer (0 disables), got %q", st.Value)
+		}
+		db.dur.checkpointEvery = n
+	default:
+		return fmt.Errorf("sgb: unknown setting %q (want algorithm, parallelism, seed, incremental, "+
+			"incr_cache_size, durability, or checkpoint_every)", st.Name)
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+// Package sgbclient is the Go client for a database served by
+// sgbserver: it dials the framed wire protocol and exposes the same
+// Query/Exec surface as the embedded sgb API, returning *sgb.Rows. A
+// connection is one server-side session — SET statements sent through
+// it (algorithm, parallelism, incremental, ...) affect only this
+// connection.
+package sgbclient
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/sgb-db/sgb"
+	"github.com/sgb-db/sgb/internal/wire"
+)
+
+// RemoteError is a statement failure reported by the server (as
+// opposed to a transport failure, which returns an ordinary error and
+// leaves the connection unusable).
+type RemoteError string
+
+// Error returns the server's error text.
+func (e RemoteError) Error() string { return string(e) }
+
+// Conn is one client connection. It is safe for concurrent use; the
+// strict request/response protocol serializes concurrent callers, so
+// latency-sensitive concurrent clients should open one Conn each.
+type Conn struct {
+	mu sync.Mutex
+	c  net.Conn
+	r  *bufio.Reader
+}
+
+// Dial connects to a sgbserver at a TCP address.
+func Dial(addr string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{c: c, r: bufio.NewReader(c)}, nil
+}
+
+// Close closes the connection (and with it the server-side session).
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.c.Close()
+}
+
+// Run executes any statement: a SELECT returns its rows (and their
+// count), everything else returns a nil Rows and the affected-row
+// count — mirroring sgb.Session.Run.
+func (c *Conn) Run(sql string) (*sgb.Rows, int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := wire.WriteFrame(c.c, wire.EncodeQuery(sql)); err != nil {
+		return nil, 0, fmt.Errorf("sgbclient: sending statement: %w", err)
+	}
+	payload, err := wire.ReadFrame(c.r)
+	if err != nil {
+		return nil, 0, fmt.Errorf("sgbclient: reading response: %w", err)
+	}
+	resp, err := wire.DecodeResponse(payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.Err != "" {
+		return nil, 0, RemoteError(resp.Err)
+	}
+	if resp.Columns != nil {
+		return &sgb.Rows{Columns: resp.Columns, Data: resp.Data}, resp.Count, nil
+	}
+	return nil, resp.Count, nil
+}
+
+// Query runs a SELECT.
+func (c *Conn) Query(sql string) (*sgb.Rows, error) {
+	rows, _, err := c.Run(sql)
+	if err != nil {
+		return nil, err
+	}
+	if rows == nil {
+		return nil, fmt.Errorf("sgbclient: statement %q returned no row set", sql)
+	}
+	return rows, nil
+}
+
+// Exec runs a statement and returns the affected (or returned) row
+// count.
+func (c *Conn) Exec(sql string) (int, error) {
+	_, n, err := c.Run(sql)
+	return n, err
+}

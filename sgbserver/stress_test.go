@@ -1,0 +1,120 @@
+package sgbserver
+
+import (
+	"math/rand"
+	"os"
+	"reflect"
+	"strconv"
+	"sync"
+	"testing"
+
+	"github.com/sgb-db/sgb"
+	"github.com/sgb-db/sgb/sgbclient"
+)
+
+// TestServerMixedStress is the many-goroutine mixed-load suite the CI
+// race job runs: 32 concurrent connections hammer one server with
+// interleaved INSERT / DELETE / similarity-query traffic on their own
+// incremental sessions, so the race detector sweeps the whole serve
+// path — session dispatch, the per-table snapshot discipline, the
+// singleflight evaluator cache's maintenance and invalidation, and the
+// drain handshake. Each client deletes only rows it inserted itself,
+// so the final row count is exact. SGB_STRESS=1 widens the per-client
+// round count from 6 to 40.
+func TestServerMixedStress(t *testing.T) {
+	rounds := 6
+	if os.Getenv("SGB_STRESS") != "" {
+		rounds = 40
+	}
+	const clients = 32
+
+	db := sgb.Open()
+	if _, err := db.Exec("CREATE TABLE pts (id INT, x FLOAT, y FLOAT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO pts VALUES (0, 1, 1), (1, 1.2, 1), (2, 8, 8)"); err != nil {
+		t.Fatal(err)
+	}
+	addr, _, stop := startServer(t, db)
+	defer stop()
+
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	deleted := make([]int, clients)
+	start := make(chan struct{})
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn, err := sgbclient.Dial(addr)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			defer conn.Close()
+			if _, err := conn.Exec("SET incremental = on"); err != nil {
+				errs[c] = err
+				return
+			}
+			r := rand.New(rand.NewSource(int64(c) + 101))
+			<-start
+			for i := 0; i < rounds; i++ {
+				id := 1000 + c*1000 + i
+				if _, err := conn.Exec("INSERT INTO pts VALUES (" + strconv.Itoa(id) + ", " +
+					strconv.FormatFloat(r.Float64()*10, 'g', -1, 64) + ", " +
+					strconv.FormatFloat(r.Float64()*10, 'g', -1, 64) + ")"); err != nil {
+					errs[c] = err
+					return
+				}
+				if _, err := conn.Query("SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 0.8 ORDER BY 1"); err != nil {
+					errs[c] = err
+					return
+				}
+				// Delete one of this client's own earlier inserts every
+				// third round, so deletions race with other clients'
+				// queries and maintenance but never double-delete.
+				if i%3 == 2 {
+					if _, err := conn.Exec("DELETE FROM pts WHERE id = " + strconv.Itoa(1000+c*1000+deleted[c])); err != nil {
+						errs[c] = err
+						return
+					}
+					deleted[c]++
+				}
+			}
+		}(c)
+	}
+	close(start)
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", c, err)
+		}
+	}
+	want := 3
+	for c := 0; c < clients; c++ {
+		want += rounds - deleted[c]
+	}
+	n, err := db.TableLen("pts")
+	if err != nil || n != want {
+		t.Fatalf("table holds %d rows (%v), want %d", n, err, want)
+	}
+	// The maintained grouping that survived all that churn answers
+	// exactly like a fresh one-shot regrouping of the final table.
+	if _, err := db.Exec("SET incremental = on"); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := db.Query("SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 0.8 ORDER BY 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("SET incremental = off"); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := db.Query("SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 0.8 ORDER BY 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Data, r2.Data) {
+		t.Fatalf("maintained grouping diverges from one-shot after stress:\n%v\nvs\n%v", r1.Data, r2.Data)
+	}
+}

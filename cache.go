@@ -176,8 +176,11 @@ func (c *evalCache) evictOver() {
 		for i := range c.shards {
 			s := &c.shards[i]
 			s.mu.Lock()
-			for k, e := range s.m {
-				if u := e.lastUse.Load(); u < oldest {
+			// Equal-lastUse ties break by key so repeated eviction runs
+			// pick the same victim whatever order the map yields.
+			for k, e := range s.m { //sgblint:allow determinism min-fold with a total-order key tie-break; iteration order cannot change the victim
+				u := e.lastUse.Load()
+				if u < oldest || (u == oldest && keyLess(k, victimKey)) {
 					oldest, victimShard, victimKey = u, s, k
 				}
 			}
@@ -198,6 +201,15 @@ func (c *evalCache) evictOver() {
 	}
 }
 
+// keyLess orders cache keys by (table, fingerprint) — the
+// deterministic tie-break for equal-lastUse eviction candidates.
+func keyLess(a, b incrKey) bool {
+	if a.table != b.table {
+		return a.table < b.table
+	}
+	return a.fingerprint < b.fingerprint
+}
+
 // cacheItem is one (key, entry) pair captured by items.
 type cacheItem struct {
 	key   incrKey
@@ -214,7 +226,7 @@ func (c *evalCache) items() []cacheItem {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		for k, e := range s.m {
+		for k, e := range s.m { //sgblint:allow determinism capture order is incidental; every ordered consumer sorts the returned items
 			out = append(out, cacheItem{key: k, e: e, shard: s})
 		}
 		s.mu.Unlock()

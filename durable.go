@@ -276,8 +276,13 @@ func (db *DB) checkpointLocked() error {
 		if err != nil {
 			continue
 		}
+		// Read the generation before taking e.mu: Generation takes the
+		// table lock (tier 20), which must never nest inside an entry
+		// lock (tier 40). The value is stable here — the checkpoint runs
+		// under db.wmu, so no writer can advance it.
+		gen := t.Generation()
 		e.mu.Lock()
-		if e.inc == nil || e.table != t || e.gen != t.Generation() {
+		if e.inc == nil || e.table != t || e.gen != gen {
 			// Lattice entries have no export format, and stale entries
 			// rebuild at their next query anyway — a checkpointed copy
 			// would only replay into garbage.

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named invariant checker. Run is invoked once per
+// target package with a Pass scoped to that package; whole-program
+// state (call graphs, lock summaries) is shared through
+// Program.Shared so the first pass builds it and the rest reuse it.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics and in
+	// //sgblint:allow markers.
+	Name string
+	// Doc is a one-line description shown by sgblint's analyzer list.
+	Doc string
+	// Run reports the analyzer's findings on pass.Pkg via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Diagnostic is one finding, positioned and attributed to an analyzer.
+type Diagnostic struct {
+	// Pos locates the finding in the source tree.
+	Pos token.Position
+	// Analyzer is the reporting analyzer's name ("sgblint" for the
+	// driver's own marker-hygiene findings).
+	Analyzer string
+	// Message states the violation.
+	Message string
+}
+
+// String formats the diagnostic in the conventional
+// file:line:col: [analyzer] message shape.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the directory the package was loaded from.
+	Dir string
+	// Files are the package's non-test files, sorted by file name.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the type-checker's expression and object maps.
+	Info *types.Info
+}
+
+// Program is a loaded module (or fixture) — every package the driver
+// type-checked, in dependency order — plus a memo space for
+// whole-program computations.
+type Program struct {
+	// Fset is the file set all packages and diagnostics share.
+	Fset *token.FileSet
+	// ModulePath is the module's import path (from go.mod).
+	ModulePath string
+	// ModuleRoot is the module's root directory.
+	ModuleRoot string
+	// Pkgs lists the loaded packages, dependencies before dependents.
+	Pkgs []*Package
+
+	byPath map[string]*Package
+	shared map[string]any
+}
+
+// Package returns the loaded package with the given import path, or
+// nil.
+func (p *Program) Package(path string) *Package { return p.byPath[path] }
+
+// Shared memoizes a whole-program computation under key: the first
+// caller runs build, later callers get the same value. The driver is
+// single-threaded, so no locking is needed.
+func (p *Program) Shared(key string, build func() any) any {
+	if v, ok := p.shared[key]; ok {
+		return v
+	}
+	v := build()
+	p.shared[key] = v
+	return v
+}
+
+// Pass is one analyzer's view of one package.
+type Pass struct {
+	// Analyzer is the running analyzer.
+	Analyzer *Analyzer
+	// Prog is the whole loaded program (for cross-package state).
+	Prog *Program
+	// Pkg is the package under analysis; report only on its files.
+	Pkg *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Prog.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// unparen strips any number of enclosing parentheses from an
+// expression (ast.Unparen needs go1.22; the module targets go1.21).
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// Suite returns the engine's full analyzer set, the one cmd/sgblint
+// runs and the one //sgblint:allow markers are validated against.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		LockOrder,
+		SnapshotSafe,
+		Determinism,
+		StickyErr,
+		HotPath,
+		Docs,
+	}
+}
+
+// SuiteNames returns the names of every analyzer in Suite.
+func SuiteNames() []string {
+	var names []string
+	for _, a := range Suite() {
+		names = append(names, a.Name)
+	}
+	return names
+}

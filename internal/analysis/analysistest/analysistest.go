@@ -1,0 +1,166 @@
+// Package analysistest runs analyzers over testdata fixtures and
+// checks their diagnostics against // want expectations, in the
+// style of golang.org/x/tools/go/analysis/analysistest but built on
+// the repository's own stdlib-only framework.
+//
+// A fixture is a directory of Go files. Each expected diagnostic is
+// declared on the line it occurs with a trailing comment:
+//
+//	t.mu.Lock() // want `lock order inversion`
+//
+// The quoted text (double quotes or backquotes; several per line for
+// several diagnostics) is an unanchored regular expression matched
+// against the diagnostic message. Every diagnostic must match a want
+// on its line and every want must match a diagnostic; either
+// mismatch fails the test.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/sgb-db/sgb/internal/analysis"
+)
+
+// want is one expectation: a message pattern pinned to a line.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads fixtureDir as a package under importPath (resolving its
+// module-local imports against the enclosing module), runs the given
+// analyzers plus the driver's marker protocol, and compares the
+// diagnostics with the fixture's // want expectations.
+func Run(t *testing.T, fixtureDir, importPath string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	moduleRoot, _, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("finding module root: %v", err)
+	}
+	prog, err := analysis.LoadFixture(moduleRoot, fixtureDir, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixtureDir, err)
+	}
+	pkg := prog.Package(importPath)
+	if pkg == nil {
+		t.Fatalf("fixture package %s not loaded", importPath)
+	}
+	diags := analysis.RunAnalyzers(prog, []*analysis.Package{pkg}, analyzers, analysis.SuiteNames())
+
+	wants, err := collectWants(fixtureDir)
+	if err != nil {
+		t.Fatalf("parsing want expectations: %v", err)
+	}
+	byLine := map[[2]string][]*want{}
+	for _, w := range wants {
+		k := [2]string{w.file, strconv.Itoa(w.line)}
+		byLine[k] = append(byLine[k], w)
+	}
+	for _, d := range diags {
+		k := [2]string{d.Pos.Filename, strconv.Itoa(d.Pos.Line)}
+		matched := false
+		for _, w := range byLine[k] {
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// wantMarker introduces expectations in fixture source lines.
+const wantMarker = "// want "
+
+// collectWants parses every // want expectation in the fixture
+// directory's non-test Go files.
+func collectWants(dir string) ([]*want, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wants []*want
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			idx := strings.Index(line, wantMarker)
+			if idx < 0 {
+				continue
+			}
+			patterns, err := parsePatterns(line[idx+len(wantMarker):])
+			if err != nil {
+				return nil, &wantError{path, i + 1, err}
+			}
+			for _, p := range patterns {
+				re, err := regexp.Compile(p)
+				if err != nil {
+					return nil, &wantError{path, i + 1, err}
+				}
+				wants = append(wants, &want{file: path, line: i + 1, re: re, raw: p})
+			}
+		}
+	}
+	return wants, nil
+}
+
+// wantError locates a malformed expectation.
+type wantError struct {
+	file string
+	line int
+	err  error
+}
+
+func (e *wantError) Error() string {
+	return e.file + ":" + strconv.Itoa(e.line) + ": " + e.err.Error()
+}
+
+// parsePatterns reads the sequence of quoted patterns after // want:
+// "..." or `...`, separated by spaces.
+func parsePatterns(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		switch s[0] {
+		case '"', '`':
+			end := strings.IndexByte(s[1:], s[0])
+			if end < 0 {
+				return nil, strconv.ErrSyntax
+			}
+			lit := s[:end+2]
+			unq, err := strconv.Unquote(lit)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, unq)
+			s = s[end+2:]
+		default:
+			return nil, strconv.ErrSyntax
+		}
+	}
+}

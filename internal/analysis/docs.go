@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The docs analyzer: cmd/doclint folded into the suite so one lint
+// entry point covers everything. The rules are unchanged — every
+// package carries a package comment; every exported top-level type,
+// function, and method on an exported receiver has a doc comment;
+// every exported const/var is documented on its spec, its enclosing
+// group, or a trailing line comment (grouped enum blocks are
+// idiomatic). A main package's main function is exempt: the package
+// comment is the command's documentation.
+
+// Docs enforces documentation coverage on packages and exported
+// declarations.
+var Docs = &Analyzer{
+	Name: "docs",
+	Doc:  "package comments and doc comments on every exported declaration",
+	Run:  runDocs,
+}
+
+func runDocs(pass *Pass) {
+	hasPkgDoc := false
+	for _, f := range pass.Pkg.Files {
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			hasPkgDoc = true
+		}
+	}
+	if !hasPkgDoc && len(pass.Pkg.Files) > 0 {
+		pass.Reportf(pass.Pkg.Files[0].Package, "package %s has no package comment", pass.Pkg.Types.Name())
+	}
+	isMain := pass.Pkg.Types.Name() == "main"
+	for _, f := range pass.Pkg.Files {
+		lintDocsFile(pass, f, isMain)
+	}
+}
+
+// lintDocsFile checks one file's exported top-level declarations.
+func lintDocsFile(pass *Pass, f *ast.File, isMain bool) {
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || (isMain && d.Name.Name == "main") {
+				continue
+			}
+			if recv := receiverTypeName(d); recv != "" && !ast.IsExported(recv) {
+				continue // method on an unexported type
+			}
+			if d.Doc == nil {
+				pass.Reportf(d.Pos(), "exported %s %s has no doc comment", funcKind(d), d.Name.Name)
+			}
+		case *ast.GenDecl:
+			switch d.Tok {
+			case token.TYPE:
+				for _, spec := range d.Specs {
+					ts := spec.(*ast.TypeSpec)
+					if ts.Name.IsExported() && d.Doc == nil && ts.Doc == nil {
+						pass.Reportf(ts.Pos(), "exported type %s has no doc comment", ts.Name.Name)
+					}
+				}
+			case token.CONST, token.VAR:
+				for _, spec := range d.Specs {
+					vs := spec.(*ast.ValueSpec)
+					for _, n := range vs.Names {
+						if n.IsExported() && d.Doc == nil && vs.Doc == nil && vs.Comment == nil {
+							pass.Reportf(n.Pos(), "exported %s %s has no doc comment", d.Tok, n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// receiverTypeName names the receiver's base type ("" for plain
+// funcs).
+func receiverTypeName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// funcKind distinguishes methods from functions in reports.
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}

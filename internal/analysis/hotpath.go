@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The hotpath analyzer. The distance kernels, grid probes, and
+// arbitration inner loops run once per candidate pair — millions of
+// times per query — and the engine keeps them allocation-free so the
+// garbage collector never stalls a scan. A function declares that
+// contract with a //sgb:allocfree directive in its doc comment, and
+// the analyzer rejects the constructs that silently put allocations
+// back: fmt calls (every verb boxes its operand), closures that
+// capture enclosing variables (the captured variables move to the
+// heap), conversions to interface types (boxing), implicit boxing of
+// call arguments into interface parameters, and appends that can
+// grow a slice other than a local being reassigned in place
+// (x = append(x, ...) reuses capacity; anything else escapes).
+// A //sgb:allocfree comment that is not a function's doc comment is
+// itself flagged so the contract cannot silently detach from its
+// function.
+
+// HotPath enforces the //sgb:allocfree contract on marked functions.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "functions marked //sgb:allocfree may not allocate: no fmt, closures, interface boxing, or escaping append",
+	Run:  runHotPath,
+}
+
+// allocFreeDirective is the doc-comment marker for allocation-free
+// functions.
+const allocFreeDirective = "//sgb:allocfree"
+
+func runHotPath(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		// Directives attached to function doc comments are the valid
+		// placements; any other //sgb:allocfree comment is adrift.
+		valid := map[*ast.Comment]bool{}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if c := allocFreeComment(fd.Doc); c != nil {
+				valid[c] = true
+				if fd.Body != nil {
+					checkAllocFree(pass, fd)
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(strings.TrimSpace(c.Text), allocFreeDirective) && !valid[c] {
+					pass.Reportf(c.Pos(), "//sgb:allocfree must be part of a function's doc comment; this one marks nothing")
+				}
+			}
+		}
+	}
+}
+
+// allocFreeComment returns the //sgb:allocfree directive in a doc
+// group, or nil.
+func allocFreeComment(doc *ast.CommentGroup) *ast.Comment {
+	if doc == nil {
+		return nil
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), allocFreeDirective) {
+			return c
+		}
+	}
+	return nil
+}
+
+// checkAllocFree applies the allocation rules to one marked function.
+func checkAllocFree(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	// Appends of the form x = append(x, ...) or x = append(x[:i], ...)
+	// reuse the destination's capacity; collect those call nodes first
+	// so every other append is flagged.
+	allowedAppend := map[*ast.CallExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isBuiltin(info, call, "append") || len(call.Args) == 0 {
+			return true
+		}
+		dst, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		src := call.Args[0]
+		if sl, ok := src.(*ast.SliceExpr); ok {
+			src = sl.X
+		}
+		if id, ok := src.(*ast.Ident); ok && id.Name == dst.Name {
+			allowedAppend[call] = true
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if capturesEnclosing(info, n, fd) {
+				pass.Reportf(n.Pos(), "closure capturing enclosing variables in //sgb:allocfree function %s; captured variables escape to the heap", fd.Name.Name)
+			}
+			return true
+		case *ast.CallExpr:
+			checkAllocFreeCall(pass, fd, n, allowedAppend)
+			// Child calls are still visited via the default return.
+		}
+		return true
+	})
+}
+
+// checkAllocFreeCall applies the call-site rules: fmt, append form,
+// interface conversions, implicit boxing.
+func checkAllocFreeCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, allowedAppend map[*ast.CallExpr]bool) {
+	info := pass.Pkg.Info
+	if fn := staticCallee(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s call in //sgb:allocfree function %s; fmt boxes every operand", fn.Name(), fd.Name.Name)
+		return // the boxing is the fmt call's fault, not each argument's
+	}
+	if isBuiltin(info, call, "append") {
+		if !allowedAppend[call] {
+			pass.Reportf(call.Pos(), "append that may grow an escaping slice in //sgb:allocfree function %s; only x = append(x, ...) reuses capacity", fd.Name.Name)
+		}
+		return
+	}
+	// Explicit conversion to an interface type: any(x), io.Writer(w).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if atv, ok := info.Types[call.Args[0]]; ok && !types.IsInterface(atv.Type) {
+				pass.Reportf(call.Pos(), "conversion to interface type in //sgb:allocfree function %s boxes its operand", fd.Name.Name)
+			}
+		}
+		return
+	}
+	// Implicit boxing: a non-interface argument passed to an interface
+	// parameter. Builtins (panic, delete, ...) are exempt — panic is
+	// the documented escape hatch for invariant violations.
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if _, isB := info.Uses[id].(*types.Builtin); isB {
+			return
+		}
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		if atv, ok := info.Types[arg]; ok && atv.Type != nil && !types.IsInterface(atv.Type) {
+			pass.Reportf(arg.Pos(), "argument boxed into interface parameter in //sgb:allocfree function %s", fd.Name.Name)
+		}
+	}
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// capturesEnclosing reports whether lit references a variable
+// declared in fd but outside lit.
+func capturesEnclosing(info *types.Info, lit *ast.FuncLit, fd *ast.FuncDecl) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		pos := v.Pos()
+		if pos >= fd.Pos() && pos < lit.Pos() {
+			captured = true
+			return false
+		}
+		return true
+	})
+	return captured
+}

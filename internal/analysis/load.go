@@ -1,0 +1,260 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The loader. Packages are parsed with go/parser and type-checked
+// with go/types; imports of other module packages resolve recursively
+// through the same loader, and everything else (the standard library)
+// resolves through the stdlib source importer — no export data, no
+// network, no golang.org/x/tools dependency. Only non-test files are
+// loaded: the invariants the suite enforces are about the shipped
+// engine, and tests legitimately use maps, time, and math/rand.
+
+// loader loads and memoizes packages for one Program.
+type loader struct {
+	fset       *token.FileSet
+	moduleRoot string
+	modulePath string
+	std        types.Importer
+	pkgs       map[string]*Package
+	order      []*Package
+	loading    map[string]bool
+}
+
+func newLoader(moduleRoot, modulePath string) *loader {
+	l := &loader{
+		fset:       token.NewFileSet(),
+		moduleRoot: moduleRoot,
+		modulePath: modulePath,
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+	return l
+}
+
+// Import implements types.Importer: module-local paths load through
+// the loader, everything else through the stdlib source importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if l.isLocal(path) {
+		pkg, err := l.loadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) isLocal(path string) bool {
+	return path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/")
+}
+
+// dirFor maps a module-local import path to its directory.
+func (l *loader) dirFor(path string) string {
+	if path == l.modulePath {
+		return l.moduleRoot
+	}
+	rel := strings.TrimPrefix(path, l.modulePath+"/")
+	return filepath.Join(l.moduleRoot, filepath.FromSlash(rel))
+}
+
+// loadPath loads (or returns the memoized) module-local package.
+func (l *loader) loadPath(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	return l.loadDir(l.dirFor(path), path)
+}
+
+// loadDir parses and type-checks the non-test files of one directory
+// under the given import path.
+func (l *loader) loadDir(dir, path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	names, err := goFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	l.order = append(l.order, pkg)
+	return pkg, nil
+}
+
+// goFiles lists a directory's non-test .go files, sorted.
+func goFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (l *loader) program() *Program {
+	prog := &Program{
+		Fset:       l.fset,
+		ModulePath: l.modulePath,
+		ModuleRoot: l.moduleRoot,
+		Pkgs:       l.order,
+		byPath:     l.pkgs,
+		shared:     map[string]any{},
+	}
+	return prog
+}
+
+// FindModuleRoot walks up from dir to the directory holding go.mod.
+func FindModuleRoot(dir string) (root, modulePath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if rerr == nil {
+			mp := modulePathOf(string(data))
+			if mp == "" {
+				return "", "", fmt.Errorf("analysis: no module line in %s/go.mod", dir)
+			}
+			return dir, mp, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("analysis: go.mod not found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePathOf extracts the module path from go.mod content.
+func modulePathOf(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			if unq, err := strconv.Unquote(rest); err == nil {
+				return unq
+			}
+			return rest
+		}
+	}
+	return ""
+}
+
+// LoadModule loads every package of the module rooted at (or above)
+// dir: each directory holding non-test .go files becomes one package,
+// dependencies loading before dependents. Directories named testdata
+// or vendor and hidden or underscore-prefixed directories are
+// skipped, matching the go tool's walking rules.
+func LoadModule(dir string) (*Program, error) {
+	root, modPath, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader(root, modPath)
+	for _, d := range dirs {
+		rel, err := filepath.Rel(root, d)
+		if err != nil {
+			return nil, err
+		}
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		if _, err := l.loadDir(d, path); err != nil {
+			return nil, err
+		}
+	}
+	return l.program(), nil
+}
+
+// LoadFixture loads a single directory (an analysistest fixture) as a
+// package under the given import path, resolving its module-local
+// imports against the module rooted at moduleRoot. The returned
+// Program holds the fixture package plus its dependencies.
+func LoadFixture(moduleRoot, fixtureDir, importPath string) (*Program, error) {
+	_, modPath, err := FindModuleRoot(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader(moduleRoot, modPath)
+	if _, err := l.loadDir(fixtureDir, importPath); err != nil {
+		return nil, err
+	}
+	return l.program(), nil
+}

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The driver: runs analyzers over target packages, then applies the
+// //sgblint:allow marker protocol. A well-formed marker
+//
+//	//sgblint:allow <analyzer> <reason>
+//
+// suppresses that analyzer's diagnostics on the marker's own line and
+// the line directly below (so it works both as a trailing comment and
+// as a standalone line above the finding). Marker hygiene is itself
+// enforced: a marker with no reason, or naming an analyzer the suite
+// does not contain, is an error; a well-formed marker that suppressed
+// nothing is stale and reported so silenced findings cannot outlive
+// the code they excused.
+
+// allowPrefix introduces a suppression marker comment.
+const allowPrefix = "sgblint:allow"
+
+// allowMarker is one parsed //sgblint:allow comment.
+type allowMarker struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// collectMarkers parses every //sgblint:allow marker in the package's
+// files, reporting malformed ones immediately. known lists the
+// analyzer names markers may reference.
+func collectMarkers(prog *Program, pkg *Package, known map[string]bool, diags *[]Diagnostic) []*allowMarker {
+	var markers []*allowMarker
+	report := func(pos token.Position, msg string) {
+		*diags = append(*diags, Diagnostic{Pos: pos, Analyzer: "sgblint", Message: msg})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				pos := prog.Fset.Position(c.Pos())
+				body := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				// Fixture files carry // want expectations on marker
+				// lines; they are commentary, not reason text.
+				if i := strings.Index(body, "// want"); i >= 0 {
+					body = strings.TrimSpace(body[:i])
+				}
+				name, reason, _ := strings.Cut(body, " ")
+				reason = strings.TrimSpace(reason)
+				if name == "" {
+					report(pos, "malformed //sgblint:allow marker: missing analyzer name")
+					continue
+				}
+				if !known[name] {
+					report(pos, "//sgblint:allow names unknown analyzer "+strconv.Quote(name))
+					continue
+				}
+				if reason == "" {
+					report(pos, "//sgblint:allow "+name+" marker has no reason; every suppression must say why")
+					continue
+				}
+				markers = append(markers, &allowMarker{pos: pos, analyzer: name, reason: reason})
+			}
+		}
+	}
+	return markers
+}
+
+// RunAnalyzers runs each analyzer over each target package, applies
+// the //sgblint:allow marker protocol, and returns the surviving
+// diagnostics sorted by position. known lists every analyzer name
+// markers may legitimately reference — pass SuiteNames() so a marker
+// for an analyzer outside this run is neither "unknown" nor "stale".
+func RunAnalyzers(prog *Program, targets []*Package, analyzers []*Analyzer, known []string) []Diagnostic {
+	knownSet := map[string]bool{}
+	for _, n := range known {
+		knownSet[n] = true
+	}
+	running := map[string]bool{}
+	for _, a := range analyzers {
+		running[a.Name] = true
+	}
+
+	var raw []Diagnostic
+	var markerDiags []Diagnostic
+	var markers []*allowMarker
+	for _, pkg := range targets {
+		markers = append(markers, collectMarkers(prog, pkg, knownSet, &markerDiags)...)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, diags: &raw}
+			a.Run(pass)
+		}
+	}
+
+	// Suppression: a marker covers its own line and the next one.
+	byLine := map[[2]any][]*allowMarker{}
+	for _, m := range markers {
+		for _, line := range []int{m.pos.Line, m.pos.Line + 1} {
+			k := [2]any{m.pos.Filename, line}
+			byLine[k] = append(byLine[k], m)
+		}
+	}
+	var out []Diagnostic
+	for _, d := range raw {
+		suppressed := false
+		for _, m := range byLine[[2]any{d.Pos.Filename, d.Pos.Line}] {
+			if m.analyzer == d.Analyzer {
+				m.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	// Staleness: only meaningful for markers whose analyzer actually
+	// ran — a partial run (sgblint -only, analysistest) must not
+	// condemn markers it never gave a chance to match.
+	for _, m := range markers {
+		if !m.used && running[m.analyzer] {
+			out = append(out, Diagnostic{
+				Pos:      m.pos,
+				Analyzer: "sgblint",
+				Message:  "stale //sgblint:allow " + m.analyzer + " marker: it suppresses nothing; remove it",
+			})
+		}
+	}
+	out = append(out, markerDiags...)
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	// Dedupe: whole-program analyzers may surface one site twice.
+	dedup := out[:0]
+	for i, d := range out {
+		if i > 0 && d == out[i-1] {
+			continue
+		}
+		dedup = append(dedup, d)
+	}
+	return dedup
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The snapshotsafe analyzer. storage.Table's row slice is guarded by
+// the table lock and a generation counter; readers get a consistent
+// view only through Snapshot(), and writers go through the mutation
+// API (Append, DeleteWhere) which bumps the generation. A query path
+// that reads t.Rows directly can observe a half-applied write and,
+// worse, silently defeats the evaluator cache's generation check.
+// The analyzer flags every selection of the Rows field on
+// storage.Table outside internal/storage itself. The snapshot codec
+// is the one legitimate outside writer (it rebuilds tables during
+// recovery, before the database is shared) and carries justified
+// //sgblint:allow markers.
+
+// SnapshotSafe flags direct storage.Table.Rows access outside
+// internal/storage.
+var SnapshotSafe = &Analyzer{
+	Name: "snapshotsafe",
+	Doc:  "table rows must be reached via Snapshot() or the mutation API outside internal/storage",
+	Run:  runSnapshotSafe,
+}
+
+// storagePkgSuffix identifies the package that owns Table and is
+// exempt from the rule.
+const storagePkgSuffix = "/internal/storage"
+
+func runSnapshotSafe(pass *Pass) {
+	if strings.HasSuffix(pass.Pkg.Path, storagePkgSuffix) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Rows" {
+				return true
+			}
+			selection, ok := pass.Pkg.Info.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			if !isStorageTable(selection.Recv()) {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(), "direct access to storage.Table.Rows outside internal/storage; use Snapshot() or the mutation API")
+			return true
+		})
+	}
+}
+
+// isStorageTable reports whether t is storage.Table or a pointer to
+// it.
+func isStorageTable(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Table" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), storagePkgSuffix)
+}

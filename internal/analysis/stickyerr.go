@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The stickyerr analyzer. wal.Log has sticky failure semantics: once
+// an Append or Sync fails, the log is poisoned and every later call
+// returns ErrLogFailed — the durability layer relies on callers
+// noticing the first failure to stop acknowledging writes that will
+// never be recoverable. Discarding the error from a Log method
+// therefore doesn't just lose one error, it silently converts a
+// durable database into a lossy one. The analyzer flags every call
+// to a (*wal.Log) method with an error result whose error is
+// discarded: a bare expression statement, a blank identifier in the
+// error position, or a defer/go of such a call. internal/wal itself
+// is exempt (it implements the stickiness).
+
+// StickyErr flags discarded errors from wal.Log's sticky-error
+// methods.
+var StickyErr = &Analyzer{
+	Name: "stickyerr",
+	Doc:  "errors from wal.Log methods must be checked; a failed append poisons the log",
+	Run:  runStickyErr,
+}
+
+// walPkgSuffix identifies the package that owns Log and is exempt.
+const walPkgSuffix = "/internal/wal"
+
+func runStickyErr(pass *Pass) {
+	if strings.HasSuffix(pass.Pkg.Path, walPkgSuffix) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if name, ok := walLogCall(info, call); ok {
+						pass.Reportf(call.Pos(), "error from wal.Log.%s discarded; a failed WAL operation poisons the log and must be handled", name)
+					}
+				}
+				return false
+			case *ast.DeferStmt:
+				if name, ok := walLogCall(info, n.Call); ok {
+					pass.Reportf(n.Call.Pos(), "error from deferred wal.Log.%s discarded; a failed WAL operation poisons the log and must be handled", name)
+				}
+				return false
+			case *ast.GoStmt:
+				if name, ok := walLogCall(info, n.Call); ok {
+					pass.Reportf(n.Call.Pos(), "error from wal.Log.%s discarded in go statement; a failed WAL operation poisons the log and must be handled", name)
+				}
+				return true
+			case *ast.AssignStmt:
+				checkStickyAssign(pass, n)
+				return true
+			}
+			return true
+		})
+	}
+}
+
+// checkStickyAssign flags `_` in the error position of a wal.Log call
+// assignment, e.g. `seq, _ := log.Append(rec)`.
+func checkStickyAssign(pass *Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, ok := walLogCall(pass.Pkg.Info, call)
+	if !ok {
+		return
+	}
+	// The error is the last result; flag when that position is blank.
+	last := as.Lhs[len(as.Lhs)-1]
+	if id, ok := last.(*ast.Ident); ok && id.Name == "_" {
+		pass.Reportf(call.Pos(), "error from wal.Log.%s assigned to _; a failed WAL operation poisons the log and must be handled", name)
+	}
+}
+
+// walLogCall reports whether call invokes a method on wal.Log (value
+// or pointer receiver) whose last result is error, returning the
+// method name.
+func walLogCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Log" || obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), walPkgSuffix) {
+		return "", false
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return "", false
+	}
+	if !isErrorType(res.At(res.Len() - 1).Type()) {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

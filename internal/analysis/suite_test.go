@@ -1,0 +1,59 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/sgb-db/sgb/internal/analysis"
+	"github.com/sgb-db/sgb/internal/analysis/analysistest"
+)
+
+// Each analyzer runs over its fixture: the // want expectations prove
+// at least one true positive and the unannotated declarations prove a
+// clean pass (the harness fails on any unexpected diagnostic).
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata/lockorder", "github.com/sgb-db/sgb/fixture/lockorder", analysis.LockOrder)
+}
+
+func TestSnapshotSafe(t *testing.T) {
+	analysistest.Run(t, "testdata/snapshotsafe", "github.com/sgb-db/sgb/fixture/snapshotsafe", analysis.SnapshotSafe)
+}
+
+func TestStickyErr(t *testing.T) {
+	analysistest.Run(t, "testdata/stickyerr", "github.com/sgb-db/sgb/fixture/stickyerr", analysis.StickyErr)
+}
+
+// TestDeterminism loads the fixture under an internal/core import
+// path so it falls inside the analyzer's result-affecting scope.
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata/determinism", "github.com/sgb-db/sgb/internal/core", analysis.Determinism)
+}
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, "testdata/hotpath", "github.com/sgb-db/sgb/fixture/hotpath", analysis.HotPath)
+}
+
+func TestDocs(t *testing.T) {
+	analysistest.Run(t, "testdata/docs", "github.com/sgb-db/sgb/fixture/docs", analysis.Docs)
+}
+
+// TestMarkers exercises the //sgblint:allow protocol itself: markers
+// without a reason or naming unknown analyzers are rejected, a
+// justified marker suppresses, and an unused marker is stale.
+func TestMarkers(t *testing.T) {
+	analysistest.Run(t, "testdata/markers", "github.com/sgb-db/sgb/internal/core", analysis.Determinism)
+}
+
+// TestSuite pins the suite's composition: six analyzers, stable names.
+func TestSuite(t *testing.T) {
+	got := analysis.SuiteNames()
+	want := []string{"lockorder", "snapshotsafe", "determinism", "stickyerr", "hotpath", "docs"}
+	if len(got) != len(want) {
+		t.Fatalf("SuiteNames() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SuiteNames()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

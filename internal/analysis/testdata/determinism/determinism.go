@@ -1,0 +1,45 @@
+// Package core is a determinism fixture; its import path places it
+// inside the analyzer's result-affecting scope.
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// mapOrder feeds map iteration order into an ordered result.
+func mapOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order is nondeterministic`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sortedKeys also ranges the map, but the justification marker states
+// why the order cannot leak — suppressed, clean.
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { //sgblint:allow determinism keys are sorted before any ordered use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// clock reads the wall clock in result-affecting code.
+func clock() int64 {
+	return time.Now().UnixNano() // want `time.Now in result-affecting code`
+}
+
+// draw pulls from the shared global PRNG.
+func draw() int {
+	return rand.Intn(10) // want `global math/rand draw`
+}
+
+// seeded uses a locally seeded generator — clean.
+func seeded() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(10)
+}

@@ -1,0 +1,24 @@
+package fixture // want `package fixture has no package comment`
+
+// Documented carries a doc comment — clean.
+type Documented struct{}
+
+type Undocumented struct{} // want `exported type Undocumented has no doc comment`
+
+// Limit is documented — clean.
+const Limit = 10
+
+// Exported is documented — clean.
+func Exported() {}
+
+func Bare() {} // want `exported function Bare has no doc comment`
+
+type helper struct{}
+
+// Exported methods on unexported receivers are exempt — clean.
+func (h helper) Exported() {}
+
+// Method documents the documented method — clean.
+func (d Documented) Method() {}
+
+func (d Documented) Loose() {} // want `exported method Loose has no doc comment`

@@ -1,0 +1,91 @@
+// Package fixture exercises the hotpath analyzer's //sgb:allocfree
+// contract.
+package fixture
+
+import "fmt"
+
+// dot is a clean kernel: arithmetic, indexing, a capacity-reusing
+// append idiom — nothing allocates.
+//
+//sgb:allocfree
+func dot(p, q []float64) float64 {
+	var s float64
+	for i := range p {
+		s += p[i] * q[i]
+	}
+	return s
+}
+
+// grow reuses its destination's capacity — the one allowed append
+// form — clean.
+//
+//sgb:allocfree
+func grow(dst []int32, v int32) []int32 {
+	dst = append(dst, v)
+	return dst
+}
+
+// guard panics on invariant violation; the panic builtin is exempt
+// from boxing checks — clean.
+//
+//sgb:allocfree
+func guard(x int) int {
+	if x < 0 {
+		panic("negative")
+	}
+	return x
+}
+
+// debug formats — every fmt verb boxes.
+//
+//sgb:allocfree
+func debug(x int) {
+	fmt.Println(x) // want `fmt.Println call`
+}
+
+type bag struct {
+	items []int32
+}
+
+// escape appends through a pointer field; the slice escapes.
+//
+//sgb:allocfree
+func escape(b *bag, v int32) {
+	b.items = append(b.items, v) // want `append that may grow an escaping slice`
+}
+
+// capture returns a closure over its locals; they move to the heap.
+//
+//sgb:allocfree
+func capture(vals []int32) func() int32 {
+	i := 0
+	return func() int32 { // want `closure capturing enclosing variables`
+		v := vals[i]
+		i++
+		return v
+	}
+}
+
+// box converts to an interface explicitly.
+//
+//sgb:allocfree
+func box(x int) any {
+	return any(x) // want `conversion to interface type`
+}
+
+func sink(v any) { _ = v }
+
+// implicitBox passes a concrete value to an interface parameter.
+//
+//sgb:allocfree
+func implicitBox(x int) {
+	sink(x) // want `argument boxed into interface parameter`
+}
+
+//sgb:allocfree  — adrift: not a function's doc comment. // want `marks nothing`
+var speed int
+
+// unmarked may allocate freely — clean.
+func unmarked(x int) string {
+	return fmt.Sprint(x)
+}

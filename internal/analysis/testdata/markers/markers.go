@@ -1,0 +1,47 @@
+// Package core exercises the //sgblint:allow marker protocol itself:
+// markers with no reason, unknown analyzer names, and stale markers
+// are errors. The import path places the package in the determinism
+// analyzer's scope so markers have something to suppress.
+package core
+
+// suppressed carries a well-formed marker — clean.
+func suppressed(m map[string]int) int {
+	n := 0
+	for range m { //sgblint:allow determinism counting is commutative; order cannot affect the total
+		n++
+	}
+	return n
+}
+
+// noReason's marker is rejected, and the finding it would have
+// silenced still reports.
+func noReason(m map[string]int) int {
+	n := 0
+	for range m { //sgblint:allow determinism // want `marker has no reason` `map iteration order`
+		n++
+	}
+	return n
+}
+
+// unknownName names an analyzer the suite does not contain.
+func unknownName(m map[string]int) int {
+	n := 0
+	for range m { //sgblint:allow determinsm sorted later // want `unknown analyzer "determinsm"` `map iteration order`
+		n++
+	}
+	return n
+}
+
+// nameless has no analyzer name at all.
+func nameless(m map[string]int) int {
+	n := 0
+	for range m { //sgblint:allow // want `missing analyzer name` `map iteration order`
+		n++
+	}
+	return n
+}
+
+// stale is a well-formed marker with nothing to suppress.
+func stale(x int) int {
+	return x + 1 //sgblint:allow determinism nothing here needs suppressing // want `stale //sgblint:allow determinism marker`
+}

@@ -1,0 +1,44 @@
+// Package fixture exercises the snapshotsafe analyzer against the
+// real storage.Table type.
+package fixture
+
+import (
+	"github.com/sgb-db/sgb/internal/storage"
+	"github.com/sgb-db/sgb/internal/types"
+)
+
+// direct reads the row slice without a snapshot.
+func direct(t *storage.Table) int {
+	return len(t.Rows) // want `direct access to storage.Table.Rows`
+}
+
+// directRange iterates the row slice without a snapshot.
+func directRange(t *storage.Table) int {
+	n := 0
+	for range t.Rows { // want `direct access to storage.Table.Rows`
+		n++
+	}
+	return n
+}
+
+// viaSnapshot is the sanctioned read path — clean.
+func viaSnapshot(t *storage.Table) int {
+	rows, _ := t.Snapshot()
+	return len(rows)
+}
+
+// rebuild models the snapshot codec's recovery-time write, justified
+// in place.
+func rebuild(t *storage.Table, rows []types.Row) {
+	t.Rows = rows //sgblint:allow snapshotsafe fixture models the recovery-time rebuild before publication
+}
+
+// otherRows proves the rule keys on storage.Table, not on any field
+// named Rows — clean.
+type rowHolder struct {
+	Rows []int
+}
+
+func otherRows(h *rowHolder) int {
+	return len(h.Rows)
+}

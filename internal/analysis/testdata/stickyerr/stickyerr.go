@@ -1,0 +1,32 @@
+// Package fixture exercises the stickyerr analyzer against the real
+// wal.Log type.
+package fixture
+
+import "github.com/sgb-db/sgb/internal/wal"
+
+// discarded drops the append error on the floor.
+func discarded(l *wal.Log, rec wal.Record) {
+	l.Append(rec) // want `error from wal.Log.Append discarded`
+}
+
+// blanked discards the error through the blank identifier.
+func blanked(l *wal.Log, rec wal.Record) uint64 {
+	seq, _ := l.Append(rec) // want `error from wal.Log.Append assigned to _`
+	return seq
+}
+
+// deferred drops a deferred Close's error.
+func deferred(l *wal.Log) {
+	defer l.Close() // want `error from deferred wal.Log.Close discarded`
+}
+
+// checked consumes every error — clean.
+func checked(l *wal.Log, rec wal.Record) error {
+	if _, err := l.Append(rec); err != nil {
+		return err
+	}
+	if err := l.Sync(); err != nil {
+		return err
+	}
+	return l.Close()
+}

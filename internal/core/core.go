@@ -255,7 +255,7 @@ const (
 // notePhase charges the wall-clock since *start to the given pipeline
 // phase and advances *start — nil-safe like the counters.
 func (s *Stats) notePhase(phase int, start *time.Time) {
-	now := time.Now()
+	now := time.Now() //sgblint:allow determinism wall-clock feeds phase-timing stats only, never result rows
 	if s != nil {
 		d := now.Sub(*start).Nanoseconds()
 		switch phase {

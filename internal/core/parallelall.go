@@ -62,7 +62,7 @@ import (
 // ε-tiles (the caller then evaluates sequentially).
 func sgbAllParallel(ps *geom.PointSet, opt Options, workers int) (*Result, bool) {
 	n := ps.Len()
-	phaseStart := time.Now()
+	phaseStart := time.Now() //sgblint:allow determinism wall-clock feeds phase-timing stats only, never result rows
 	plan := partition.Split(ps, opt.Eps, workers)
 	if plan == nil {
 		return nil, false

@@ -79,6 +79,8 @@ func (m Metric) Dist(p, q Point) float64 {
 // the d=2 and d=3 cases unrolled (the paper's target dimensionalities;
 // the unrolled bodies keep the loop counter and bounds checks out of
 // the innermost kernel).
+//
+//sgb:allocfree
 func (m Metric) distCoords(p, q []float64) float64 {
 	switch m {
 	case L2:
@@ -152,6 +154,8 @@ func (m Metric) Within(p, q Point, eps float64) bool {
 // unrolled for d=2/d=3. The accumulation order matches the generic
 // loop, so the unrolled kernels decide every boundary case the same
 // way bit-for-bit.
+//
+//sgb:allocfree
 func (m Metric) withinCoords(p, q []float64, eps float64) bool {
 	switch m {
 	case L2:
@@ -225,6 +229,8 @@ func (m Metric) DistKey(p, q Point) float64 {
 // The L2 kernels accumulate in withinCoords's order without the early
 // exit (partial sums only grow, so the full sum decides every s > e2
 // rejection identically); L∞ already compares raw distances.
+//
+//sgb:allocfree
 func (m Metric) distKeyCoords(p, q []float64) float64 {
 	if m == L2 {
 		switch len(p) {
@@ -251,6 +257,8 @@ func (m Metric) distKeyCoords(p, q []float64) float64 {
 // EpsKey maps a similarity threshold into DistKey's comparison space:
 // eps*eps for L2 (the exact product withinCoords compares against) and
 // eps unchanged for L∞.
+//
+//sgb:allocfree
 func (m Metric) EpsKey(eps float64) float64 {
 	if m == L2 {
 		return eps * eps

@@ -109,6 +109,8 @@ func (t *Table) Dims() int { return t.dims }
 // cellIdx quantizes one coordinate to its cell index. Quantization is
 // monotone, so the cell range of a rectangle covers the home cell of
 // every point inside it.
+//
+//sgb:allocfree
 func (t *Table) cellIdx(x float64) int64 {
 	return int64(math.Floor(x * t.inv))
 }
@@ -161,6 +163,7 @@ func resizeCells(s []int64, n int) []int64 {
 const hashSeed = 0x9AE16A3B2F90404F
 const hashMul = 0x9E3779B97F4A7C15
 
+//sgb:allocfree
 func mix64(x uint64) uint64 {
 	x ^= x >> 30
 	x *= 0xBF58476D1CE4E5B9
@@ -170,10 +173,12 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
+//sgb:allocfree
 func hashNext(h uint64, c int64) uint64 {
 	return mix64(h + uint64(c)*hashMul)
 }
 
+//sgb:allocfree
 func (t *Table) hashCoords(c []int64) uint64 {
 	h := uint64(hashSeed)
 	for _, v := range c {
@@ -185,6 +190,8 @@ func (t *Table) hashCoords(c []int64) uint64 {
 // findSlot locates the slot of cell c (pre-hashed as h), or -1. The
 // directory always keeps free slots (load factor <= 3/4), so the linear
 // probe terminates.
+//
+//sgb:allocfree
 func (t *Table) findSlot(h uint64, c []int64) int32 {
 	i := h & t.mask
 	for {
@@ -202,6 +209,8 @@ func (t *Table) findSlot(h uint64, c []int64) int32 {
 // findSlot2 / findSlot3 are findSlot with the coordinate compare
 // unrolled, so the d = 2/3 probe loops never materialize a coordinate
 // slice.
+//
+//sgb:allocfree
 func (t *Table) findSlot2(h uint64, x, y int64) int32 {
 	i := h & t.mask
 	for {
@@ -219,6 +228,7 @@ func (t *Table) findSlot2(h uint64, x, y int64) int32 {
 	}
 }
 
+//sgb:allocfree
 func (t *Table) findSlot3(h uint64, x, y, z int64) int32 {
 	i := h & t.mask
 	for {
@@ -236,6 +246,7 @@ func (t *Table) findSlot3(h uint64, x, y, z int64) int32 {
 	}
 }
 
+//sgb:allocfree
 func (t *Table) coordsEqual(off int32, c []int64) bool {
 	b := int(off) * t.dims
 	for k, v := range c {
@@ -363,6 +374,8 @@ func (t *Table) removeFromCell(si int32, id int32) {
 }
 
 // appendCell appends the slot's ids to buf.
+//
+//sgb:allocfree
 func (t *Table) appendCell(si int32, buf []int32) []int32 {
 	for cur := t.slots[si].head; cur >= 0; {
 		sl := &t.slabs[cur]
@@ -596,6 +609,8 @@ func (t *Table) CollectBox(cur *Cursor, center []float64, radius float64, buf []
 }
 
 // findSlot1 is the one-dimensional findSlot.
+//
+//sgb:allocfree
 func (t *Table) findSlot1(h uint64, x int64) int32 {
 	i := h & t.mask
 	for {
